@@ -1,0 +1,118 @@
+// Ablations of JR-SND design choices (DESIGN.md §4).
+//
+//  1. The x-fold sub-session redundancy of D-NDP (§V-B) vs the naive
+//     pick-one-code variant the paper's "intelligent attack" defeats —
+//     swept over q under random jamming (where partially compromised code
+//     sets are common).
+//  2. Baseline schemes at the same operating points: the global-shared-code
+//     scheme (dies at q >= 1) and the pairwise-unique-code scheme (ideal
+//     survival, unusable latency).
+//  3. The GPS false-positive filter of M-NDP (responses a non-neighbor
+//     source provokes, with and without the filter).
+#include <iostream>
+
+#include "baselines/global_code.hpp"
+#include "baselines/pairwise_code.hpp"
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/schedule_sim.hpp"
+
+int main() {
+  using namespace jrsnd;
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Ablations: redundancy / baselines / GPS filter",
+                      "Design-choice ablations called out in DESIGN.md", cfg.params);
+
+  {
+    std::cout << "\n[1] D-NDP sub-session redundancy vs naive single-code variant, under\n"
+                 "    the paper's \"intelligent attack\" (spare the HELLOs, kill the\n"
+                 "    follow-ups of compromised codes) and under random jamming\n";
+    core::Table table({"q", "P_red_int", "P_naive_int", "P_red_rnd", "P_naive_rnd",
+                       "global", "pairwise"});
+    for (const std::uint32_t q : {0u, 20u, 40u, 60u, 100u}) {
+      core::ExperimentConfig point = cfg;
+      point.params.q = q;
+
+      point.jammer = core::JammerKind::Intelligent;
+      point.redundancy = true;
+      const double red_int = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      point.redundancy = false;
+      const double naive_int = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+
+      point.jammer = core::JammerKind::Random;
+      point.redundancy = true;
+      const double red_rnd = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      point.redundancy = false;
+      const double naive_rnd = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+
+      core::Params bp = point.params;
+      const baselines::GlobalCodeScheme global(bp.n, q);
+      bp.q = q;
+      const baselines::PairwiseCodeScheme pairwise(bp);
+      table.add_row({static_cast<double>(q), red_int, naive_int, red_rnd, naive_rnd,
+                     global.discovery_probability_random(), pairwise.pair_code_survival()});
+    }
+    table.print(std::cout);
+    std::cout << "(pairwise survival is ideal but its discovery latency is "
+              << core::fmt(baselines::PairwiseCodeScheme(cfg.params).discovery_latency_s(), 0)
+              << " s vs JR-SND's "
+              << core::fmt(core::theorem2_dndp_latency(cfg.params), 2) << " s)\n";
+  }
+
+  {
+    std::cout << "\n[2] M-NDP GPS false-positive filter (n = 400, 2 km field, full engine)\n";
+    core::Table table({"gps", "P_mndp", "responses", "false_pos", "sig_verifs"});
+    for (const bool gps : {false, true}) {
+      core::ExperimentConfig point = cfg;
+      point.params.n = 400;
+      point.params.q = 40;
+      point.params.field_width = 2000.0;
+      point.params.field_height = 2000.0;
+      point.params.runs = std::max(2u, point.params.runs / 5);
+      point.full_mndp = true;
+      point.gps_filter = gps;
+      const core::DiscoverySimulator sim(point);
+      core::Stat p_m;
+      double responses = 0.0;
+      double false_pos = 0.0;
+      double verifs = 0.0;
+      for (std::uint32_t run = 0; run < point.params.runs; ++run) {
+        const core::RunResult r = sim.run_once(point.base_seed + run);
+        if (r.p_mndp_defined) p_m.add(r.p_mndp);
+        responses += static_cast<double>(r.mndp_stats.responses_sent);
+        false_pos += static_cast<double>(r.mndp_stats.false_positive_responses);
+        verifs += static_cast<double>(r.mndp_stats.signature_verifications);
+      }
+      const double runs = point.params.runs;
+      table.add_row(std::vector<std::string>{
+          gps ? "on" : "off", core::fmt(p_m.mean(), 4), core::fmt(responses / runs, 0),
+          core::fmt(false_pos / runs, 0), core::fmt(verifs / runs, 0)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n[3] Multi-antenna extension (paper future work): receive chains vs\n"
+                 "    identification latency (schedule sim + Theorem 2 generalized)\n";
+    core::Table table({"rx_chains", "lambda", "rounds_r", "sched_Ti(s)", "thm2_T(s)"});
+    Rng rng(11);
+    for (const std::uint32_t chains : {1u, 2u, 4u, 8u}) {
+      core::Params p = cfg.params;
+      p.rx_chains = chains;
+      const dsss::TimingModel timing(p.timing());
+      const core::ScheduleSimulator sched(timing);
+      const double ti = sched.mean_identification(1000, rng).seconds();
+      table.add_row({static_cast<double>(chains), timing.lambda(),
+                     static_cast<double>(timing.hello_rounds()), ti,
+                     core::theorem2_dndp_latency(p)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: redundancy strictly dominates the naive variant and the\n"
+               "gap widens in the partially-compromised regime; the global-code baseline\n"
+               "is dead for every q >= 1; the GPS filter removes exactly the\n"
+               "false-positive responses without touching discovery probability.\n";
+  return 0;
+}

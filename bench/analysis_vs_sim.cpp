@@ -1,0 +1,117 @@
+// §VI-A vs §VI-B — closed-form analysis against simulation, and the two
+// M-NDP evaluation planes against each other.
+//
+//  1. D-NDP discovery probability under reactive and random jamming vs the
+//     Theorem-1 bounds P^- and P^+ (reactive should sit on P^-, random in
+//     between).
+//  2. Sampled D-NDP latency vs Theorem 2's expectation.
+//  3. The graph-level M-NDP evaluation vs the full protocol engine with its
+//     signature chains (smaller n so the full engine stays affordable).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/schedule_sim.hpp"
+
+int main() {
+  using namespace jrsnd;
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Analysis vs simulation (§VI-A vs §VI-B)",
+                      "Theorems 1-4 against measured values; graph vs full M-NDP engine",
+                      cfg.params);
+
+  {
+    std::cout << "\n[1] D-NDP probability vs Theorem 1 bounds (sweep q)\n";
+    core::Table table({"q", "sim_react", "sim_random", "P-_thm1", "P+_thm1"});
+    for (const std::uint32_t q : {0u, 20u, 40u, 60u, 100u}) {
+      core::ExperimentConfig point = cfg;
+      point.params.q = q;
+      point.jammer = core::JammerKind::Reactive;
+      const double reactive = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      point.jammer = core::JammerKind::Random;
+      const double random_j = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const core::Theorem1Result t1 = core::theorem1(point.params);
+      table.add_row({static_cast<double>(q), reactive, random_j, t1.p_lower, t1.p_upper});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n[2] D-NDP latency: sampled mean vs Theorem 2 (sweep m)\n";
+    core::Table table({"m", "sim_T_dndp", "thm2_T_dndp", "rel_err"});
+    for (const std::uint32_t m : {20u, 60u, 100u, 140u, 200u}) {
+      core::ExperimentConfig point = cfg;
+      point.params.m = m;
+      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const double t2 = core::theorem2_dndp_latency(point.params);
+      table.add_row({static_cast<double>(m), r.latency_dndp.mean(), t2,
+                     (r.latency_dndp.mean() - t2) / t2});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n[3] M-NDP: graph-level evaluation vs full protocol engine "
+                 "(n = 400, 2 km field)\n";
+    core::Table table({"q", "P_m_graph", "P_m_engine", "sig_verifs", "false_pos"});
+    for (const std::uint32_t q : {5u, 15u, 30u}) {
+      core::ExperimentConfig point = cfg;
+      point.params.n = 400;
+      point.params.q = q;
+      point.params.field_width = 2000.0;
+      point.params.field_height = 2000.0;
+      point.params.runs = std::max(2u, point.params.runs / 5);
+      point.mndp_rounds = 1;  // the engine runs one sweep: compare like for like
+
+      point.full_mndp = false;
+      const double graph =
+          core::DiscoverySimulator(point).run_all().p_mndp_conditional.mean();
+      point.full_mndp = true;
+      const core::DiscoverySimulator full_sim(point);
+      core::Stat engine_p;
+      double verifs = 0.0;
+      double false_pos = 0.0;
+      for (std::uint32_t run = 0; run < point.params.runs; ++run) {
+        const core::RunResult r = full_sim.run_once(point.base_seed + run);
+        if (r.p_mndp_defined) engine_p.add(r.p_mndp_conditional);
+        verifs += static_cast<double>(r.mndp_stats.signature_verifications);
+        false_pos += static_cast<double>(r.mndp_stats.false_positive_responses);
+      }
+      table.add_row({static_cast<double>(q), graph, engine_p.mean(),
+                     verifs / point.params.runs, false_pos / point.params.runs});
+    }
+    table.print(std::cout);
+    std::cout << "(the engine runs one sweep but within it later initiations already ride\n"
+                 " links earlier ones established, so at heavy compromise it recovers a\n"
+                 " little more than the static single-round graph closure)\n";
+  }
+
+  {
+    std::cout << "\n[4] Identification latency: Theorem 2's uniform-residual model vs the\n"
+                 "    event-accurate buffering/processing schedule (sweep m)\n";
+    core::Table table({"m", "schedule_Ti", "thm2_Ti", "rel_err"});
+    Rng rng(7);
+    for (const std::uint32_t m : {20u, 60u, 100u, 140u, 200u}) {
+      core::Params p = cfg.params;
+      p.m = m;
+      const dsss::TimingModel timing(p.timing());
+      const core::ScheduleSimulator sched(timing);
+      const double measured = sched.mean_identification(2000, rng).seconds();
+      const double theorem = p.rho * m * (3.0 * m + 4.0) * static_cast<double>(p.N) *
+                             static_cast<double>(p.N) * p.l_h() / 2.0;
+      table.add_row({static_cast<double>(m), measured, theorem,
+                     (measured - theorem) / theorem});
+    }
+    table.print(std::cout);
+    std::cout << "(the schedule includes the buffer-capture delay t_b the theorem drops,\n"
+                 " so a positive bias of order t_b/t_p = 1/lambda is expected: large at\n"
+                 " small m where lambda ~ 2, shrinking to ~5% by m = 200)\n";
+  }
+
+  std::cout << "\nExpected shape: reactive sim ~ P^-; random sim between the bounds;\n"
+               "sampled latency within ~2% of Theorem 2; graph-level and protocol-level\n"
+               "M-NDP agree closely (the engine also reports its verification load and\n"
+               "the false-positive responses the GPS filter would remove).\n";
+  return 0;
+}

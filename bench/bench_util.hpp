@@ -1,0 +1,33 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench prints: the experiment id, the Table-I parameter summary, the
+// number of averaging runs (JRSND_RUNS env, default 10; the paper averaged
+// 100 — raise it for full fidelity), then one aligned table per panel whose
+// rows mirror the series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/discovery_sim.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+
+namespace jrsnd::bench {
+
+/// Averaging runs per sweep point: JRSND_RUNS env var, default 10.
+[[nodiscard]] std::uint32_t runs_from_env();
+
+/// Base experiment config: Table-I params + reactive jammer (the paper's
+/// reported worst case) + the env-derived run count.
+[[nodiscard]] core::ExperimentConfig default_config();
+
+/// Prints the bench banner (figure id, what it reproduces, parameters).
+void print_banner(const std::string& experiment_id, const std::string& description,
+                  const core::Params& params);
+
+/// If the JRSND_CSV_DIR env var names a directory, writes `table` to
+/// <dir>/<name>.csv (for plotting); otherwise does nothing.
+void write_csv_if_requested(const std::string& name, const core::Table& table);
+
+}  // namespace jrsnd::bench

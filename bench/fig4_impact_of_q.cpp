@@ -1,0 +1,39 @@
+// Figure 4 — impact of q (compromised nodes), for l = 40 (panel a) and
+// l = 20 (panel b). All three P-hat curves fall as q grows; the paper
+// reports JR-SND ~ 0.5 at (l = 40, q = 60).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace jrsnd;
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Fig. 4: impact of q",
+                      "P-hat vs q in [0, 100], for l = 40 (a) and l = 20 (b)", cfg.params);
+
+  for (const std::uint32_t l : {40u, 20u}) {
+    core::Table table({"q", "P_dndp", "P_mndp", "P_jrsnd", "P-_thm1", "alpha", "c_codes"});
+    for (const std::uint32_t q : {0u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+      core::ExperimentConfig point = cfg;
+      point.params.l = l;
+      point.params.q = q;
+      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const core::Theorem1Result t1 = core::theorem1(point.params);
+      table.add_row({static_cast<double>(q), r.p_dndp.mean(), r.p_mndp.mean(),
+                     r.p_jrsnd.mean(), t1.p_lower, t1.alpha, r.compromised_codes.mean()});
+    }
+    std::cout << "\nFig. 4(" << (l == 40 ? 'a' : 'b') << "): discovery probability vs q (l = "
+              << l << ")\n";
+    table.print(std::cout);
+    bench::write_csv_if_requested(l == 40 ? "fig4a_probability_vs_q_l40"
+                                          : "fig4b_probability_vs_q_l20",
+                                  table);
+  }
+
+  std::cout << "\nExpected shape: every curve decreases in q; at l = 40, q = 60 JR-SND\n"
+               "drops to roughly 0.5; smaller l (panel b) degrades more slowly because\n"
+               "each captured node leaks codes shared by fewer others.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5 — impact of nu (M-NDP hop limit) in the heavily compromised
+// regime the paper uses (q = 100, i.e. P_D ~ 0.2 per Fig. 4(a)).
+//
+// Panel (a): P-hat of M-NDP and JR-SND vs nu (D-NDP is nu-independent and
+// shown for reference); the paper reports P-hat > 0.9 for nu >= 6.
+// Panel (b): T-bar of M-NDP vs nu (Theorem 4): ~4 s at nu = 6.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace jrsnd;
+  core::ExperimentConfig cfg = bench::default_config();
+  cfg.params.q = 100;  // the paper's P_D ~= 0.2 operating point
+  bench::print_banner("Fig. 5: impact of nu",
+                      "(a) P-hat vs nu at q = 100 (P_D ~ 0.2); (b) T-bar vs nu",
+                      cfg.params);
+
+  core::Table prob({"nu", "P_dndp", "P_mndp", "P_jrsnd", "P_m_recur", "P_jr_steady"});
+  core::Table lat({"nu", "T_mndp(s)", "T_jrsnd(s)", "T_mndp_thm4"});
+
+  for (const std::uint32_t nu : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    core::ExperimentConfig point = cfg;
+    point.params.nu = nu;
+    const core::PointResult r = core::DiscoverySimulator(point).run_all();
+    // Steady state: periodic re-initiation rides links earlier M-NDP rounds
+    // established (§V-C) — one extra closure round captures it.
+    core::ExperimentConfig steady = point;
+    steady.mndp_rounds = 2;
+    const double jr_steady = core::DiscoverySimulator(steady).run_all().p_jrsnd.mean();
+    prob.add_row({static_cast<double>(nu), r.p_dndp.mean(), r.p_mndp.mean(),
+                  r.p_jrsnd.mean(),
+                  core::mndp_probability_recursive(r.p_dndp.mean(), r.degree.mean(), nu),
+                  jr_steady});
+    const double t4 = core::theorem4_mndp_latency(point.params, r.degree.mean());
+    lat.add_row({static_cast<double>(nu), r.latency_mndp.mean(), r.latency_jrsnd.mean(), t4});
+  }
+
+  std::cout << "\nFig. 5(a): discovery probability vs nu (q = 100)\n";
+  prob.print(std::cout);
+  bench::write_csv_if_requested("fig5a_probability_vs_nu", prob);
+  std::cout << "\nFig. 5(b): average latency vs nu\n";
+  lat.print(std::cout);
+  bench::write_csv_if_requested("fig5b_latency_vs_nu", lat);
+  std::cout << "\nExpected shape: P_mndp and P_jrsnd grow with nu, exceeding 0.9 around\n"
+               "nu >= 6, while P_dndp stays flat (~0.2); T_mndp grows roughly\n"
+               "quadratically in nu, reaching a few seconds at nu = 6.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table I — the default evaluation parameters, plus every quantity the
+// system derives from them (pool size, timing model, analysis values).
+// Serves as the parameter cross-check for all other benches.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/latency.hpp"
+#include "core/metrics.hpp"
+#include "dsss/correlator.hpp"
+
+int main() {
+  using namespace jrsnd;
+  const core::Params p = core::Params::defaults();
+  bench::print_banner("Table I: default evaluation parameters",
+                      "Paper values and the quantities jrsnd derives from them", p);
+
+  core::Table table({"parameter", "value", "unit"}, 16);
+  const auto row = [&table](const std::string& name, double value, const std::string& unit,
+                            int precision = 4) {
+    table.add_row(std::vector<std::string>{name, core::fmt(value, precision), unit});
+  };
+
+  row("n", p.n, "nodes", 0);
+  row("m", p.m, "codes/node", 0);
+  row("l", p.l, "holders/code", 0);
+  row("q", p.q, "captured", 0);
+  row("N", static_cast<double>(p.N), "chips", 0);
+  row("R", p.R / 1e6, "Mchip/s", 0);
+  row("rho", p.rho * 1e12, "ps/bit", 0);
+  row("mu", p.mu, "", 2);
+  row("nu", p.nu, "hops", 0);
+  row("l_t", p.l_t, "bits", 0);
+  row("l_id", p.l_id, "bits", 0);
+  row("l_n", p.l_n, "bits", 0);
+  row("l_mac", p.l_mac, "bits", 0);
+  row("l_nu", p.l_nu, "bits", 0);
+  row("l_sig", p.l_sig, "bits", 0);
+  row("t_key", p.t_key * 1e3, "ms", 1);
+  row("t_sig", p.t_sig * 1e3, "ms", 1);
+  row("t_ver", p.t_ver * 1e3, "ms", 1);
+  table.print(std::cout);
+
+  std::cout << "\nDerived quantities:\n";
+  core::Table derived({"quantity", "value", "note"}, 18);
+  const dsss::TimingModel t(p.timing());
+  derived.add_row(std::vector<std::string>{"pool size s", core::fmt(p.pool_size(), 0),
+                                           "s = ceil(n/l) * m"});
+  derived.add_row(std::vector<std::string>{"l_h", core::fmt(p.l_h(), 0),
+                                           "(1+mu)(l_t+l_id) coded HELLO bits"});
+  derived.add_row(std::vector<std::string>{"l_f", core::fmt(p.l_f(), 0),
+                                           "(1+mu)(l_id+l_n+l_mac) coded auth bits"});
+  derived.add_row(std::vector<std::string>{"t_h (us)", core::fmt(t.hello_time().micros(), 2),
+                                           "l_h N / R"});
+  derived.add_row(std::vector<std::string>{"t_b (ms)", core::fmt(t.buffer_time().millis(), 3),
+                                           "(m+1) t_h"});
+  derived.add_row(std::vector<std::string>{"lambda", core::fmt(t.lambda(), 2),
+                                           "rho N m R"});
+  derived.add_row(std::vector<std::string>{"t_p (ms)",
+                                           core::fmt(t.processing_time().millis(), 3),
+                                           "lambda t_b"});
+  derived.add_row(std::vector<std::string>{"r", core::fmt(static_cast<double>(t.hello_rounds()), 0),
+                                           "ceil((lambda+1)(m+1)/m) HELLO rounds"});
+  derived.add_row(std::vector<std::string>{"tau", core::fmt(p.tau, 2),
+                                           "~3.4 sigma at N = 512"});
+  derived.add_row(std::vector<std::string>{"false-sync P",
+                                           core::fmt(dsss::false_sync_probability(p.N, p.tau), 6),
+                                           "per chip position"});
+  derived.add_row(std::vector<std::string>{"alpha", core::fmt(core::alpha(p), 4),
+                                           "Eq. (2) at Table-I q"});
+  derived.add_row(std::vector<std::string>{"E[c]",
+                                           core::fmt(core::expected_compromised_codes(p), 1),
+                                           "expected compromised codes"});
+  derived.add_row(std::vector<std::string>{"T_dndp (s)",
+                                           core::fmt(core::theorem2_dndp_latency(p), 3),
+                                           "Theorem 2"});
+  derived.add_row(std::vector<std::string>{"T_mndp (s)",
+                                           core::fmt(core::theorem4_mndp_latency(
+                                                         p, core::expected_degree(p)), 3),
+                                           "Theorem 4 at expected degree"});
+  derived.add_row(std::vector<std::string>{"E[degree] g", core::fmt(core::expected_degree(p), 2),
+                                           "(n-1) pi a^2 / area"});
+  derived.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Related-work comparison (paper §§I-II): JR-SND vs UFH key establishment
+// [3] on the two axes the paper argues about —
+//
+//   * time for two strangers to establish a usable anti-jamming secret
+//     (UFH fragment transfer vs D-NDP's identification + authentication),
+//   * DoS exposure of the verification path (UFH's public strategy lets
+//     anyone start fragment chains; JR-SND caps waste via revocation).
+//
+// UFH wins on trust assumptions (no authority, survives full compromise);
+// JR-SND wins on latency and DoS resilience in the single-authority MANETs
+// it targets — which is exactly the paper's positioning.
+#include <iostream>
+
+#include "baselines/ufh.hpp"
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace jrsnd;
+  core::Params params = core::Params::defaults();
+  params.runs = bench::runs_from_env();
+  bench::print_banner("Related-work comparison: UFH [3] vs JR-SND",
+                      "Key-establishment latency and DoS exposure", params);
+
+  {
+    std::cout << "\n[1] Time to a usable pairwise anti-jamming secret\n";
+    core::Table table({"scheme", "config", "latency(s)", "measured(s)"}, 18);
+
+    Rng rng(1);
+    for (const std::uint32_t channels : {50u, 200u, 500u}) {
+      baselines::UfhParams up;
+      up.channels = channels;
+      up.jammed_channels = params.z;
+      const baselines::UfhFragmentChain chain(up, BitVector::from_bytes(
+                                                      std::vector<std::uint8_t>(32, 0xab)));
+      baselines::UfhExchange exchange(up, rng);
+      core::Stat measured;
+      for (std::uint32_t r = 0; r < params.runs; ++r) {
+        const auto result = exchange.run(chain);
+        if (result.reassembled) measured.add(result.seconds);
+      }
+      table.add_row(std::vector<std::string>{
+          "UFH", "c=" + std::to_string(channels) + ",M=" + std::to_string(up.fragments),
+          core::fmt(exchange.expected_transfer_seconds(), 2),
+          core::fmt(measured.mean(), 2)});
+    }
+    table.add_row(std::vector<std::string>{
+        "JR-SND D-NDP", "Table I (m=100)",
+        core::fmt(core::theorem2_dndp_latency(params), 2), "see fig2 bench"});
+    core::Params fast = params;
+    fast.m = 40;
+    table.add_row(std::vector<std::string>{
+        "JR-SND D-NDP", "m=40", core::fmt(core::theorem2_dndp_latency(fast), 2), "-"});
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n[2] DoS exposure: verification work a flooding attacker can force\n";
+    core::Table table({"insertions", "UFH_hashes", "JRSND_verifs", "JRSND_bound"}, 14);
+    // JR-SND numbers from the revocation model at Table-I settings: the
+    // attacker holds E[c] compromised codes, each wasting at most
+    // (l-1)(gamma+1) verifications network-wide.
+    const double c = core::expected_compromised_codes(params);
+    const double bound = c * (params.l - 1) * (params.gamma + 1);
+    for (const std::uint64_t flood : {1000ull, 100000ull, 10000000ull}) {
+      const std::uint64_t ufh = baselines::ufh_dos_verifications(flood);
+      table.add_row(std::vector<std::string>{
+          core::fmt(static_cast<double>(flood), 0), core::fmt(static_cast<double>(ufh), 0),
+          core::fmt(std::min(static_cast<double>(flood), bound), 0), core::fmt(bound, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "(UFH hash checks are ~us each vs 35.5 ms signature verifications, but\n"
+                 " UFH receivers must also buffer and chain-test candidate fragments;\n"
+                 " the structural point is the missing cap, not the unit cost)\n";
+  }
+
+  std::cout << "\nExpected shape: UFH needs tens of seconds at realistic channel counts\n"
+               "(vs < 2 s for D-NDP at m = 100, ~0.3 s at m = 40) and its DoS column\n"
+               "grows without bound; JR-SND saturates at the revocation cap.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// DoS defence walkthrough (paper §V-D).
+//
+// The adversary uses the spread codes leaked by captured radios to inject
+// well-formed-looking neighbor-discovery requests whose signatures fail
+// verification, hoping to grind every receiver down with 35.5 ms signature
+// checks. Each receiver keeps a per-code invalid counter; past gamma the
+// code is locally revoked and the radio simply stops de-spreading it.
+//
+// The example floods one victim step by step, prints its counters flipping
+// to REVOKED, then shows the network-wide cap compared to a public-code-set
+// scheme under the same budget.
+//
+// Run:  ./dos_defense
+#include <cstdio>
+
+#include "adversary/compromise.hpp"
+#include "adversary/dos_attacker.hpp"
+#include "baselines/public_code_set.hpp"
+#include "core/params.hpp"
+#include "predist/authority.hpp"
+#include "predist/revocation.hpp"
+
+int main() {
+  using namespace jrsnd;
+
+  core::Params params = core::Params::defaults();
+  params.n = 100;
+  params.m = 8;
+  params.l = 5;
+  params.q = 4;
+  params.gamma = 5;
+
+  Rng root(13);
+  predist::CodePoolAuthority authority(params.predist(), root.split());
+  Rng adv = root.split();
+  const adversary::CompromiseModel compromise(authority.assignment(), params.q, adv);
+  const auto attack_codes = compromise.compromised_codes();
+
+  std::printf("DoS defence demo: n = %u, gamma = %u\n", params.n, params.gamma);
+  std::printf("adversary captured %u radios -> %zu attack codes\n\n", params.q,
+              attack_codes.size());
+
+  // --- zoom in on one victim ------------------------------------------------
+  NodeId victim = kInvalidNode;
+  CodeId bad_code = kInvalidCode;
+  for (const CodeId code : attack_codes) {
+    for (const NodeId holder : authority.assignment().holders_of(code)) {
+      if (!compromise.is_node_compromised(holder)) {
+        victim = holder;
+        bad_code = code;
+        break;
+      }
+    }
+    if (victim != kInvalidNode) break;
+  }
+  if (victim == kInvalidNode) {
+    std::printf("no non-compromised holder of any attack code (rare seed); done.\n");
+    return 0;
+  }
+
+  predist::RevocationState state(params.gamma, authority.assignment().codes_of(victim));
+  std::printf("victim node %u holds compromised code C_%u; flooding it:\n", raw(victim),
+              raw(bad_code));
+  for (int request = 1; request <= 10; ++request) {
+    if (state.is_revoked(bad_code)) {
+      std::printf("  request %2d: ignored (code revoked — no de-spread, no verify)\n",
+                  request);
+      continue;
+    }
+    const bool revoked_now = state.report_invalid(bad_code);
+    std::printf("  request %2d: bad signature verified-and-rejected (counter %u/%u)%s\n",
+                request, state.invalid_count(bad_code), params.gamma,
+                revoked_now ? "  -> C revoked locally" : "");
+  }
+  std::printf("victim wasted %llu verifications (%.2f s CPU) on this code — and will\n"
+              "never waste another.\n\n",
+              static_cast<unsigned long long>(state.total_invalid_verifications()),
+              static_cast<double>(state.total_invalid_verifications()) * params.t_ver);
+
+  // --- the network-wide picture ----------------------------------------------
+  adversary::DosCampaign campaign(authority.assignment(), attack_codes,
+                                  compromise.compromised_nodes(), params.gamma, params.t_ver);
+  const std::uint64_t flood = 100000;
+  const adversary::DosCampaignResult r = campaign.run(flood);
+  std::printf("full campaign: %llu fake requests per code (%llu total)\n",
+              static_cast<unsigned long long>(flood),
+              static_cast<unsigned long long>(r.requests_sent));
+  std::printf("  JR-SND victims verified %llu requests total (bound: %llu), then went deaf\n",
+              static_cast<unsigned long long>(r.verifications),
+              static_cast<unsigned long long>(campaign.total_verification_bound()));
+  std::printf("  %llu requests hit already-revoked codes and cost nothing\n",
+              static_cast<unsigned long long>(r.requests_ignored));
+
+  const std::uint64_t public_cost = baselines::PublicCodeSetScheme::dos_verifications(
+      r.requests_sent, /*receivers_per_request=*/10);
+  std::printf("  a public-code-set scheme would have verified %llu (%.0f hours of CPU)\n",
+              static_cast<unsigned long long>(public_cost),
+              static_cast<double>(public_cost) * params.t_ver / 3600.0);
+  return 0;
+}

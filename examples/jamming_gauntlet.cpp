@@ -1,0 +1,104 @@
+// Jamming gauntlet: watch the physical layer fight at chip granularity.
+//
+// Two nodes run the real DSSS pipeline — Reed-Solomon expansion, spreading,
+// sliding-window synchronization, correlation-threshold de-spreading with
+// erasure marking, errata decoding — while a jammer with knowledge of the
+// code attacks with increasing coverage. The example prints, per coverage
+// level, how many handshakes survive, illustrating the mu/(1+mu) ECC
+// tolerance the whole scheme rests on (paper §V-B).
+//
+// Run:  ./jamming_gauntlet
+#include <cstdio>
+
+#include "adversary/jammer.hpp"
+#include "common/rng.hpp"
+#include "dsss/chip_channel.hpp"
+#include "dsss/sliding_window.hpp"
+#include "dsss/spreader.hpp"
+#include "ecc/ecc_codec.hpp"
+
+int main() {
+  using namespace jrsnd;
+
+  const double mu = 1.0;
+  const std::size_t n_chips = 128;
+  const double tau = 0.3;
+  const std::size_t payload_bits = 21;  // a HELLO
+  const ecc::EccCodec codec(mu);
+  Rng rng(99);
+
+  std::printf("jamming gauntlet: N = %zu chips/bit, mu = %.1f (tolerates %.0f%% erasures),\n"
+              "tau = %.2f, payload = %zu bits -> %zu coded bits\n\n",
+              n_chips, mu, 100.0 * codec.erasure_tolerance(), tau, payload_bits,
+              codec.coded_length_bits(payload_bits));
+
+  const dsss::SpreadCode code = dsss::SpreadCode::random(rng, n_chips);
+
+  constexpr int kTrials = 40;
+  std::printf("%10s  %10s  %12s  %10s\n", "coverage", "signals", "survived", "rate");
+  struct Attack {
+    double coverage;
+    std::uint32_t signals;
+    const char* note;
+  };
+  const Attack attacks[] = {
+      {0.00, 0, "clean channel"},
+      {0.15, 1, "equal power, light"},
+      {0.30, 1, "equal power, below tolerance"},
+      {0.45, 1, "equal power, near tolerance"},
+      {0.60, 1, "equal power, above tolerance"},
+      {0.40, 2, "overpowered, above error capacity"},
+      {0.75, 2, "reactive jammer's full strike"},
+  };
+
+  for (const Attack& attack : attacks) {
+    int survived = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      // Sender: encode + spread + place at a random offset.
+      BitVector payload(payload_bits);
+      for (std::size_t i = 0; i < payload_bits; ++i) payload.set(i, rng.bernoulli(0.5));
+      const BitVector coded = codec.encode(payload);
+      const BitVector chips = dsss::spread(coded, code);
+      const std::size_t pad = 64 + rng.uniform(n_chips);
+      dsss::ChipChannel channel(pad + chips.size() + 64);
+      channel.add(dsss::Transmission{pad, chips});
+
+      // Jammer: same-code, chip-synced, striking after identifying the code
+      // in the first quarter of the message.
+      for (const auto& tx : adversary::make_chip_jamming(
+               code, pad, coded.size(), attack.coverage, attack.signals, rng, 0.25)) {
+        channel.add(tx);
+      }
+
+      // Receiver: sync-scan, despread with erasure marking, errata-decode,
+      // rescanning past false locks.
+      const BitVector received = channel.receive(rng);
+      const std::vector<dsss::SpreadCode> candidates = {code};
+      std::size_t offset = 0;
+      bool got_it = false;
+      while (!got_it) {
+        const auto hit =
+            dsss::find_first_message(received, candidates, coded.size(), tau, offset);
+        if (!hit.has_value()) break;
+        const auto decoded =
+            codec.decode(hit->message.bits, payload_bits,
+                         std::span<const std::size_t>(hit->message.erased_bits));
+        if (decoded.has_value() && *decoded == payload) {
+          got_it = true;
+        } else {
+          offset = hit->chip_offset + 1;
+        }
+      }
+      survived += got_it;
+    }
+    std::printf("%9.0f%%  %10u  %7d/%-4d  %9.0f%%   %s\n", 100.0 * attack.coverage,
+                attack.signals, survived, kTrials,
+                100.0 * survived / kTrials, attack.note);
+  }
+
+  std::printf("\nBelow the ECC tolerance the handshake shrugs the jammer off; above it\n"
+              "(or when the jammer overpowers the link) the message dies — which is why\n"
+              "D-NDP runs one sub-session per shared code and M-NDP routes around\n"
+              "pairs whose every shared code is compromised.\n");
+  return 0;
+}

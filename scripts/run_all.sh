@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every example, and every
+# bench, capturing test/bench output at the repository root — the exact
+# sequence EXPERIMENTS.md numbers come from.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for e in build/examples/*; do
+  echo "=== $(basename "$e") ==="
+  "$e"
+done
+
+for b in build/bench/*; do
+  echo "=== $(basename "$b") ==="
+  "$b"
+done 2>&1 | tee bench_output.txt

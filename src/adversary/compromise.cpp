@@ -1,0 +1,33 @@
+#include "adversary/compromise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jrsnd::adversary {
+
+CompromiseModel::CompromiseModel(const predist::CodeAssignment& assignment, std::uint32_t q,
+                                 Rng& rng) {
+  const std::vector<NodeId> all = assignment.nodes();
+  if (q > all.size()) throw std::invalid_argument("CompromiseModel: q exceeds node count");
+  const std::vector<std::uint32_t> picks =
+      rng.sample_without_replacement(static_cast<std::uint32_t>(all.size()), q);
+  for (const std::uint32_t pick : picks) {
+    const NodeId node = all[pick];
+    compromised_nodes_.insert(node);
+    for (const CodeId code : assignment.codes_of(node)) compromised_codes_.insert(code);
+  }
+}
+
+std::vector<NodeId> CompromiseModel::compromised_nodes() const {
+  std::vector<NodeId> out(compromised_nodes_.begin(), compromised_nodes_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CodeId> CompromiseModel::compromised_codes() const {
+  std::vector<CodeId> out(compromised_codes_.begin(), compromised_codes_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace jrsnd::adversary

@@ -1,0 +1,64 @@
+#include "adversary/dos_attacker.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jrsnd::adversary {
+
+DosCampaign::DosCampaign(const predist::CodeAssignment& assignment,
+                         const std::vector<CodeId>& attack_codes,
+                         const std::vector<NodeId>& compromised_nodes, std::uint32_t gamma,
+                         double t_ver_s)
+    : assignment_(assignment), attack_codes_(attack_codes), gamma_(gamma), t_ver_s_(t_ver_s) {
+  const std::unordered_set<NodeId> compromised(compromised_nodes.begin(),
+                                               compromised_nodes.end());
+  for (const CodeId code : attack_codes_) {
+    for (const NodeId holder : assignment_.holders_of(code)) {
+      if (compromised.contains(holder)) continue;  // J need not attack itself
+      victims_per_code_[code].push_back(holder);
+      if (!victims_.contains(holder)) {
+        victims_.emplace(holder,
+                         predist::RevocationState(gamma_, assignment_.codes_of(holder)));
+      }
+    }
+  }
+}
+
+DosCampaignResult DosCampaign::run(std::uint64_t requests_per_code) {
+  DosCampaignResult result;
+  for (const CodeId code : attack_codes_) {
+    const auto it = victims_per_code_.find(code);
+    if (it == victims_per_code_.end() || it->second.empty()) continue;
+    const std::vector<NodeId>& holders = it->second;
+    for (std::uint64_t r = 0; r < requests_per_code; ++r) {
+      ++result.requests_sent;
+      // One broadcast request reaches every in-range holder; we charge the
+      // worst case where all holders of the code hear it.
+      for (const NodeId victim : holders) {
+        predist::RevocationState& state = victims_.at(victim);
+        if (state.is_revoked(code)) {
+          ++result.requests_ignored;
+          continue;  // victim no longer de-spreads this code: zero cost
+        }
+        ++result.verifications;  // the (failing) signature verification
+        if (state.report_invalid(code)) ++result.revocations;
+      }
+    }
+  }
+  result.verification_time_s = static_cast<double>(result.verifications) * t_ver_s_;
+  return result;
+}
+
+std::uint64_t DosCampaign::per_code_verification_bound(CodeId code) const {
+  const auto it = victims_per_code_.find(code);
+  if (it == victims_per_code_.end()) return 0;
+  return static_cast<std::uint64_t>(it->second.size()) * (gamma_ + 1);
+}
+
+std::uint64_t DosCampaign::total_verification_bound() const {
+  std::uint64_t total = 0;
+  for (const CodeId code : attack_codes_) total += per_code_verification_bound(code);
+  return total;
+}
+
+}  // namespace jrsnd::adversary

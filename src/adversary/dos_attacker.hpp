@@ -1,0 +1,64 @@
+// The verification-flooding DoS attack and JR-SND's bound on it (§V-D).
+//
+// Schemes built on *public* code sets let J inject unlimited fake
+// neighbor-discovery requests that every receiver must (expensively) verify.
+// Under JR-SND, J can only inject with codes it compromised, and each holder
+// locally revokes a code after gamma invalid requests — so a compromised
+// code wastes at most (l-1) * gamma verifications network-wide.
+//
+// DosCampaign drives the attack against a set of victims with per-code
+// RevocationState, counting the signature verifications each victim performs
+// until every attack code is revoked everywhere (or the attacker's request
+// budget runs out).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "predist/code_assignment.hpp"
+#include "predist/revocation.hpp"
+
+namespace jrsnd::adversary {
+
+struct DosCampaignResult {
+  std::uint64_t requests_sent = 0;       ///< fake requests J transmitted
+  std::uint64_t verifications = 0;       ///< signature checks victims performed
+  std::uint64_t revocations = 0;         ///< (node, code) revocation events
+  std::uint64_t requests_ignored = 0;    ///< requests that hit revoked codes
+  double verification_time_s = 0.0;      ///< verifications * t_ver
+};
+
+class DosCampaign {
+ public:
+  /// Victims are every non-compromised holder of each attack code. `gamma`
+  /// is the revocation threshold, `t_ver_s` the per-verification cost.
+  DosCampaign(const predist::CodeAssignment& assignment,
+              const std::vector<CodeId>& attack_codes,
+              const std::vector<NodeId>& compromised_nodes, std::uint32_t gamma,
+              double t_ver_s);
+
+  /// Injects `requests_per_code` fake requests on each attack code,
+  /// round-robin across its victim holders. Idempotent revocation: once a
+  /// victim revokes a code, further requests on it cost nothing there.
+  [[nodiscard]] DosCampaignResult run(std::uint64_t requests_per_code);
+
+  /// The paper's worst-case bound per code: (holders - 1) * gamma
+  /// verifications beyond which no non-compromised node listens.
+  /// (Each victim performs at most gamma+1 checks: the one crossing the
+  /// threshold triggers revocation.)
+  [[nodiscard]] std::uint64_t per_code_verification_bound(CodeId code) const;
+
+  [[nodiscard]] std::uint64_t total_verification_bound() const;
+
+ private:
+  const predist::CodeAssignment& assignment_;
+  std::vector<CodeId> attack_codes_;
+  std::unordered_map<NodeId, predist::RevocationState> victims_;
+  std::unordered_map<CodeId, std::vector<NodeId>> victims_per_code_;
+  std::uint32_t gamma_;
+  double t_ver_s_;
+};
+
+}  // namespace jrsnd::adversary

@@ -1,0 +1,3 @@
+#include "baselines/global_code.hpp"
+
+// Header-only semantics; this TU anchors the target in the build.

@@ -1,0 +1,49 @@
+// Baseline 1 (paper §I): one network-wide shared spread code.
+//
+// Trivially bootstraps — every pair can talk immediately — but is a single
+// point of failure: compromising ANY node reveals THE code, after which a
+// reactive jammer defeats every neighbor discovery in the network. The
+// bench compares its discovery probability against JR-SND as q grows.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::baselines {
+
+class GlobalCodeScheme {
+ public:
+  /// n nodes, q of them compromised (uniformly at random).
+  GlobalCodeScheme(std::uint32_t n, std::uint32_t q) : n_(n), q_(q) {}
+
+  /// P(the single code is still secret) = [q == 0].
+  [[nodiscard]] double code_survival_probability() const noexcept { return q_ == 0 ? 1.0 : 0.0; }
+
+  /// Discovery probability of a random physical-neighbor pair under
+  /// reactive jamming: 1 while no node is compromised, 0 afterwards.
+  [[nodiscard]] double discovery_probability_reactive() const noexcept {
+    return code_survival_probability();
+  }
+
+  /// Under random jamming with z signals the jammer always picks the right
+  /// code once compromised: identical collapse.
+  [[nodiscard]] double discovery_probability_random() const noexcept {
+    return code_survival_probability();
+  }
+
+  /// One Monte-Carlo draw (kept for interface symmetry with JR-SND runs).
+  [[nodiscard]] bool simulate_pair_discovery(Rng& rng) const noexcept {
+    (void)rng;
+    return q_ == 0;
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t q() const noexcept { return q_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t q_;
+};
+
+}  // namespace jrsnd::baselines

@@ -1,0 +1,26 @@
+#include "baselines/pairwise_code.hpp"
+
+namespace jrsnd::baselines {
+
+double PairwiseCodeScheme::pair_code_survival() const noexcept {
+  const double n = params_.n;
+  const double q = params_.q;
+  if (q >= n - 1) return 0.0;
+  return ((n - q) * (n - q - 1.0)) / (n * (n - 1.0));
+}
+
+double PairwiseCodeScheme::lambda() const noexcept {
+  return params_.rho * static_cast<double>(params_.N) *
+         static_cast<double>(codes_per_node()) * params_.R;
+}
+
+double PairwiseCodeScheme::discovery_latency_s() const noexcept {
+  const double m = static_cast<double>(codes_per_node());
+  const double n2 = static_cast<double>(params_.N) * static_cast<double>(params_.N);
+  const double t_identify = params_.rho * m * (3.0 * m + 4.0) * n2 * params_.l_h() / 2.0;
+  const double t_auth = 2.0 * static_cast<double>(params_.N) * params_.l_f() / params_.R +
+                        2.0 * params_.t_key;
+  return t_identify + t_auth;
+}
+
+}  // namespace jrsnd::baselines

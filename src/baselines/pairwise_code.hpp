@@ -1,0 +1,42 @@
+// Baseline 2 (paper §I): a unique secret spread code per node pair.
+//
+// Maximally compromise-resilient — codes of non-compromised pairs stay
+// secret no matter how many nodes fall — but circularly dependent: before A
+// and B discover each other they do not know *which* of their n-1 pair codes
+// to monitor, so a receiver must scan every buffered chip position against
+// all n-1 codes. This blows the processing/buffering ratio lambda (and with
+// it the discovery latency) up by a factor (n-1)/m relative to JR-SND; the
+// bench prints the resulting latencies to show where the scheme stops being
+// deployable.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace jrsnd::baselines {
+
+class PairwiseCodeScheme {
+ public:
+  explicit PairwiseCodeScheme(const core::Params& params) : params_(params) {}
+
+  /// Codes each node must be able to de-spread with: n - 1.
+  [[nodiscard]] std::uint32_t codes_per_node() const noexcept { return params_.n - 1; }
+
+  /// Jamming resilience is ideal: a pair's code is compromised only if one
+  /// endpoint is, so a uniformly random pair survives with probability
+  /// ((n-q)(n-q-1)) / (n(n-1)).
+  [[nodiscard]] double pair_code_survival() const noexcept;
+
+  /// lambda with all n-1 codes scanned: rho * N * (n-1) * R.
+  [[nodiscard]] double lambda() const noexcept;
+
+  /// Theorem-2-style identification latency with m replaced by n-1:
+  /// the quadratic term rho (n-1)(3(n-1)+4) N^2 l_h / 2.
+  [[nodiscard]] double discovery_latency_s() const noexcept;
+
+ private:
+  core::Params params_;
+};
+
+}  // namespace jrsnd::baselines

@@ -1,0 +1,3 @@
+#include "baselines/public_code_set.hpp"
+
+// Header-only semantics; this TU anchors the target in the build.

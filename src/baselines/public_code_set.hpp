@@ -1,0 +1,49 @@
+// Baseline 3 (paper §II, refs [7]-[10]): a publicly known spread-code set.
+//
+// UDSSS-style schemes pick codes from a set every party (including the
+// adversary) knows. Jamming resilience comes from unpredictable selection —
+// the jammer's z signals cover z of the set's |S| codes, so a message
+// survives with probability ~ 1 - z/|S| — but the public set also lets the
+// adversary INJECT well-formed requests everywhere. Every receiver must run
+// the expensive signature verification on each one, and because revocation
+// is impossible (the codes are the system), the wasted work is unbounded.
+// bench/dos_resilience contrasts this with JR-SND's (l-1)(gamma+1) cap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::baselines {
+
+class PublicCodeSetScheme {
+ public:
+  /// `set_size` public codes, jammer with `z` parallel signals.
+  PublicCodeSetScheme(std::uint32_t set_size, std::uint32_t z)
+      : set_size_(set_size), z_(z) {}
+
+  /// P(one message survives): the jammer covers z of the |S| public codes.
+  [[nodiscard]] double message_survival_probability() const noexcept {
+    if (z_ >= set_size_) return 0.0;
+    return 1.0 - static_cast<double>(z_) / static_cast<double>(set_size_);
+  }
+
+  /// One transmission draw.
+  [[nodiscard]] bool simulate_message(Rng& rng) const {
+    return rng.bernoulli(message_survival_probability());
+  }
+
+  /// Verifications forced on the network by `injected` fake requests, each
+  /// heard by `receivers_per_request` nodes. No revocation exists: the cost
+  /// is linear in the attacker's budget, i.e. unbounded over time.
+  [[nodiscard]] static std::uint64_t dos_verifications(std::uint64_t injected,
+                                                       std::uint64_t receivers_per_request) {
+    return injected * receivers_per_request;
+  }
+
+ private:
+  std::uint32_t set_size_;
+  std::uint32_t z_;
+};
+
+}  // namespace jrsnd::baselines

@@ -1,0 +1,103 @@
+// Baseline 4 (paper §II, ref [3]): Uncoordinated Frequency Hopping key
+// establishment — Strasser, Popper, Capkun, Cagalj, IEEE S&P 2008.
+//
+// UFH breaks the anti-jamming/key circular dependency WITHOUT pre-shared
+// secrets: the sender transmits each key-establishment fragment on a
+// random channel out of c; the receiver listens on its own random channel;
+// a fragment lands when the two coincide (prob 1/c per slot) and the
+// jammer, who can block z of the c channels per slot, missed it. Fragments
+// are hash-linked (each carries the digest of its successor) so an
+// attacker cannot splice messages — but anyone, attacker included, may
+// START a chain, which is exactly the verification-flooding DoS the JR-SND
+// paper holds against the public-strategy schemes [2]-[10].
+//
+// We implement the fragment chain with the repository's real SHA-256, the
+// slot-coincidence channel, the per-slot jammer, and the attacker's
+// insertion workload, so bench/ufh_comparison can put genuine numbers next
+// to JR-SND: UFH needs no authority and survives full compromise, but its
+// key-establishment latency is orders of magnitude above D-NDP's and its
+// DoS exposure is unbounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jrsnd::baselines {
+
+struct UfhParams {
+  std::uint32_t channels = 200;        ///< c: orthogonal channels
+  std::uint32_t jammed_channels = 8;   ///< z: channels J blocks per slot
+  double slot_seconds = 2e-3;          ///< one hop/fragment slot
+  std::uint32_t fragment_payload_bits = 256;  ///< key material per fragment
+  std::uint32_t fragments = 8;         ///< M: fragments per key message
+};
+
+/// One hash-linked fragment chain (the sender's key-establishment message).
+class UfhFragmentChain {
+ public:
+  /// Splits `message` into params.fragments fragments and links them
+  /// back-to-front: fragment i carries H(fragment_{i+1}).
+  UfhFragmentChain(const UfhParams& params, const BitVector& message);
+
+  struct Fragment {
+    std::uint32_t index = 0;
+    BitVector payload;
+    crypto::Sha256Digest next_digest{};  ///< zero for the last fragment
+  };
+
+  [[nodiscard]] const std::vector<Fragment>& fragments() const noexcept { return fragments_; }
+
+  /// Verifies a received chain: every fragment's digest must match its
+  /// successor (the receiver's reassembly check). Returns the reassembled
+  /// message, or nullopt on any linkage violation.
+  [[nodiscard]] static std::optional<BitVector> reassemble(
+      const UfhParams& params, const std::vector<Fragment>& received);
+
+  /// The digest of a fragment as used in the chain links.
+  [[nodiscard]] static crypto::Sha256Digest digest_of(const Fragment& fragment);
+
+ private:
+  std::vector<Fragment> fragments_;
+};
+
+/// Slot-level simulation of the UFH transfer of one fragment chain.
+class UfhExchange {
+ public:
+  UfhExchange(const UfhParams& params, Rng& rng);
+
+  struct Result {
+    std::uint64_t slots = 0;          ///< slots until the full chain landed
+    double seconds = 0.0;             ///< slots * slot_seconds
+    std::uint64_t fragments_heard = 0;  ///< deliveries incl. duplicates
+    bool reassembled = false;         ///< hash-chain verified end to end
+  };
+
+  /// Runs until every fragment of `chain` has been received (and the chain
+  /// verifies), or `max_slots` elapse. Sender repeats fragments round-robin
+  /// on random channels; receiver hops independently; the jammer blocks
+  /// `jammed_channels` random channels each slot.
+  [[nodiscard]] Result run(const UfhFragmentChain& chain, std::uint64_t max_slots = 2000000);
+
+  /// Expected slots per fragment delivery: c / (1 - z/c) coincidence slots.
+  [[nodiscard]] double expected_slots_per_fragment() const noexcept;
+
+  /// Expected whole-chain transfer time (coupon-collector over fragments).
+  [[nodiscard]] double expected_transfer_seconds() const noexcept;
+
+ private:
+  UfhParams params_;
+  Rng& rng_;
+};
+
+/// The DoS side: an attacker floods `insertions` fabricated fragments; a
+/// receiver must hash every one against its pending chains before it can
+/// discard it. Returns the hash-verification count a victim performs —
+/// linear in the attacker budget, with no revocation lever to pull.
+[[nodiscard]] std::uint64_t ufh_dos_verifications(std::uint64_t insertions) noexcept;
+
+}  // namespace jrsnd::baselines

@@ -1,0 +1,156 @@
+#include "common/bit_vector.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace jrsnd {
+
+BitVector::BitVector(std::size_t count)
+    : words_((count + kWordBits - 1) / kWordBits, 0), size_(count) {}
+
+BitVector BitVector::from_bytes(std::span<const std::uint8_t> bytes) {
+  BitVector v;
+  v.words_.reserve((bytes.size() * 8 + kWordBits - 1) / kWordBits);
+  for (const std::uint8_t b : bytes) v.append_uint(b, 8);
+  return v;
+}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v;
+  for (const char c : bits) {
+    if (c != '0' && c != '1') throw std::invalid_argument("BitVector::from_string: bad char");
+    v.push_back(c == '1');
+  }
+  return v;
+}
+
+bool BitVector::get(std::size_t index) const {
+  assert(index < size_);
+  return (words_[word_index(index)] & bit_mask(index)) != 0;
+}
+
+void BitVector::set(std::size_t index, bool value) {
+  assert(index < size_);
+  if (value) {
+    words_[word_index(index)] |= bit_mask(index);
+  } else {
+    words_[word_index(index)] &= ~bit_mask(index);
+  }
+}
+
+void BitVector::flip(std::size_t index) {
+  assert(index < size_);
+  words_[word_index(index)] ^= bit_mask(index);
+}
+
+void BitVector::push_back(bool bit) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  ++size_;
+  if (bit) set(size_ - 1, true);
+}
+
+void BitVector::append_uint(std::uint64_t value, std::size_t width) {
+  assert(width <= 64);
+  for (std::size_t i = width; i-- > 0;) push_back(((value >> i) & 1) != 0);
+}
+
+void BitVector::append(const BitVector& other) {
+  // Word-level splice. Invariant maintained everywhere: bits beyond size_
+  // in the final word are zero, so other's words can be OR-merged directly.
+  if (other.size_ == 0) return;
+  const std::size_t offset = size_ % kWordBits;
+  const std::size_t new_size = size_ + other.size_;
+  words_.resize((new_size + kWordBits - 1) / kWordBits, 0);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    const std::uint64_t w = other.words_[i];
+    const std::size_t base = size_ + i * kWordBits;
+    const std::size_t wi = base / kWordBits;
+    words_[wi] |= w >> offset;
+    if (offset != 0 && wi + 1 < words_.size()) {
+      words_[wi + 1] |= w << (kWordBits - offset);
+    }
+  }
+  size_ = new_size;
+}
+
+BitVector BitVector::inverted() const {
+  BitVector out = *this;
+  for (auto& word : out.words_) word = ~word;
+  // Re-zero the slack beyond size_ to preserve the invariant.
+  const std::size_t tail = size_ % kWordBits;
+  if (tail != 0 && !out.words_.empty()) {
+    out.words_.back() &= ~std::uint64_t{0} << (kWordBits - tail);
+  }
+  return out;
+}
+
+std::uint64_t BitVector::read_uint(std::size_t offset, std::size_t width) const {
+  assert(width <= 64);
+  assert(offset + width <= size_);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) value = (value << 1) | (get(offset + i) ? 1u : 0u);
+  return value;
+}
+
+BitVector BitVector::slice(std::size_t offset, std::size_t count) const {
+  assert(offset + count <= size_);
+  BitVector out;
+  out.size_ = count;
+  out.words_.resize((count + kWordBits - 1) / kWordBits, 0);
+  const std::size_t shift = offset % kWordBits;
+  for (std::size_t w = 0; w < out.words_.size(); ++w) {
+    const std::size_t base = offset + w * kWordBits;
+    const std::size_t wi = base / kWordBits;
+    std::uint64_t word = words_[wi] << shift;
+    if (shift != 0 && wi + 1 < words_.size()) {
+      word |= words_[wi + 1] >> (kWordBits - shift);
+    }
+    out.words_[w] = word;
+  }
+  // Zero the slack beyond count (invariant).
+  const std::size_t tail = count % kWordBits;
+  if (tail != 0 && !out.words_.empty()) {
+    out.words_.back() &= ~std::uint64_t{0} << (kWordBits - tail);
+  }
+  return out;
+}
+
+BitVector BitVector::xor_with(const BitVector& other) const {
+  if (size_ != other.size_) throw std::invalid_argument("BitVector::xor_with: size mismatch");
+  BitVector out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] ^= other.words_[w];
+  return out;
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> bytes((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return bytes;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t count = 0;
+  for (const auto word : words_) count += static_cast<std::size_t>(std::popcount(word));
+  return count;
+}
+
+std::size_t BitVector::hamming_distance(const BitVector& other) const {
+  return xor_with(other).popcount();
+}
+
+bool BitVector::operator==(const BitVector& other) const noexcept {
+  if (size_ != other.size_) return false;
+  return words_ == other.words_;
+}
+
+}  // namespace jrsnd

@@ -1,0 +1,87 @@
+// Packed bit vector used for message payloads and crypto digests.
+//
+// Wire messages in JR-SND are bit-granular (HELLO is l_t + l_id = 21 bits by
+// Table I), so byte-oriented containers are not a natural fit. BitVector
+// stores bits MSB-first within each 64-bit word and supports append of
+// arbitrary-width fields, slicing, and XOR — everything the message codecs
+// and the session-code derivation need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jrsnd {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// A vector of `count` zero bits.
+  explicit BitVector(std::size_t count);
+
+  /// Builds from bytes, MSB of bytes[0] first.
+  static BitVector from_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Builds from a string of '0'/'1' characters (test convenience).
+  static BitVector from_string(const std::string& bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t index) const;
+  void set(std::size_t index, bool value);
+  /// Flips the bit at `index` (models a channel bit error).
+  void flip(std::size_t index);
+
+  /// Appends a single bit.
+  void push_back(bool bit);
+
+  /// Appends the low `width` bits of `value`, most significant first.
+  /// Precondition: width <= 64.
+  void append_uint(std::uint64_t value, std::size_t width);
+
+  /// Appends all bits of `other` (word-level, any alignment).
+  void append(const BitVector& other);
+
+  /// A copy with every bit flipped.
+  [[nodiscard]] BitVector inverted() const;
+
+  /// Reads `width` bits starting at `offset` as an unsigned integer
+  /// (MSB first). Precondition: offset + width <= size(), width <= 64.
+  [[nodiscard]] std::uint64_t read_uint(std::size_t offset, std::size_t width) const;
+
+  /// The sub-vector [offset, offset + count).
+  [[nodiscard]] BitVector slice(std::size_t offset, std::size_t count) const;
+
+  /// Bitwise XOR; both operands must have equal size.
+  [[nodiscard]] BitVector xor_with(const BitVector& other) const;
+
+  /// Packs into bytes, zero-padding the final partial byte.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// '0'/'1' string (debugging / tests).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Hamming distance to `other`; both must have equal size.
+  [[nodiscard]] std::size_t hamming_distance(const BitVector& other) const;
+
+  bool operator==(const BitVector& other) const noexcept;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  [[nodiscard]] static std::size_t word_index(std::size_t bit) noexcept { return bit / kWordBits; }
+  [[nodiscard]] static std::uint64_t bit_mask(std::size_t bit) noexcept {
+    return 1ULL << (kWordBits - 1 - (bit % kWordBits));
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace jrsnd

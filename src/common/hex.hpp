@@ -1,0 +1,18 @@
+// Hex encode/decode helpers for digests and debugging output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jrsnd {
+
+/// Lowercase hex encoding of `bytes`.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (even length, upper or lower case).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace jrsnd

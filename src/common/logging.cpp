@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace jrsnd {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& tag, const std::string& message) {
+  if (level < log_level()) return;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag.c_str(), message.c_str());
+}
+
+}  // namespace jrsnd

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but experiment
+// drivers may run seeds on several threads, so emission is serialized. Log
+// level is a process-wide setting; benches default to Warn so figure output
+// stays clean, while examples raise it to Info to narrate protocol steps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jrsnd {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line ("[LEVEL] tag: message") to stderr if `level` passes the
+/// threshold. Thread-safe.
+void log_line(LogLevel level, const std::string& tag, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  ~LogStream() { log_line(level_, tag_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define JRSND_LOG(level, tag)                            \
+  if (::jrsnd::log_level() > (level)) {                  \
+  } else                                                 \
+    ::jrsnd::detail::LogStream((level), (tag))
+
+#define JRSND_TRACE(tag) JRSND_LOG(::jrsnd::LogLevel::Trace, tag)
+#define JRSND_DEBUG(tag) JRSND_LOG(::jrsnd::LogLevel::Debug, tag)
+#define JRSND_INFO(tag) JRSND_LOG(::jrsnd::LogLevel::Info, tag)
+#define JRSND_WARN(tag) JRSND_LOG(::jrsnd::LogLevel::Warn, tag)
+#define JRSND_ERROR(tag) JRSND_LOG(::jrsnd::LogLevel::Error, tag)
+
+}  // namespace jrsnd

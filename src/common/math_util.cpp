@@ -1,0 +1,72 @@
+#include "common/math_util.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace jrsnd {
+
+double log_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static constexpr double kCoeffs[9] = {
+      0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,  12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  assert(x > 0.0);
+  if (x < 0.5) {
+    // Reflection formula keeps accuracy for small x.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeffs[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial(std::int64_t n, std::int64_t k) {
+  const double lb = log_binomial(n, k);
+  if (std::isinf(lb)) return 0.0;
+  return std::exp(lb);
+}
+
+double binomial_pmf(std::int64_t trials, std::int64_t successes, double p) {
+  if (successes < 0 || successes > trials) return 0.0;
+  if (p <= 0.0) return successes == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return successes == trials ? 1.0 : 0.0;
+  const double logp = log_binomial(trials, successes) +
+                      static_cast<double>(successes) * std::log(p) +
+                      static_cast<double>(trials - successes) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+double pr_shared_codes(std::int64_t m, std::int64_t x, std::int64_t n, std::int64_t l) {
+  assert(n >= 2 && l >= 1);
+  const double p = static_cast<double>(l - 1) / static_cast<double>(n - 1);
+  return binomial_pmf(m, x, p);
+}
+
+double code_compromise_probability(std::int64_t n, std::int64_t l, std::int64_t q) {
+  assert(n >= 0 && l >= 0 && q >= 0);
+  if (q == 0) return 0.0;
+  if (q > n - l) return 1.0;  // every q-subset must hit the l holders
+  // 1 - C(n-l, q)/C(n, q) in log space.
+  const double log_ratio = log_binomial(n - l, q) - log_binomial(n, q);
+  return -std::expm1(log_ratio);
+}
+
+double clamp01(double v) {
+  if (v < 0.0) return 0.0;
+  if (v > 1.0) return 1.0;
+  return v;
+}
+
+}  // namespace jrsnd

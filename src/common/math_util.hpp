@@ -1,0 +1,39 @@
+// Numerics shared by the analysis module (Theorems 1-4) and the
+// pre-distribution scheme: log-space binomial coefficients (so that
+// C(2000, 100)-sized terms never overflow), the binomial pmf of Eq. (1),
+// and the code-compromise probability of Eq. (2).
+#pragma once
+
+#include <cstdint>
+
+namespace jrsnd {
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation, ~15 significant digits).
+[[nodiscard]] double log_gamma(double x);
+
+/// ln C(n, k); returns -infinity when k > n or k < 0 (empty coefficient).
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// C(n, k) computed via log-space; accurate to ~1e-12 relative error.
+[[nodiscard]] double binomial(std::int64_t n, std::int64_t k);
+
+/// Binomial pmf: C(trials, successes) p^successes (1-p)^(trials-successes),
+/// evaluated in log space for numerical stability.
+[[nodiscard]] double binomial_pmf(std::int64_t trials, std::int64_t successes, double p);
+
+/// Eq. (1): probability that two nodes share exactly x spread codes after m
+/// rounds of the partition-based pre-distribution with group size l among n
+/// nodes:  Pr[x] = C(m,x) ((l-1)/(n-1))^x ((n-l)/(n-1))^(m-x).
+[[nodiscard]] double pr_shared_codes(std::int64_t m, std::int64_t x, std::int64_t n,
+                                     std::int64_t l);
+
+/// Eq. (2): probability that a given spread code (held by l of the n nodes)
+/// is compromised when the adversary compromises q uniformly random nodes:
+///   alpha = 1 - C(n-l, q) / C(n, q).
+[[nodiscard]] double code_compromise_probability(std::int64_t n, std::int64_t l,
+                                                 std::int64_t q);
+
+/// Clamps v into [0, 1].
+[[nodiscard]] double clamp01(double v);
+
+}  // namespace jrsnd

@@ -1,0 +1,93 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "sim/field.hpp"
+
+namespace jrsnd::core {
+
+double pr_shared_codes(const Params& p, std::uint32_t x) {
+  return jrsnd::pr_shared_codes(p.m, x, p.n, p.l);
+}
+
+double pr_share_at_least_one(const Params& p) { return 1.0 - pr_shared_codes(p, 0); }
+
+double alpha(const Params& p) { return code_compromise_probability(p.n, p.l, p.q); }
+
+double expected_compromised_codes(const Params& p) {
+  return static_cast<double>(p.pool_size()) * alpha(p);
+}
+
+Theorem1Result theorem1(const Params& p) {
+  Theorem1Result r;
+  r.alpha = alpha(p);
+  r.c = expected_compromised_codes(p);
+  if (r.c > 0.0) {
+    const double tries = static_cast<double>(p.z) * (1.0 + p.mu) / p.mu;
+    r.beta = clamp01(tries / r.c);
+    r.beta_prime = clamp01(3.0 * tries / r.c);
+  }
+  const double jam_one = r.beta + r.beta_prime - r.beta * r.beta_prime;
+
+  double fail_lower = 0.0;  // sum Pr[x] alpha^x           (reactive)
+  double fail_upper = 0.0;  // sum Pr[x] (alpha * jam_one)^x (random)
+  for (std::uint32_t x = 0; x <= p.m; ++x) {
+    const double pr = pr_shared_codes(p, x);
+    fail_lower += pr * std::pow(r.alpha, x);
+    fail_upper += pr * std::pow(r.alpha * jam_one, x);
+  }
+  r.p_lower = clamp01(1.0 - fail_lower);
+  r.p_upper = clamp01(1.0 - fail_upper);
+  return r;
+}
+
+double theorem2_dndp_latency(const Params& p) {
+  const double m = p.m;
+  const double n2 = static_cast<double>(p.N) * static_cast<double>(p.N);
+  // The identification phase is linear in lambda, which k receive chains
+  // divide by k (multi-antenna extension; k = 1 reproduces the paper).
+  const double t_identify = p.rho * m * (3.0 * m + 4.0) * n2 * p.l_h() /
+                            (2.0 * static_cast<double>(p.rx_chains));
+  const double t_auth = 2.0 * static_cast<double>(p.N) * p.l_f() / p.R + 2.0 * p.t_key;
+  return t_identify + t_auth;
+}
+
+double theorem3_mndp_probability(double p_d, double g) {
+  const double common = g * sim::common_neighbor_fraction() - 1.0;
+  if (common <= 0.0) return 0.0;
+  return clamp01(1.0 - std::pow(1.0 - p_d * p_d, common));
+}
+
+double mndp_probability_recursive(double p_d, double g, std::uint32_t nu) {
+  const double common = g * sim::common_neighbor_fraction() - 1.0;
+  if (common <= 0.0 || nu < 2) return 0.0;
+  double reach = p_d;  // r_1
+  double m = 0.0;
+  for (std::uint32_t k = 2; k <= nu; ++k) {
+    m = clamp01(1.0 - std::pow(1.0 - reach * p_d, common));
+    reach = clamp01(1.0 - (1.0 - p_d) * (1.0 - m));
+  }
+  return m;
+}
+
+double theorem4_mndp_latency(const Params& p, double g) {
+  const double nu = p.nu;
+  const double t_nu =
+      static_cast<double>(p.N) / p.R *
+      (3.0 * nu * (nu + 1.0) / 2.0 * ((g + 1.0) * p.l_id + 2.0 * p.l_sig) +
+       2.0 * nu * (p.l_n + p.l_nu));
+  return t_nu + 2.0 * nu * (nu + 1.0) * p.t_ver + 2.0 * nu * p.t_sig;
+}
+
+double jrsnd_probability(double p_d, double p_m) { return clamp01(p_d + (1.0 - p_d) * p_m); }
+
+double jrsnd_latency(double t_d, double t_m) { return std::max(t_d, t_m); }
+
+double expected_degree(const Params& p) {
+  const double area = p.field_width * p.field_height;
+  return static_cast<double>(p.n - 1) * M_PI * p.tx_range * p.tx_range / area;
+}
+
+}  // namespace jrsnd::core

@@ -1,0 +1,72 @@
+// Closed-form performance analysis — paper §VI-A (Eqs. 1-2, Theorems 1-4).
+//
+// These formulas are what the paper's "analysis" curves plot; the benches
+// print them next to the simulation measurements so the agreement (and the
+// places where the bounds are loose) is visible, exactly as in Figs. 2-5.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace jrsnd::core {
+
+/// Eq. (1): P(two nodes share exactly x codes).
+[[nodiscard]] double pr_shared_codes(const Params& p, std::uint32_t x);
+
+/// P(two nodes share at least one code) = 1 - Pr[0].
+[[nodiscard]] double pr_share_at_least_one(const Params& p);
+
+/// Eq. (2): alpha = P(a given code is compromised after q node captures).
+[[nodiscard]] double alpha(const Params& p);
+
+/// Expected number of compromised codes c = s * alpha.
+[[nodiscard]] double expected_compromised_codes(const Params& p);
+
+/// Theorem 1: bounds on the D-NDP discovery probability.
+struct Theorem1Result {
+  double p_lower = 0.0;   ///< P^- (reactive jamming, worst case)
+  double p_upper = 0.0;   ///< P^+ (random jamming)
+  double alpha = 0.0;     ///< Eq. (2)
+  double c = 0.0;         ///< expected compromised codes
+  double beta = 0.0;      ///< P(HELLO jammed | code compromised)
+  double beta_prime = 0.0;///< P(>=1 follow-up jammed | code compromised)
+};
+[[nodiscard]] Theorem1Result theorem1(const Params& p);
+
+/// Theorem 2: average D-NDP latency (seconds),
+///   T_D ~= rho m (3m+4) N^2 l_h / 2 + 2 N l_f / R + 2 t_key.
+[[nodiscard]] double theorem2_dndp_latency(const Params& p);
+
+/// Theorem 3 (nu = 2): lower bound on the M-NDP discovery probability given
+/// the D-NDP probability `p_d` and average physical degree `g`:
+///   P_M >= 1 - (1 - p_d^2)^(g (1 - 3 sqrt(3) / (4 pi)) - 1).
+[[nodiscard]] double theorem3_mndp_probability(double p_d, double g);
+
+/// Extension beyond the paper (which leaves nu >= 3 "to simulations"): a
+/// common-neighbor recursion generalizing Theorem 3. Let r_k be the
+/// probability two adjacent nodes are logically connected within k hops:
+///   r_1 = p_d,
+///   m_k = 1 - (1 - r_{k-1} p_d)^(g_c),   g_c = g (1 - 3 sqrt(3)/(4 pi)) - 1,
+///   r_k = 1 - (1 - p_d)(1 - m_k),
+/// i.e. a <= k-hop indirect path exists if some common neighbor C links to
+/// B directly and back to A within k-1 hops. m_nu is returned; m_2 equals
+/// Theorem 3 exactly. Paths through non-common neighbors are ignored and
+/// link states are treated as independent, so this tracks (and slightly
+/// brackets) the simulation — bench/fig5_impact_of_nu prints both.
+[[nodiscard]] double mndp_probability_recursive(double p_d, double g, std::uint32_t nu);
+
+/// Theorem 4: average M-NDP latency (seconds) over a nu-hop path,
+///   T_M = T_nu + 2 nu (nu+1) t_ver + 2 nu t_sig,
+///   T_nu = N/R (3 nu (nu+1)/2 ((g+1) l_id + 2 l_sig) + 2 nu (l_n + l_nu)).
+[[nodiscard]] double theorem4_mndp_latency(const Params& p, double g);
+
+/// Combined JR-SND probability: P = P_D + (1 - P_D) P_M.
+[[nodiscard]] double jrsnd_probability(double p_d, double p_m);
+
+/// Combined JR-SND latency: max(T_D, T_M) (paper §VI-A3).
+[[nodiscard]] double jrsnd_latency(double t_d, double t_m);
+
+/// Expected average physical degree for uniform placement:
+/// g ~= (n-1) * pi a^2 / |field| (border effects ignored).
+[[nodiscard]] double expected_degree(const Params& p);
+
+}  // namespace jrsnd::core

@@ -1,0 +1,102 @@
+#include "core/chip_phy.hpp"
+
+#include <algorithm>
+
+#include "dsss/chip_channel.hpp"
+#include "dsss/sliding_window.hpp"
+#include "dsss/spreader.hpp"
+
+namespace jrsnd::core {
+
+ChipPhy::ChipPhy(const Params& params, const sim::Topology& topology,
+                 const adversary::Jammer& jammer, Codebook receiver_codebook, Rng& rng)
+    : params_(params),
+      topology_(topology),
+      jammer_(jammer),
+      codebook_(std::move(receiver_codebook)),
+      rng_(rng),
+      codec_(params.mu) {}
+
+void ChipPhy::begin_subsession(NodeId /*a*/, NodeId /*b*/, CodeId code) {
+  hello_jammed_ = jammer_.jams(code, adversary::MessageClass::Hello, rng_);
+  followups_jammed_ = jammer_.jams(code, adversary::MessageClass::Followup, rng_);
+}
+
+std::optional<BitVector> ChipPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
+                                           const BitVector& payload) {
+  if (code.pattern == nullptr) return std::nullopt;  // ChipPhy requires chips
+  if (!topology_.are_neighbors(from, to)) return std::nullopt;
+  ++messages_;
+
+  // --- sender: ECC expansion + spreading ---------------------------------
+  const BitVector coded = codec_.encode(payload);
+  const BitVector chips = dsss::spread(coded, *code.pattern);
+  const std::size_t n = code.pattern->length();
+
+  // Place the message at a random offset inside the receiver's buffer
+  // window (models the unsynchronized arrival the sliding window handles).
+  const std::size_t pad_before = static_cast<std::size_t>(rng_.uniform(2 * n));
+  const std::size_t pad_after = n;
+  dsss::ChipChannel channel(pad_before + chips.size() + pad_after);
+  channel.add(dsss::Transmission{pad_before, chips});
+
+  // --- jammer --------------------------------------------------------------
+  bool strike = false;
+  switch (cls) {
+    case TxClass::Hello:
+      strike = hello_jammed_;
+      break;
+    case TxClass::Confirm:
+    case TxClass::Auth:
+      if (followups_jammed_) {
+        strike = true;
+        followups_jammed_ = false;  // group budget spent (see AbstractPhy)
+      }
+      break;
+    case TxClass::SessionUnicast:
+    case TxClass::SessionHello:
+    case TxClass::SessionConfirm:
+      strike = jammer_.jams(code.id, adversary::MessageClass::SessionSpread, rng_);
+      break;
+  }
+  if (strike) {
+    ++jams_;
+    // Two parallel signals on the compromised code: the jammer's chips
+    // dominate the victim's and covered bits despread to attacker values.
+    for (const dsss::Transmission& tx :
+         adversary::make_chip_jamming(*code.pattern, pad_before, coded.size(), jam_coverage_,
+                                      /*parallel_signals=*/2, rng_, jam_start_)) {
+      channel.add(tx);
+    }
+  }
+
+  // --- receiver -------------------------------------------------------------
+  const BitVector received = channel.receive(rng_);
+
+  // HELLOs arrive unannounced: scan with the whole codebook. Every other
+  // message is on a code the receiver is actively monitoring.
+  std::vector<dsss::SpreadCode> candidates;
+  if (cls == TxClass::Hello) {
+    candidates = codebook_(to);
+  } else {
+    candidates.push_back(*code.pattern);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // A sync position can be a false lock (noise or jammer energy exceeding
+  // tau); the ECC decode is the arbiter, and on rejection the receiver
+  // resumes scanning one chip later — the standard recover-and-rescan loop.
+  std::size_t offset = 0;
+  while (true) {
+    const auto hit =
+        dsss::find_first_message(received, candidates, coded.size(), params_.tau, offset);
+    if (!hit.has_value()) return std::nullopt;
+    const auto decoded =
+        codec_.decode(hit->message.bits, payload.size(),
+                      std::span<const std::size_t>(hit->message.erased_bits));
+    if (decoded.has_value()) return decoded;
+    offset = hit->chip_offset + 1;
+  }
+}
+
+}  // namespace jrsnd::core

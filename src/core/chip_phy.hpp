@@ -1,0 +1,79 @@
+// Chip-accurate PHY: the full DSSS + ECC pipeline per transmission.
+//
+// Every transmit() actually
+//   1. Reed-Solomon-expands the payload (rate 1/(1+mu), interleaved),
+//   2. spreads it with the given code into a chip sequence,
+//   3. places it at a random chip offset in a channel window,
+//   4. lets the jammer (if it elects to, per its message-level policy)
+//      superpose synchronized jamming chips covering more than the ECC
+//      tolerance with the compromised code,
+//   5. runs the receiver: sliding-window synchronization against its
+//      candidate codes (its whole code set for HELLOs, the monitored code
+//      otherwise), per-bit correlation-threshold de-spreading with erasure
+//      marking, and RS errata decoding.
+//
+// It exists to validate AbstractPhy: integration tests run the same D-NDP
+// handshake over both and check that outcomes agree (jam -> fail,
+// no jam -> success). It is O(window * codes * N) per message — use it for
+// small scenarios, not the 2000-node sweeps.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "adversary/jammer.hpp"
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "core/phy_model.hpp"
+#include "ecc/ecc_codec.hpp"
+#include "sim/topology.hpp"
+
+namespace jrsnd::core {
+
+class ChipPhy final : public PhyModel {
+ public:
+  /// `receiver_codebook(node)` returns the spread codes the node scans
+  /// HELLO buffers with (its non-revoked pool codes).
+  using Codebook = std::function<std::vector<dsss::SpreadCode>(NodeId)>;
+
+  ChipPhy(const Params& params, const sim::Topology& topology, const adversary::Jammer& jammer,
+          Codebook receiver_codebook, Rng& rng);
+
+  void begin_subsession(NodeId a, NodeId b, CodeId code) override;
+
+  [[nodiscard]] std::optional<BitVector> transmit(NodeId from, NodeId to, TxCode code,
+                                                  TxClass cls, const BitVector& payload) override;
+
+  /// Jam profile when the jammer strikes: it identifies the code during the
+  /// first `start` fraction of the message (paper: 1/(1+mu)) and jams the
+  /// following `coverage` fraction. The default start=0.25, coverage=0.75
+  /// leaves the head intact for synchronization but corrupts far beyond the
+  /// ECC capability, so a strike reliably defeats decoding.
+  void set_jam_profile(double start, double coverage) noexcept {
+    jam_start_ = start;
+    jam_coverage_ = coverage;
+  }
+
+  [[nodiscard]] std::uint64_t chip_messages() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t chip_jams() const noexcept { return jams_; }
+
+ private:
+  const Params& params_;
+  const sim::Topology& topology_;
+  const adversary::Jammer& jammer_;
+  Codebook codebook_;
+  Rng& rng_;
+  ecc::EccCodec codec_;
+  double jam_start_ = 0.25;
+  double jam_coverage_ = 0.75;
+
+  // Sub-session fates, mirroring AbstractPhy so the two planes agree on the
+  // grouped follow-up jamming semantics of Theorem 1.
+  bool hello_jammed_ = false;
+  bool followups_jammed_ = false;
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t jams_ = 0;
+};
+
+}  // namespace jrsnd::core

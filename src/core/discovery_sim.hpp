@@ -1,0 +1,92 @@
+// The network-scale discovery experiment (paper §VI-B).
+//
+// One run = one seeded world: 2000 nodes placed uniformly in the 5000x5000 m
+// field, spread codes pre-distributed, q nodes compromised, a jammer armed,
+// and the real D-NDP engine executed over every physical-neighbor pair.
+// M-NDP is then evaluated either
+//   * by bounded-depth reachability on the logical graph D-NDP built —
+//     provably the outcome of the paper's pruned flood for honest nodes
+//     (the fast path used for the 2000-node figures), or
+//   * by the full MndpEngine with its signature chains (validation mode,
+//     used by tests and bench/analysis_vs_sim on smaller networks).
+//
+// Figures report averages over `params.runs` seeds; every run is exactly
+// reproducible from (base_seed + run index).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/metrics.hpp"
+#include "core/mndp.hpp"
+#include "core/params.hpp"
+
+namespace jrsnd::core {
+
+enum class JammerKind { None, Random, Reactive, Intelligent };
+
+[[nodiscard]] const char* jammer_name(JammerKind kind) noexcept;
+
+struct ExperimentConfig {
+  Params params;
+  std::uint64_t base_seed = 1;
+  JammerKind jammer = JammerKind::Reactive;  ///< paper shows reactive (worst case)
+  bool redundancy = true;      ///< D-NDP x-fold sub-session redundancy
+  bool full_mndp = false;      ///< run the complete M-NDP engine (slower)
+  bool gps_filter = false;     ///< M-NDP false-positive suppression
+  std::uint32_t mndp_rounds = 1;  ///< logical-graph closure iterations
+};
+
+struct RunResult {
+  std::size_t physical_pairs = 0;
+  std::size_t dndp_discovered = 0;
+  std::size_t mndp_recovered = 0;  ///< D-NDP-failed pairs recovered by M-NDP
+  std::size_t compromised_codes = 0;
+  double avg_degree = 0.0;
+
+  double p_dndp = 0.0;   ///< dndp_discovered / physical_pairs
+  /// Standalone M-NDP success: fraction of ALL physical pairs connected by
+  /// a <= nu-hop logical path that does not use their own direct link —
+  /// the quantity the paper plots as M-NDP's P-hat (monotone in m).
+  double p_mndp = 0.0;
+  /// Conditional recovery: mndp_recovered / (physical_pairs - dndp_discovered).
+  double p_mndp_conditional = 0.0;
+  bool p_mndp_defined = false;  ///< false when D-NDP left no failed pairs
+  double p_jrsnd = 0.0;  ///< (dndp + mndp) / physical_pairs
+
+  double latency_dndp_s = 0.0;   ///< mean sampled D-NDP latency
+  double latency_mndp_s = 0.0;   ///< Theorem 4 at the configured nu
+  double latency_jrsnd_s = 0.0;  ///< max of the two (paper §VI-A3)
+
+  MndpStats mndp_stats;  ///< populated in full_mndp mode
+};
+
+struct PointResult {
+  Stat p_dndp;
+  Stat p_mndp;              ///< standalone (the paper's plotted series)
+  Stat p_mndp_conditional;  ///< recovery rate over D-NDP-failed pairs
+  Stat p_jrsnd;
+  Stat latency_dndp;
+  Stat latency_mndp;
+  Stat latency_jrsnd;
+  Stat degree;
+  Stat compromised_codes;
+};
+
+class DiscoverySimulator {
+ public:
+  explicit DiscoverySimulator(ExperimentConfig config);
+
+  /// One seeded world; fully deterministic in `seed`.
+  [[nodiscard]] RunResult run_once(std::uint64_t seed) const;
+
+  /// config.params.runs seeded runs, aggregated.
+  [[nodiscard]] PointResult run_all() const;
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  ExperimentConfig config_;
+};
+
+}  // namespace jrsnd::core

@@ -1,0 +1,136 @@
+#include "core/dndp.hpp"
+
+#include <algorithm>
+
+#include "crypto/session_code.hpp"
+
+namespace jrsnd::core {
+
+namespace {
+
+std::vector<CodeId> intersect_sorted(const std::vector<CodeId>& a, const std::vector<CodeId>& b) {
+  std::vector<CodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy)
+    : params_(params), phy_(phy), redundancy_(redundancy) {
+  wire_.l_t = params.l_t;
+  wire_.l_id = params.l_id;
+  wire_.l_n = params.l_n;
+  wire_.l_mac = params.l_mac;
+  wire_.l_nu = params.l_nu;
+  wire_.l_sig = params.l_sig;
+}
+
+std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
+    NodeState& a, NodeState& b, CodeId code, const BitVector& nonce_a,
+    const BitVector& nonce_b, DndpResult& result) {
+  const TxCode tx{code, &a.code_pattern(code)};
+  SubsessionOutcome outcome;
+
+  // 2. B -> A: {CONFIRM, ID_B}_{C_i}.
+  const ConfirmMessage confirm{b.id()};
+  const auto confirm_rx = phy_.transmit(b.id(), a.id(), tx, TxClass::Confirm,
+                                        confirm.encode(wire_));
+  if (!confirm_rx) return std::nullopt;
+  const auto confirm_decoded = ConfirmMessage::decode(*confirm_rx, wire_);
+  if (!confirm_decoded) {
+    result.mac_failure = true;  // malformed after successful delivery: tampering
+    return std::nullopt;
+  }
+  const NodeId id_b = confirm_decoded->sender;  // A now knows B's claimed ID
+
+  // 3. A -> B: {ID_A, n_A, f_{K_AB}(ID_A | n_A)}_{C_i}.
+  const crypto::SymmetricKey key_ab = a.key().shared_key(id_b);
+  const AuthMessage auth1 = AuthMessage::make(a.id(), nonce_a, key_ab, wire_);
+  const auto auth1_rx = phy_.transmit(a.id(), b.id(), tx, TxClass::Auth, auth1.encode(wire_));
+  if (!auth1_rx) return std::nullopt;
+  const auto auth1_decoded = AuthMessage::decode(*auth1_rx, wire_);
+  if (!auth1_decoded) return std::nullopt;
+
+  // B verifies: equal MACs prove A holds the key the authority issued for
+  // ID_A (mutual authentication, paper §V-B).
+  const crypto::SymmetricKey key_ba = b.key().shared_key(auth1_decoded->sender);
+  if (!auth1_decoded->verify(key_ba, wire_)) {
+    result.mac_failure = true;
+    return std::nullopt;
+  }
+
+  // 4. B -> A: {ID_B, n_B, f_{K_BA}(ID_B | n_B)}_{C_i}.
+  const AuthMessage auth2 = AuthMessage::make(b.id(), nonce_b, key_ba, wire_);
+  const auto auth2_rx = phy_.transmit(b.id(), a.id(), tx, TxClass::Auth, auth2.encode(wire_));
+  if (!auth2_rx) return std::nullopt;
+  const auto auth2_decoded = AuthMessage::decode(*auth2_rx, wire_);
+  if (!auth2_decoded) return std::nullopt;
+  if (!auth2_decoded->verify(key_ab, wire_)) {
+    result.mac_failure = true;
+    return std::nullopt;
+  }
+
+  // Both ends derive C_AB = h_{K}(n_A ^ n_B); XOR makes it symmetric.
+  outcome.key_ab = key_ab;
+  outcome.session_code = crypto::derive_session_code(key_ab, auth1_decoded->nonce,
+                                                     auth2_decoded->nonce,
+                                                     params_.N);
+  return outcome;
+}
+
+DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
+  DndpResult result;
+  std::vector<CodeId> shared = intersect_sorted(a.usable_codes(), b.usable_codes());
+  result.shared_codes = static_cast<std::uint32_t>(shared.size());
+  if (shared.empty()) return result;
+
+  // Session nonces are drawn once; all sub-sessions establish the same
+  // session code (paper's redundancy design).
+  const BitVector nonce_a = a.make_nonce(params_.l_n);
+  const BitVector nonce_b = b.make_nonce(params_.l_n);
+
+  // The naive (non-redundant) variant lets B pick one random code among the
+  // HELLOs it received; iterating a random permutation and stopping at the
+  // first delivered HELLO selects uniformly among them.
+  if (!redundancy_) b.rng().shuffle(std::span<CodeId>(shared));
+
+  std::optional<SubsessionOutcome> winner;
+  for (const CodeId code : shared) {
+    phy_.begin_subsession(a.id(), b.id(), code);
+
+    // 1. A -> *: {HELLO, ID_A}_{C_i}. (The broadcast also uses A's other
+    // codes; only shared ones can reach B, so we model those.)
+    const HelloMessage hello{a.id()};
+    const TxCode tx{code, &a.code_pattern(code)};
+    const auto hello_rx = phy_.transmit(a.id(), b.id(), tx, TxClass::Hello,
+                                        hello.encode(wire_));
+    if (!hello_rx) continue;  // B never saw this HELLO; try the next code
+    const auto hello_decoded = HelloMessage::decode(*hello_rx, wire_);
+    if (!hello_decoded) continue;
+    ++result.hellos_delivered;
+
+    const auto outcome = run_subsession(a, b, code, nonce_a, nonce_b, result);
+    if (outcome.has_value()) {
+      ++result.subsessions_completed;
+      if (!winner.has_value()) {
+        winner = outcome;
+        result.winning_code = code;
+      }
+    }
+    // The naive variant commits to the first delivered HELLO's code,
+    // succeed or fail — exactly what the "intelligent attack" exploits.
+    if (!redundancy_) break;
+  }
+
+  if (winner.has_value()) {
+    result.discovered = true;
+    LogicalNeighbor for_a{winner->key_ab, winner->session_code, false};
+    LogicalNeighbor for_b{winner->key_ab, winner->session_code, false};
+    a.add_logical_neighbor(b.id(), std::move(for_a));
+    b.add_logical_neighbor(a.id(), std::move(for_b));
+  }
+  return result;
+}
+
+}  // namespace jrsnd::core

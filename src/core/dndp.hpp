@@ -1,0 +1,70 @@
+// D-NDP: the Direct Neighbor Discovery Protocol (paper §V-B).
+//
+// Four-message handshake between an initiator A and a responder B that share
+// at least one non-revoked pool code:
+//
+//   1. A -> * : {HELLO, ID_A}_{C_i}          (broadcast under all m codes)
+//   2. B -> A : {CONFIRM, ID_B}_{C_i}
+//   3. A -> B : {ID_A, n_A, f_{K_AB}(ID_A|n_A)}_{C_i}
+//   4. B -> A : {ID_B, n_B, f_{K_BA}(ID_B|n_B)}_{C_i}
+//
+// with K_AB = K_BA the non-interactive ID-based pairwise key. On success
+// both sides derive the session spread code C_AB = h_{K_AB}(n_A ^ n_B) and
+// record each other as authenticated logical neighbors.
+//
+// Redundancy design: when x >= 2 codes are shared, all x sub-sessions run
+// the full exchange (same nonces, same resulting session code); discovery
+// fails only if every sub-session fails. The engine executes the real
+// cryptography — nonces, MAC computation/verification, session-code
+// derivation — over whichever PhyModel it is given.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/jrsnd_node.hpp"
+#include "core/messages.hpp"
+#include "core/params.hpp"
+#include "core/phy_model.hpp"
+
+namespace jrsnd::core {
+
+struct DndpResult {
+  bool discovered = false;
+  std::optional<CodeId> winning_code;  ///< pool code of the first complete sub-session
+  std::uint32_t shared_codes = 0;      ///< x
+  std::uint32_t hellos_delivered = 0;  ///< copies of the HELLO B recovered
+  std::uint32_t subsessions_completed = 0;
+  bool mac_failure = false;  ///< a MAC failed verification (tampering)
+};
+
+class DndpEngine {
+ public:
+  /// `redundancy` mirrors the paper's x-fold sub-session design; disabling
+  /// it reproduces the naive pick-one-code variant the "intelligent attack"
+  /// of §V-B defeats (ablated in bench/ablation_redundancy).
+  DndpEngine(const Params& params, PhyModel& phy, bool redundancy = true);
+
+  /// Runs the handshake with `a` as initiator. Updates both nodes' logical
+  /// neighbor tables (and nothing else) on success.
+  DndpResult run(NodeState& a, NodeState& b);
+
+ private:
+  /// Executes messages 2-4 of one sub-session on code `code`; returns the
+  /// session information derived, or nullopt if any message is lost.
+  struct SubsessionOutcome {
+    crypto::SymmetricKey key_ab{};
+    BitVector session_code;
+  };
+  [[nodiscard]] std::optional<SubsessionOutcome> run_subsession(
+      NodeState& a, NodeState& b, CodeId code, const BitVector& nonce_a,
+      const BitVector& nonce_b, DndpResult& result);
+
+  const Params& params_;
+  WireConfig wire_;
+  PhyModel& phy_;
+  bool redundancy_;
+};
+
+}  // namespace jrsnd::core

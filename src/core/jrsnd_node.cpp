@@ -1,0 +1,51 @@
+#include "core/jrsnd_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jrsnd::core {
+
+NodeState::NodeState(NodeId id, crypto::IbcPrivateKey key, std::vector<CodeId> codes,
+                     const predist::CodePoolAuthority& authority, std::uint32_t gamma, Rng rng)
+    : id_(id),
+      key_(std::move(key)),
+      codes_(std::move(codes)),
+      authority_(&authority),
+      revocation_(gamma, codes_),
+      rng_(rng) {
+  std::sort(codes_.begin(), codes_.end());
+}
+
+const dsss::SpreadCode& NodeState::code_pattern(CodeId code) const {
+  if (!std::binary_search(codes_.begin(), codes_.end(), code)) {
+    throw std::invalid_argument("NodeState::code_pattern: code not held");
+  }
+  return authority_->code(code);
+}
+
+BitVector NodeState::make_nonce(std::uint32_t bits) {
+  BitVector nonce(bits);
+  for (std::uint32_t i = 0; i < bits; ++i) nonce.set(i, rng_.bernoulli(0.5));
+  return nonce;
+}
+
+void NodeState::add_logical_neighbor(NodeId peer, LogicalNeighbor info) {
+  neighbors_[peer] = std::move(info);
+}
+
+const LogicalNeighbor* NodeState::neighbor(NodeId peer) const {
+  const auto it = neighbors_.find(peer);
+  return it == neighbors_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> NodeState::logical_neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [peer, info] : neighbors_) out.push_back(peer);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void NodeState::remove_logical_neighbor(NodeId peer) { neighbors_.erase(peer); }
+
+}  // namespace jrsnd::core

@@ -1,0 +1,83 @@
+// Per-node protocol state: identity, key material, spread codes, revocation
+// counters, and the logical-neighbor table with established session codes.
+//
+// One NodeState instance backs both protocol engines; the Monte-Carlo driver
+// creates n of them per run, and examples/tests create a handful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/ibc.hpp"
+#include "dsss/spread_code.hpp"
+#include "predist/authority.hpp"
+#include "predist/revocation.hpp"
+
+namespace jrsnd::core {
+
+/// State kept for each discovered (logical) neighbor.
+struct LogicalNeighbor {
+  crypto::SymmetricKey pair_key{};  ///< K_AB
+  BitVector session_code;           ///< C_AB = h_K(n_A ^ n_B), N bits
+  bool via_mndp = false;            ///< discovered indirectly
+};
+
+class NodeState {
+ public:
+  /// `gamma` is the DoS revocation threshold. The node keeps a reference to
+  /// the authority only to resolve pool-code chip patterns (the real system
+  /// ships the patterns on the device; the reference avoids copying the
+  /// pool per node).
+  NodeState(NodeId id, crypto::IbcPrivateKey key, std::vector<CodeId> codes,
+            const predist::CodePoolAuthority& authority, std::uint32_t gamma, Rng rng);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const crypto::IbcPrivateKey& key() const noexcept { return key_; }
+
+  /// Pool codes not locally revoked, ascending.
+  [[nodiscard]] std::vector<CodeId> usable_codes() const { return revocation_.usable_codes(); }
+
+  [[nodiscard]] const std::vector<CodeId>& all_codes() const noexcept { return codes_; }
+
+  /// Chip pattern of a held pool code.
+  [[nodiscard]] const dsss::SpreadCode& code_pattern(CodeId code) const;
+
+  [[nodiscard]] predist::RevocationState& revocation() noexcept { return revocation_; }
+  [[nodiscard]] const predist::RevocationState& revocation() const noexcept {
+    return revocation_;
+  }
+
+  /// Fresh l_n-bit random nonce.
+  [[nodiscard]] BitVector make_nonce(std::uint32_t bits);
+
+  /// Per-node deterministic randomness stream.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  // --- logical-neighbor table ------------------------------------------
+
+  void add_logical_neighbor(NodeId peer, LogicalNeighbor info);
+  [[nodiscard]] bool knows(NodeId peer) const { return neighbors_.contains(peer); }
+  [[nodiscard]] const LogicalNeighbor* neighbor(NodeId peer) const;
+
+  /// Logical neighbor ids, ascending (the paper's L_A).
+  [[nodiscard]] std::vector<NodeId> logical_neighbors() const;
+
+  /// Drops a logical neighbor (used when a node moves out of range).
+  void remove_logical_neighbor(NodeId peer);
+
+ private:
+  NodeId id_;
+  crypto::IbcPrivateKey key_;
+  std::vector<CodeId> codes_;
+  const predist::CodePoolAuthority* authority_;
+  predist::RevocationState revocation_;
+  Rng rng_;
+  std::unordered_map<NodeId, LogicalNeighbor> neighbors_;
+};
+
+}  // namespace jrsnd::core

@@ -1,0 +1,45 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+
+#include "core/analysis.hpp"
+
+namespace jrsnd::core {
+
+LatencyModel::LatencyModel(const Params& params)
+    : params_(params), timing_(params.timing()) {}
+
+Duration LatencyModel::sample_dndp(Rng& rng) const {
+  const double t_p = timing_.processing_time().seconds();
+  const double t_h = timing_.hello_time().seconds();
+  const double lambda = timing_.lambda();
+
+  // Identification: B's residual processing + B's scan to the HELLO, A's
+  // residual processing + A's scan to the CONFIRM (paper Thm 2 proof).
+  const double t_rb = rng.uniform_real(0.0, t_p);
+  const double t_db = rng.uniform_real(0.0, t_p);
+  const double t_ra = rng.uniform_real(0.0, t_p);
+  const double t_da = rng.uniform_real(0.0, lambda * t_h);
+
+  // Authentication: two coded auth messages + two key computations.
+  const double t_auth =
+      2.0 * static_cast<double>(params_.N) * params_.l_f() / params_.R + 2.0 * params_.t_key;
+
+  return Duration(t_rb + t_db + t_ra + t_da + t_auth);
+}
+
+Duration LatencyModel::expected_dndp() const {
+  return Duration(theorem2_dndp_latency(params_));
+}
+
+Duration LatencyModel::mndp(double g, std::uint32_t hops) const {
+  Params at_hops = params_;
+  at_hops.nu = std::max<std::uint32_t>(hops, 1);
+  return Duration(theorem4_mndp_latency(at_hops, g));
+}
+
+Duration LatencyModel::combined(Duration dndp, Duration mndp_latency) const {
+  return std::max(dndp, mndp_latency);
+}
+
+}  // namespace jrsnd::core

@@ -1,0 +1,42 @@
+// Neighbor-discovery latency model (paper Theorems 2 and 4).
+//
+// D-NDP latency decomposes into the identification phase
+// (T_i = t_rB + t_dB + t_rA + t_dA, each a uniform residual of the
+// buffer/processing schedule) and the authentication phase
+// (two long messages + two key computations). sample_dndp_latency() draws
+// the four uniforms, so run-averages converge to Theorem 2's closed form;
+// M-NDP latency is the deterministic Theorem 4 expression evaluated at the
+// path length actually used.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "dsss/timing.hpp"
+
+namespace jrsnd::core {
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const Params& params);
+
+  /// One sampled D-NDP latency (identification residuals drawn from `rng`).
+  [[nodiscard]] Duration sample_dndp(Rng& rng) const;
+
+  /// Theorem 2's expectation.
+  [[nodiscard]] Duration expected_dndp() const;
+
+  /// Theorem 4 evaluated at path length `hops` and average degree `g`.
+  [[nodiscard]] Duration mndp(double g, std::uint32_t hops) const;
+
+  /// max(T_D, T_M) — the paper's combined JR-SND latency.
+  [[nodiscard]] Duration combined(Duration dndp, Duration mndp) const;
+
+  [[nodiscard]] const dsss::TimingModel& timing() const noexcept { return timing_; }
+
+ private:
+  Params params_;
+  dsss::TimingModel timing_;
+};
+
+}  // namespace jrsnd::core

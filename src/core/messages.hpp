@@ -1,0 +1,162 @@
+// Wire formats of every JR-SND message (paper §V-B, §V-C).
+//
+// Messages are bit-granular: field widths come from Table I (l_t-bit type,
+// l_id-bit node ID, l_n-bit nonce, l_mac-bit MAC, l_nu-bit hop limit,
+// l_sig-bit ID-based signature). Each struct encodes to / decodes from a
+// BitVector — the exact payload that is then ECC-expanded and spread. The
+// cryptographic tags we compute are 256 bits; on the wire they occupy the
+// paper's l_mac / l_sig widths (truncated MAC, zero-padded signature) so
+// that transmission-time accounting matches the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "common/types.hpp"
+#include "crypto/ibc.hpp"
+
+namespace jrsnd::core {
+
+/// Field widths, from Params (see params.hpp).
+struct WireConfig {
+  std::uint32_t l_t = 5;
+  std::uint32_t l_id = 16;
+  std::uint32_t l_n = 20;
+  std::uint32_t l_mac = 160;
+  std::uint32_t l_nu = 4;
+  std::uint32_t l_sig = 672;
+};
+
+enum class MessageType : std::uint8_t {
+  Hello = 1,
+  Confirm = 2,
+  Auth = 3,
+  MndpRequest = 4,
+  MndpResponse = 5,
+  MndpHello = 6,
+  MndpConfirm = 7,
+};
+
+/// Reads the l_t-bit type tag without decoding the rest.
+[[nodiscard]] std::optional<MessageType> peek_type(const BitVector& bits, const WireConfig& cfg);
+
+// --- D-NDP messages -------------------------------------------------------
+
+/// {HELLO, ID_A}: broadcast by the initiator under each of its m codes.
+struct HelloMessage {
+  NodeId sender = kInvalidNode;
+
+  [[nodiscard]] BitVector encode(const WireConfig& cfg) const;
+  [[nodiscard]] static std::optional<HelloMessage> decode(const BitVector& bits,
+                                                          const WireConfig& cfg);
+  [[nodiscard]] static std::size_t payload_bits(const WireConfig& cfg) {
+    return cfg.l_t + cfg.l_id;
+  }
+};
+
+/// {CONFIRM, ID_B}: the responder's reply under the shared code.
+struct ConfirmMessage {
+  NodeId sender = kInvalidNode;
+
+  [[nodiscard]] BitVector encode(const WireConfig& cfg) const;
+  [[nodiscard]] static std::optional<ConfirmMessage> decode(const BitVector& bits,
+                                                            const WireConfig& cfg);
+  [[nodiscard]] static std::size_t payload_bits(const WireConfig& cfg) {
+    return cfg.l_t + cfg.l_id;
+  }
+};
+
+/// {ID, n, f_K(ID | n)}: both authentication messages have this shape.
+struct AuthMessage {
+  NodeId sender = kInvalidNode;
+  BitVector nonce;           ///< l_n bits
+  crypto::Sha256Digest mac{};  ///< truncated to l_mac bits on the wire
+
+  /// Computes the MAC f_K(ID | nonce) and assembles the message.
+  [[nodiscard]] static AuthMessage make(NodeId sender, BitVector nonce,
+                                        const crypto::SymmetricKey& key, const WireConfig& cfg);
+
+  /// Recomputes the MAC under `key` and compares with the received one
+  /// (over the l_mac wire bits).
+  [[nodiscard]] bool verify(const crypto::SymmetricKey& key, const WireConfig& cfg) const;
+
+  [[nodiscard]] BitVector encode(const WireConfig& cfg) const;
+  [[nodiscard]] static std::optional<AuthMessage> decode(const BitVector& bits,
+                                                         const WireConfig& cfg);
+  [[nodiscard]] static std::size_t payload_bits(const WireConfig& cfg) {
+    return cfg.l_t + cfg.l_id + cfg.l_n + cfg.l_mac;
+  }
+
+ private:
+  [[nodiscard]] static std::vector<std::uint8_t> mac_input(NodeId sender,
+                                                           const BitVector& nonce);
+};
+
+// --- M-NDP messages --------------------------------------------------------
+
+/// One forwarding hop's contribution: its ID, logical neighbor list, and
+/// signature over everything that preceded it in the message.
+struct HopRecord {
+  NodeId id = kInvalidNode;
+  std::vector<NodeId> neighbors;
+  crypto::IbcSignature signature{};
+};
+
+/// {ID_A, L_A, n_A, nu, SIG_A, (ID_C, L_C, SIG_C), ...}: the source's signed
+/// request, extended hop by hop.
+struct MndpRequest {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> source_neighbors;
+  BitVector nonce;  ///< l_n bits
+  std::uint32_t nu = 2;
+  crypto::IbcSignature source_signature{};
+  std::vector<HopRecord> hops;  ///< forwarders, in path order (excludes source)
+
+  /// Bytes the source signs: (ID_A, L_A, n_A, nu).
+  [[nodiscard]] std::vector<std::uint8_t> source_sign_input(const WireConfig& cfg) const;
+  /// Bytes hop `index` signs: the source block plus hops[0..index].id/list.
+  [[nodiscard]] std::vector<std::uint8_t> hop_sign_input(std::size_t index,
+                                                         const WireConfig& cfg) const;
+
+  /// Number of hops the request has traversed so far (= hops.size() + 1 for
+  /// the link it is about to cross).
+  [[nodiscard]] std::uint32_t hops_traversed() const noexcept {
+    return static_cast<std::uint32_t>(hops.size()) + 1;
+  }
+
+  [[nodiscard]] BitVector encode(const WireConfig& cfg) const;
+  [[nodiscard]] static std::optional<MndpRequest> decode(const BitVector& bits,
+                                                         const WireConfig& cfg);
+  [[nodiscard]] std::size_t payload_bits(const WireConfig& cfg) const;
+};
+
+/// {ID_A, ID_C, ID_B, L_B, n_B, nu, SIG_B, (L_C, SIG_C), ...}: the
+/// destination's signed response, extended along the reverse path.
+struct MndpResponse {
+  NodeId source = kInvalidNode;       ///< ID_A: the original initiator
+  NodeId via = kInvalidNode;          ///< ID_C: the neighbor B replies through
+  NodeId responder = kInvalidNode;    ///< ID_B
+  std::vector<NodeId> responder_neighbors;
+  BitVector nonce;  ///< n_B, l_n bits
+  std::uint32_t nu = 2;
+  crypto::IbcSignature responder_signature{};
+  std::vector<HopRecord> hops;  ///< reverse-path forwarders
+
+  [[nodiscard]] std::vector<std::uint8_t> responder_sign_input(const WireConfig& cfg) const;
+  [[nodiscard]] std::vector<std::uint8_t> hop_sign_input(std::size_t index,
+                                                         const WireConfig& cfg) const;
+
+  [[nodiscard]] BitVector encode(const WireConfig& cfg) const;
+  [[nodiscard]] static std::optional<MndpResponse> decode(const BitVector& bits,
+                                                          const WireConfig& cfg);
+  [[nodiscard]] std::size_t payload_bits(const WireConfig& cfg) const;
+};
+
+// --- helpers ----------------------------------------------------------------
+
+/// Truncates a 256-bit digest to the l_mac wire width for comparison.
+[[nodiscard]] BitVector truncate_digest(const crypto::Sha256Digest& digest, std::uint32_t bits);
+
+}  // namespace jrsnd::core

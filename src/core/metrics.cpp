@@ -1,0 +1,90 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace jrsnd::core {
+
+void Stat::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Stat::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Stat::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Stat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Stat::ci95() const noexcept {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Table::Table(std::vector<std::string> headers, int column_width)
+    : headers_(std::move(headers)), width_(column_width) {}
+
+void Table::add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const double v : cells) row.push_back(fmt(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (const std::string& cell : cells) os << std::setw(width_) << cell << "  ";
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  rule.resize(headers_.size() * static_cast<std::size_t>(width_ + 2), '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      const std::string& cell = cells[i];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (const char c : cell) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace jrsnd::core

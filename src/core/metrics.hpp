@@ -1,0 +1,61 @@
+// Measurement aggregation and paper-style table printing.
+//
+// Every figure bench collects one Stat per (sweep point, metric), averaged
+// over the configured number of seeded runs (paper: 100 runs per point),
+// and prints an aligned table whose rows mirror the paper's plotted series.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jrsnd::core {
+
+/// Streaming mean/variance accumulator (Welford).
+class Stat {
+ public:
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-column table writer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int column_width = 12);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders headers + rows to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header line + comma-separated rows). Cells containing
+  /// commas or quotes are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+/// Formats a double with fixed precision (bench cells).
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+}  // namespace jrsnd::core

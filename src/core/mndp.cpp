@@ -1,0 +1,306 @@
+#include "core/mndp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "crypto/session_code.hpp"
+
+namespace jrsnd::core {
+
+namespace {
+
+/// Dedup key for (source, nonce).
+std::uint64_t request_key(NodeId source, const BitVector& nonce) {
+  const std::size_t take = std::min<std::size_t>(nonce.size(), 32);
+  return (static_cast<std::uint64_t>(raw(source)) << 32) ^ nonce.read_uint(0, take);
+}
+
+}  // namespace
+
+MndpEngine::MndpEngine(const Params& params, PhyModel& phy, const sim::Topology& topology,
+                       std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter)
+    : params_(params),
+      phy_(phy),
+      topology_(topology),
+      oracle_(std::move(oracle)),
+      gps_filter_(gps_filter) {
+  wire_.l_t = params.l_t;
+  wire_.l_id = params.l_id;
+  wire_.l_n = params.l_n;
+  wire_.l_mac = params.l_mac;
+  wire_.l_nu = params.l_nu;
+  wire_.l_sig = params.l_sig;
+}
+
+std::optional<BitVector> MndpEngine::session_unicast(NodeState& from, NodeState& to,
+                                                     const BitVector& payload, TxClass cls) {
+  const LogicalNeighbor* link = from.neighbor(to.id());
+  if (link == nullptr) return std::nullopt;
+  const dsss::SpreadCode pattern(link->session_code);
+  const TxCode code{kInvalidCode, &pattern};
+  return phy_.transmit(from.id(), to.id(), code, cls, payload);
+}
+
+bool MndpEngine::verify_request(const MndpRequest& req, MndpStats& stats) const {
+  ++stats.signature_verifications;
+  if (!oracle_->verify(req.source, req.source_sign_input(wire_), req.source_signature)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < req.hops.size(); ++i) {
+    ++stats.signature_verifications;
+    if (!oracle_->verify(req.hops[i].id, req.hop_sign_input(i, wire_),
+                         req.hops[i].signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MndpEngine::verify_response(const MndpResponse& resp, MndpStats& stats) const {
+  ++stats.signature_verifications;
+  if (!oracle_->verify(resp.responder, resp.responder_sign_input(wire_),
+                       resp.responder_signature)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < resp.hops.size(); ++i) {
+    ++stats.signature_verifications;
+    if (!oracle_->verify(resp.hops[i].id, resp.hop_sign_input(i, wire_),
+                         resp.hops[i].signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MndpEngine::path_is_legitimate(const MndpRequest& req, NodeId holder,
+                                    NodeId arrived_from) const {
+  // The claimed neighbor lists must chain: hop_0 in L_source, hop_i in
+  // L_{hop_{i-1}}, and the holder must appear in the last list. The message
+  // must also have arrived from the last node on the claimed path.
+  const std::vector<NodeId>* last_list = &req.source_neighbors;
+  NodeId last_id = req.source;
+  for (const HopRecord& hop : req.hops) {
+    if (std::find(last_list->begin(), last_list->end(), hop.id) == last_list->end()) {
+      return false;
+    }
+    last_list = &hop.neighbors;
+    last_id = hop.id;
+  }
+  if (arrived_from != last_id) return false;
+  return std::find(last_list->begin(), last_list->end(), holder) != last_list->end();
+}
+
+MndpStats MndpEngine::initiate(NodeState& initiator, std::span<NodeState> nodes) {
+  MndpStats stats;
+  const std::vector<NodeId> logical = initiator.logical_neighbors();
+  if (logical.empty()) return stats;
+
+  MndpRequest req;
+  req.source = initiator.id();
+  req.source_neighbors = logical;
+  req.nonce = initiator.make_nonce(params_.l_n);
+  req.nu = params_.nu;
+  req.source_signature = initiator.key().sign(req.source_sign_input(wire_));
+  ++stats.signatures_created;
+
+  seen_[initiator.id()].insert(request_key(req.source, req.nonce));
+
+  std::deque<PendingRequest> queue;
+  const BitVector encoded = req.encode(wire_);
+  for (const NodeId peer : logical) {
+    ++stats.requests_sent;
+    NodeState& target = nodes[raw(peer)];
+    const auto rx = session_unicast(initiator, target, encoded, TxClass::SessionUnicast);
+    if (!rx) continue;
+    auto decoded = MndpRequest::decode(*rx, wire_);
+    if (!decoded) continue;
+    queue.push_back(PendingRequest{peer, initiator.id(), std::move(*decoded)});
+  }
+
+  while (!queue.empty()) {
+    PendingRequest item = std::move(queue.front());
+    queue.pop_front();
+    process_request(std::move(item), nodes, queue, stats);
+  }
+  return stats;
+}
+
+void MndpEngine::process_request(PendingRequest&& item, std::span<NodeState> nodes,
+                                 std::deque<PendingRequest>& queue, MndpStats& stats) {
+  NodeState& holder = nodes[raw(item.holder)];
+  const MndpRequest& req = item.request;
+
+  const std::uint64_t key = request_key(req.source, req.nonce);
+  auto& seen = seen_[holder.id()];
+  if (!seen.insert(key).second) return;  // duplicate copy
+
+  const std::uint32_t traversed = req.hops_traversed();
+  stats.max_hops_seen = std::max(stats.max_hops_seen, traversed);
+
+  // Every signature in the request is verified before anything else.
+  if (!verify_request(req, stats)) {
+    ++stats.requests_dropped;
+    return;
+  }
+  // Path legitimacy: the claimed lists chain from the source to us, and the
+  // delivering node really is our logical neighbor (C in L_A AND L_B).
+  if (!path_is_legitimate(req, holder.id(), item.arrived_from) ||
+      !holder.knows(item.arrived_from)) {
+    ++stats.requests_dropped;
+    return;
+  }
+
+  // Respond when the source is new to us (we act as the paper's node B).
+  if (holder.id() != req.source && !holder.knows(req.source)) {
+    const bool physically_adjacent = topology_.are_neighbors(holder.id(), req.source);
+    if (!gps_filter_ || physically_adjacent) {
+      if (!physically_adjacent) ++stats.false_positive_responses;
+      respond(holder, req, item.arrived_from, nodes, stats);
+    }
+  }
+
+  // Forward while the hop budget lasts.
+  if (traversed >= req.nu) return;
+
+  // Exclusion: nodes already covered by any neighbor list in the request.
+  std::unordered_set<NodeId> covered;
+  covered.insert(req.source);
+  covered.insert(holder.id());
+  for (const NodeId id : req.source_neighbors) covered.insert(id);
+  for (const HopRecord& hop : req.hops) {
+    covered.insert(hop.id);
+    for (const NodeId id : hop.neighbors) covered.insert(id);
+  }
+
+  MndpRequest extended = req;
+  HopRecord record;
+  record.id = holder.id();
+  record.neighbors = holder.logical_neighbors();
+  extended.hops.push_back(std::move(record));
+  extended.hops.back().signature =
+      holder.key().sign(extended.hop_sign_input(extended.hops.size() - 1, wire_));
+  ++stats.signatures_created;
+
+  const BitVector encoded = extended.encode(wire_);
+  for (const NodeId next : holder.logical_neighbors()) {
+    if (covered.contains(next)) continue;
+    ++stats.requests_sent;
+    NodeState& target = nodes[raw(next)];
+    const auto rx = session_unicast(holder, target, encoded, TxClass::SessionUnicast);
+    if (!rx) continue;
+    auto decoded = MndpRequest::decode(*rx, wire_);
+    if (!decoded) continue;
+    queue.push_back(PendingRequest{next, holder.id(), std::move(*decoded)});
+  }
+}
+
+void MndpEngine::respond(NodeState& responder, const MndpRequest& req, NodeId reverse_next,
+                         std::span<NodeState> nodes, MndpStats& stats) {
+  assert(!req.hops.empty());  // direct logical neighbors never respond
+
+  MndpResponse resp;
+  resp.source = req.source;
+  resp.via = reverse_next;
+  resp.responder = responder.id();
+  resp.responder_neighbors = responder.logical_neighbors();
+  resp.nonce = responder.make_nonce(params_.l_n);
+  resp.nu = req.nu;
+  resp.responder_signature = responder.key().sign(resp.responder_sign_input(wire_));
+  ++stats.signatures_created;
+  ++stats.responses_sent;
+
+  // B derives K_BA and C_BA = h_{K_BA}(n_B ^ n_A) and will broadcast
+  // {HELLO, ID_B}_{C_BA} while the response travels (paper: for tau_h).
+  const crypto::SymmetricKey key_ba = responder.key().shared_key(req.source);
+  const BitVector session_ba =
+      crypto::derive_session_code(key_ba, resp.nonce, req.nonce, params_.N);
+
+  // Walk the reverse path: responder -> hops[k] -> ... -> hops[0] -> source.
+  std::vector<NodeId> reverse_path;
+  for (std::size_t i = req.hops.size(); i-- > 0;) reverse_path.push_back(req.hops[i].id);
+  reverse_path.push_back(req.source);
+
+  NodeState* carrier = &responder;
+  MndpResponse current = resp;
+  for (std::size_t leg = 0; leg < reverse_path.size(); ++leg) {
+    NodeState& next = nodes[raw(reverse_path[leg])];
+    const auto rx = session_unicast(*carrier, next, current.encode(wire_),
+                                    TxClass::SessionUnicast);
+    if (!rx) return;  // reverse link lost (e.g. mobility); response dies
+    auto decoded = MndpResponse::decode(*rx, wire_);
+    if (!decoded) return;
+    current = std::move(*decoded);
+
+    const bool at_source = next.id() == req.source;
+    if (!verify_response(current, stats)) return;
+    if (at_source) break;
+
+    // Intermediate node appends its own record and signature.
+    HopRecord record;
+    record.id = next.id();
+    record.neighbors = next.logical_neighbors();
+    current.hops.push_back(std::move(record));
+    current.hops.back().signature =
+        next.key().sign(current.hop_sign_input(current.hops.size() - 1, wire_));
+    ++stats.signatures_created;
+    carrier = &next;
+  }
+
+  // The source checks the path end: its relay must be a claimed neighbor of
+  // the responder (the paper's "whether C in L_B"), then derives the same
+  // session code and listens on it.
+  NodeState& source = nodes[raw(req.source)];
+  if (std::find(current.responder_neighbors.begin(), current.responder_neighbors.end(),
+                current.via) == current.responder_neighbors.end()) {
+    ++stats.requests_dropped;
+    return;
+  }
+  const crypto::SymmetricKey key_ab = source.key().shared_key(current.responder);
+  const BitVector session_ab =
+      crypto::derive_session_code(key_ab, req.nonce, current.nonce, params_.N);
+  assert(session_ab == session_ba);
+
+  // Completion handshake over the fresh session code: B's HELLO physically
+  // reaches A only if they really are physical neighbors.
+  const dsss::SpreadCode session_pattern(session_ba);
+  const TxCode session_tx{kInvalidCode, &session_pattern};
+
+  const HelloMessage hello{responder.id()};
+  const auto hello_rx = phy_.transmit(responder.id(), source.id(), session_tx,
+                                      TxClass::SessionHello, hello.encode(wire_));
+  if (!hello_rx || !HelloMessage::decode(*hello_rx, wire_)) return;
+
+  // A accepts B and confirms; on receipt B accepts A.
+  source.add_logical_neighbor(responder.id(), LogicalNeighbor{key_ab, session_ab, true});
+  const ConfirmMessage confirm{source.id()};
+  const auto confirm_rx = phy_.transmit(source.id(), responder.id(), session_tx,
+                                        TxClass::SessionConfirm, confirm.encode(wire_));
+  if (confirm_rx && ConfirmMessage::decode(*confirm_rx, wire_)) {
+    responder.add_logical_neighbor(source.id(), LogicalNeighbor{key_ba, session_ba, true});
+    ++stats.discoveries;
+  }
+}
+
+MndpStats MndpEngine::run_round(std::span<NodeState> nodes, Rng& rng) {
+  seen_.clear();
+  std::vector<std::uint32_t> order(nodes.size());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(std::span<std::uint32_t>(order));
+
+  MndpStats total;
+  for (const std::uint32_t idx : order) {
+    const MndpStats stats = initiate(nodes[idx], nodes);
+    total.requests_sent += stats.requests_sent;
+    total.responses_sent += stats.responses_sent;
+    total.signature_verifications += stats.signature_verifications;
+    total.signatures_created += stats.signatures_created;
+    total.requests_dropped += stats.requests_dropped;
+    total.discoveries += stats.discoveries;
+    total.false_positive_responses += stats.false_positive_responses;
+    total.max_hops_seen = std::max(total.max_hops_seen, stats.max_hops_seen);
+  }
+  return total;
+}
+
+}  // namespace jrsnd::core

@@ -1,0 +1,110 @@
+// M-NDP: the Multi-hop Neighbor Discovery Protocol (paper §V-C).
+//
+// Two physical neighbors A and B that failed D-NDP (no common code, or all
+// common codes compromised and jammed) discover each other through a
+// jamming-resilient path of already-discovered logical links:
+//
+//   * A unicasts a signed request {ID_A, L_A, n_A, nu, SIG_A} to every
+//     logical neighbor over the pairwise session codes.
+//   * Each recipient verifies every signature in the request, checks that
+//     the claimed neighbor lists form a legitimate path back to the source,
+//     responds if the source is unknown to it (deriving the pairwise key
+//     and session code C_BA = h_{K_BA}(n_B ^ n_A) and broadcasting
+//     {HELLO, ID_B}_{C_BA}), and forwards an extended request to the nodes
+//     not already covered by the lists it carries while fewer than nu hops
+//     have been traversed.
+//   * The signed response retraces the reverse path; the source verifies
+//     it, derives the same session code, and listens. Discovery completes
+//     only if B's session-code HELLO physically reaches A (so non-physical
+//     "false positives" cost a response + HELLO broadcast but never corrupt
+//     neighbor tables); the optional GPS filter suppresses even that cost.
+//
+// The engine executes the real signature chain (every verification counted,
+// for both the DoS analysis and the latency model's 2nu(nu+1) t_ver term).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/jrsnd_node.hpp"
+#include "core/messages.hpp"
+#include "core/params.hpp"
+#include "core/phy_model.hpp"
+#include "sim/topology.hpp"
+
+namespace jrsnd::core {
+
+struct MndpStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t signature_verifications = 0;
+  std::uint64_t signatures_created = 0;
+  std::uint64_t requests_dropped = 0;      ///< failed verification / illegit path
+  std::uint64_t discoveries = 0;           ///< new logical pairs completed
+  std::uint64_t false_positive_responses = 0;  ///< responses for non-physical sources
+  std::uint32_t max_hops_seen = 0;
+};
+
+class MndpEngine {
+ public:
+  /// `nodes` must be indexable by raw NodeId. `topology` supplies physical
+  /// adjacency (the final session-code HELLO only crosses real links) and
+  /// positions for the GPS filter.
+  MndpEngine(const Params& params, PhyModel& phy, const sim::Topology& topology,
+             std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter = false);
+
+  /// Runs one full initiation from `initiator` to quiescence (the request
+  /// flood, all responses, and all completion handshakes). Updates logical
+  /// neighbor tables of every participating node.
+  MndpStats initiate(NodeState& initiator, std::span<NodeState> nodes);
+
+  /// Runs one initiation from every node in random order — the paper's
+  /// "each node periodically initiates M-NDP"; one such sweep is one M-NDP
+  /// round. Returns aggregate stats.
+  MndpStats run_round(std::span<NodeState> nodes, Rng& rng);
+
+ private:
+  struct PendingRequest {
+    NodeId holder;  ///< node about to process this request copy
+    NodeId arrived_from;
+    MndpRequest request;
+  };
+
+  /// Per-message signature-chain verification; bumps stats.
+  [[nodiscard]] bool verify_request(const MndpRequest& req, MndpStats& stats) const;
+  [[nodiscard]] bool verify_response(const MndpResponse& resp, MndpStats& stats) const;
+
+  /// The paper's path-legitimacy check: consecutive (claimed) neighbor
+  /// lists must chain from the source to `holder` via `arrived_from`.
+  [[nodiscard]] bool path_is_legitimate(const MndpRequest& req, NodeId holder,
+                                        NodeId arrived_from) const;
+
+  void process_request(PendingRequest&& item, std::span<NodeState> nodes,
+                       std::deque<PendingRequest>& queue, MndpStats& stats);
+
+  /// B's response: built, signed, and walked back along the reverse path
+  /// with per-hop verification; then the session-code HELLO/CONFIRM
+  /// completion handshake.
+  void respond(NodeState& responder, const MndpRequest& req, NodeId reverse_next,
+               std::span<NodeState> nodes, MndpStats& stats);
+
+  /// Unicast over an established session link; returns the received bits.
+  [[nodiscard]] std::optional<BitVector> session_unicast(NodeState& from, NodeState& to,
+                                                         const BitVector& payload, TxClass cls);
+
+  const Params& params_;
+  WireConfig wire_;
+  PhyModel& phy_;
+  const sim::Topology& topology_;
+  std::shared_ptr<const crypto::PairingOracle> oracle_;
+  bool gps_filter_;
+
+  /// Dedup: request keys (source, nonce) each node has already processed.
+  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;
+};
+
+}  // namespace jrsnd::core

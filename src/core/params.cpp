@@ -1,0 +1,16 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+namespace jrsnd::core {
+
+std::string Params::summary() const {
+  std::ostringstream os;
+  os << "n=" << n << " m=" << m << " l=" << l << " q=" << q << " N=" << N
+     << " R=" << R / 1e6 << "Mbps rho=" << rho << " mu=" << mu << " nu=" << nu
+     << " z=" << z << " field=" << field_width << "x" << field_height
+     << "m range=" << tx_range << "m runs=" << runs;
+  return os.str();
+}
+
+}  // namespace jrsnd::core

@@ -1,0 +1,134 @@
+#include "core/periodic_discovery.hpp"
+
+#include <algorithm>
+
+#include "core/abstract_phy.hpp"
+#include "sim/topology.hpp"
+
+namespace jrsnd::core {
+
+namespace {
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  const std::uint64_t lo = std::min(raw(a), raw(b));
+  const std::uint64_t hi = std::max(raw(a), raw(b));
+  return (lo << 32) | hi;
+}
+
+}  // namespace
+
+PeriodicDiscoveryRunner::PeriodicDiscoveryRunner(Config config,
+                                                 const sim::MobilityModel& mobility)
+    : config_(std::move(config)),
+      mobility_(mobility),
+      root_(config_.seed),
+      authority_(config_.params.predist(), root_.split()),
+      ibc_(root_.next()) {
+  Rng adv = root_.split();
+  compromise_ = std::make_unique<adversary::CompromiseModel>(authority_.assignment(),
+                                                             config_.params.q, adv);
+  jammer_ = std::make_unique<adversary::ReactiveJammer>(
+      *compromise_, adversary::JammerParams{config_.params.z, config_.params.mu});
+
+  Rng node_rng = root_.split();
+  nodes_.reserve(config_.params.n);
+  for (std::uint32_t i = 0; i < config_.params.n; ++i) {
+    const NodeId id = node_id(i);
+    nodes_.emplace_back(id, ibc_.issue(id), authority_.assignment().codes_of(id), authority_,
+                        config_.params.gamma, node_rng.split());
+  }
+}
+
+void PeriodicDiscoveryRunner::refresh_contacts(const sim::Topology& topology, TimePoint now) {
+  for (const auto& [a, b] : topology.pairs()) {
+    if (nodes_[raw(a)].knows(b) && nodes_[raw(b)].knows(a)) {
+      last_contact_[pair_key(a, b)] = now;
+    }
+  }
+}
+
+void PeriodicDiscoveryRunner::expire_links(const sim::Topology& topology, TimePoint now,
+                                           EpochReport& report) {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId a = node_id(i);
+    for (const NodeId b : nodes_[i].logical_neighbors()) {
+      if (raw(b) <= i) continue;  // handle each pair once
+      if (topology.are_neighbors(a, b)) continue;  // still in contact
+      const auto it = last_contact_.find(pair_key(a, b));
+      const TimePoint last = it == last_contact_.end() ? now : it->second;
+      if (now - last >= config_.link_timeout) {
+        nodes_[raw(a)].remove_logical_neighbor(b);
+        nodes_[raw(b)].remove_logical_neighbor(a);
+        last_contact_.erase(pair_key(a, b));
+        ++report.links_expired;
+      }
+    }
+  }
+}
+
+std::vector<PeriodicDiscoveryRunner::EpochReport> PeriodicDiscoveryRunner::run() {
+  std::vector<EpochReport> reports;
+  const sim::Field field(config_.params.field_width, config_.params.field_height);
+  Rng schedule_rng = root_.split();
+  Rng phy_rng = root_.split();
+
+  for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const TimePoint start{static_cast<double>(epoch) * config_.interval.seconds()};
+    const sim::Topology topology(field, mobility_.snapshot(start), config_.params.tx_range);
+
+    EpochReport report;
+    report.at = start;
+    report.physical_pairs = topology.pairs().size();
+
+    expire_links(topology, start, report);
+    refresh_contacts(topology, start);
+
+    AbstractPhy phy(topology, *jammer_, phy_rng);
+    DndpEngine dndp(config_.params, phy);
+    MndpEngine mndp(config_.params, phy, topology, ibc_.oracle(), config_.gps_filter);
+
+    // Each node initiates D-NDP once, at a random instant of the interval
+    // (paper §V-B); M-NDP initiations ride the interval's fresh links, so
+    // they are drawn from its final fifth.
+    const double T = config_.interval.seconds();
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      const TimePoint dndp_at = start + Duration(schedule_rng.uniform_real(0.0, 0.8 * T));
+      queue_.schedule_at(dndp_at, [this, i, &topology, &dndp, &report] {
+        NodeState& initiator = nodes_[i];
+        for (const NodeId peer : topology.neighbors(initiator.id())) {
+          if (initiator.knows(peer)) continue;
+          ++report.dndp_attempts;
+          if (dndp.run(initiator, nodes_[raw(peer)]).discovered) ++report.dndp_successes;
+        }
+      });
+
+      const TimePoint mndp_at = start + Duration(schedule_rng.uniform_real(0.8 * T, T));
+      queue_.schedule_at(mndp_at, [this, i, &mndp, &report] {
+        const MndpStats stats =
+            mndp.initiate(nodes_[i], std::span<NodeState>(nodes_));
+        report.mndp.requests_sent += stats.requests_sent;
+        report.mndp.responses_sent += stats.responses_sent;
+        report.mndp.signature_verifications += stats.signature_verifications;
+        report.mndp.signatures_created += stats.signatures_created;
+        report.mndp.requests_dropped += stats.requests_dropped;
+        report.mndp.discoveries += stats.discoveries;
+        report.mndp.false_positive_responses += stats.false_positive_responses;
+        report.mndp.max_hops_seen = std::max(report.mndp.max_hops_seen, stats.max_hops_seen);
+      });
+    }
+
+    queue_.run_until(start + config_.interval);
+
+    for (const auto& [a, b] : topology.pairs()) {
+      report.logical_pairs += nodes_[raw(a)].knows(b) && nodes_[raw(b)].knows(a);
+    }
+    report.coverage = report.physical_pairs == 0
+                          ? 1.0
+                          : static_cast<double>(report.logical_pairs) /
+                                static_cast<double>(report.physical_pairs);
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace jrsnd::core

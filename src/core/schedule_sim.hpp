@@ -1,0 +1,60 @@
+// Event-accurate simulation of the D-NDP buffering/processing schedule
+// (paper §V-B and the proof of Theorem 2).
+//
+// The closed-form latency model (core/latency.hpp) takes the proof's word
+// that the four identification residuals are independent uniforms. This
+// module does not: it simulates the actual schedule —
+//
+//   * A broadcasts HELLO copies back to back, copy j spread with code
+//     (j mod m), for r rounds;
+//   * B runs the paper's duty cycle: during [i t_p, (i+1) t_p) it processes
+//     the chips buffered during [i t_p - t_b, i t_p) and buffers those
+//     arriving during [(i+1) t_p - t_b, (i+1) t_p), with a random initial
+//     phase (nodes are unsynchronized);
+//   * B de-spreads the shared-code copy the first time a complete copy lies
+//     inside a processed buffer, after the linear scan reaches its chip
+//     position;
+//   * the CONFIRM path back to A is modelled per the proof (A's residual
+//     processing + the bounded scan of the first N chip positions).
+//
+// sample() returns one identification latency T_i; its average must agree
+// with Theorem 2's identification term rho m (3m+4) N^2 l_h / 2 — the test
+// and bench/analysis_vs_sim check that it does, validating the uniformity
+// assumptions the theorem rests on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsss/timing.hpp"
+
+namespace jrsnd::core {
+
+class ScheduleSimulator {
+ public:
+  explicit ScheduleSimulator(const dsss::TimingModel& timing);
+
+  struct Sample {
+    Duration identification;      ///< T_i: A's first chip to A decoding CONFIRM
+    Duration hello_despread_at;   ///< when B recovered the HELLO
+    std::uint64_t copies_sent;    ///< HELLO copies A transmitted by then
+    std::uint64_t windows_scanned;  ///< buffer windows B processed
+  };
+
+  /// One simulated identification phase. `shared_code_slot` is the index
+  /// (in [0, m)) of the shared code within A's broadcast rotation; the
+  /// schedule phases are drawn from `rng`. Returns nullopt only if no
+  /// complete copy lands in any buffer within r rounds — which the paper's
+  /// choice of r is designed to make impossible (asserted by tests).
+  [[nodiscard]] std::optional<Sample> sample(std::uint32_t shared_code_slot, Rng& rng) const;
+
+  /// Convenience: averages `count` samples with random shared-code slots.
+  [[nodiscard]] Duration mean_identification(std::size_t count, Rng& rng) const;
+
+ private:
+  const dsss::TimingModel& timing_;
+};
+
+}  // namespace jrsnd::core

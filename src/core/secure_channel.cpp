@@ -1,0 +1,92 @@
+#include "core/secure_channel.hpp"
+
+#include <stdexcept>
+
+namespace jrsnd::core {
+
+namespace {
+
+std::string direction_label(NodeId from, NodeId to) {
+  return std::to_string(raw(from)) + "->" + std::to_string(raw(to));
+}
+
+const LogicalNeighbor& require_link(NodeState& self, NodeId peer) {
+  const LogicalNeighbor* link = self.neighbor(peer);
+  if (link == nullptr) {
+    throw std::invalid_argument("SecureChannel: nodes have not discovered each other");
+  }
+  return *link;
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(NodeState& a, NodeState& b, PhyModel& phy)
+    : phy_(phy),
+      session_pattern_(require_link(a, b.id()).session_code),
+      root_key_(require_link(a, b.id()).pair_key),
+      a_(&a, root_key_, direction_label(a.id(), b.id()), direction_label(b.id(), a.id())),
+      b_(&b, require_link(b, a.id()).pair_key, direction_label(b.id(), a.id()),
+         direction_label(a.id(), b.id())) {
+  // Both ends must have derived identical session state.
+  if (!(require_link(a, b.id()).session_code == require_link(b, a.id()).session_code)) {
+    throw std::invalid_argument("SecureChannel: session codes disagree");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> SecureChannel::send(
+    NodeId from, std::span<const std::uint8_t> payload) {
+  Endpoint* tx = nullptr;
+  Endpoint* rx = nullptr;
+  if (from == a_.node->id()) {
+    tx = &a_;
+    rx = &b_;
+  } else if (from == b_.node->id()) {
+    tx = &b_;
+    rx = &a_;
+  } else {
+    throw std::invalid_argument("SecureChannel::send: sender is not an endpoint");
+  }
+  ++sent_;
+
+  const crypto::SealedMessage sealed = tx->sealer.seal(payload);
+  const BitVector bits = BitVector::from_bytes(sealed.to_bytes());
+  const TxCode code{kInvalidCode, &session_pattern_};
+  const auto received =
+      phy_.transmit(tx->node->id(), rx->node->id(), code, TxClass::SessionUnicast, bits);
+  if (!received.has_value()) return std::nullopt;  // lost on the air
+
+  const auto parsed = crypto::SealedMessage::from_bytes(received->to_bytes());
+  if (!parsed.has_value()) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  auto opened = rx->unsealer.open(*parsed);
+  if (!opened.has_value()) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  ++accepted_;
+  return opened;
+}
+
+void SecureChannel::rekey() {
+  root_key_ = crypto::derive_key(root_key_, "rekey");
+  ++generation_;
+  const std::string gen = ":g" + std::to_string(generation_);
+  const std::string ab = direction_label(a_.node->id(), b_.node->id()) + gen;
+  const std::string ba = direction_label(b_.node->id(), a_.node->id()) + gen;
+  a_.sealer = crypto::Sealer(root_key_, ab);
+  a_.unsealer = crypto::Unsealer(root_key_, ba);
+  b_.sealer = crypto::Sealer(root_key_, ba);
+  b_.unsealer = crypto::Unsealer(root_key_, ab);
+}
+
+std::optional<std::string> SecureChannel::send_text(NodeId from, const std::string& text) {
+  const auto bytes = send(from, std::span<const std::uint8_t>(
+                                    reinterpret_cast<const std::uint8_t*>(text.data()),
+                                    text.size()));
+  if (!bytes.has_value()) return std::nullopt;
+  return std::string(bytes->begin(), bytes->end());
+}
+
+}  // namespace jrsnd::core

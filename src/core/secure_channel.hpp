@@ -1,0 +1,72 @@
+// The payoff of discovery: an authenticated, encrypted, anti-jamming duplex
+// channel between two logical neighbors.
+//
+// After D-NDP/M-NDP, A and B share the pairwise key K_AB and the secret
+// session spread code C_AB. SecureChannel runs application payloads over
+// that state: plaintext -> seal (encrypt-then-MAC, per-direction keys,
+// replay counters) -> bits -> spread with C_AB on the PHY -> unseal at the
+// peer. The jammer cannot target the transmission (C_AB is a fresh N-bit
+// secret) and cannot forge or replay payloads (the seal rejects both).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/jrsnd_node.hpp"
+#include "core/phy_model.hpp"
+#include "crypto/stream.hpp"
+
+namespace jrsnd::core {
+
+class SecureChannel {
+ public:
+  /// Both nodes must already be logical neighbors (have completed
+  /// discovery); throws std::invalid_argument otherwise.
+  SecureChannel(NodeState& a, NodeState& b, PhyModel& phy);
+
+  /// Sends `payload` from `from` (must be one of the two endpoints) to the
+  /// other end. Returns the bytes the peer recovered and accepted, or
+  /// nullopt if the transmission was lost or the seal rejected it.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> send(
+      NodeId from, std::span<const std::uint8_t> payload);
+
+  /// String convenience.
+  [[nodiscard]] std::optional<std::string> send_text(NodeId from, const std::string& text);
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t messages_rejected() const noexcept { return rejected_; }
+
+  /// Ratchets both directions to generation + 1: the new traffic keys are
+  /// PRF(old root, "rekey"), the old root is discarded, and counters reset.
+  /// An adversary who later extracts the current keys cannot decrypt
+  /// traffic sealed under earlier generations (forward secrecy for the
+  /// session; both ends must rekey in lockstep, e.g. every K messages).
+  void rekey();
+
+  [[nodiscard]] std::uint32_t generation() const noexcept { return generation_; }
+
+ private:
+  struct Endpoint {
+    NodeState* node = nullptr;
+    crypto::Sealer sealer;
+    crypto::Unsealer unsealer;
+    Endpoint(NodeState* n, const crypto::SymmetricKey& key, const std::string& tx_dir,
+             const std::string& rx_dir)
+        : node(n), sealer(key, tx_dir), unsealer(key, rx_dir) {}
+  };
+
+  PhyModel& phy_;
+  dsss::SpreadCode session_pattern_;
+  crypto::SymmetricKey root_key_;
+  std::uint32_t generation_ = 0;
+  Endpoint a_;
+  Endpoint b_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace jrsnd::core

@@ -1,0 +1,52 @@
+#include "core/tracing_phy.hpp"
+
+#include <ostream>
+
+namespace jrsnd::core {
+
+const char* tx_class_name(TxClass cls) noexcept {
+  switch (cls) {
+    case TxClass::Hello: return "HELLO";
+    case TxClass::Confirm: return "CONFIRM";
+    case TxClass::Auth: return "AUTH";
+    case TxClass::SessionUnicast: return "MNDP-UNICAST";
+    case TxClass::SessionHello: return "MNDP-HELLO";
+    case TxClass::SessionConfirm: return "MNDP-CONFIRM";
+  }
+  return "?";
+}
+
+std::optional<BitVector> TracingPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
+                                              const BitVector& payload) {
+  auto result = inner_.transmit(from, to, code, cls, payload);
+  records_.push_back(TxRecord{from, to, code.id, cls, payload.size(), result.has_value()});
+  return result;
+}
+
+std::vector<TxRecord> TracingPhy::by_class(TxClass cls) const {
+  std::vector<TxRecord> out;
+  for (const TxRecord& r : records_) {
+    if (r.cls == cls) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TracingPhy::delivered_count() const noexcept {
+  std::size_t count = 0;
+  for (const TxRecord& r : records_) count += r.delivered;
+  return count;
+}
+
+void TracingPhy::print(std::ostream& os) const {
+  for (const TxRecord& r : records_) {
+    os << "  " << raw(r.from) << " -> " << raw(r.to) << "  " << tx_class_name(r.cls);
+    if (r.code == kInvalidCode) {
+      os << " (session code)";
+    } else {
+      os << " (C_" << raw(r.code) << ")";
+    }
+    os << "  " << r.payload_bits << "b  " << (r.delivered ? "delivered" : "LOST") << "\n";
+  }
+}
+
+}  // namespace jrsnd::core

@@ -1,0 +1,56 @@
+// Protocol observability: a PhyModel decorator that records every
+// transmission crossing the air — who, to whom, which code class, payload
+// size, and whether it survived the jammer. Wraps any PHY (abstract or
+// chip-level) without touching the engines; tests assert on exact message
+// sequences and examples print human-readable traces of the handshakes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/phy_model.hpp"
+
+namespace jrsnd::core {
+
+struct TxRecord {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  CodeId code = kInvalidCode;  ///< pool code id; kInvalidCode = session code
+  TxClass cls = TxClass::Hello;
+  std::size_t payload_bits = 0;
+  bool delivered = false;
+};
+
+[[nodiscard]] const char* tx_class_name(TxClass cls) noexcept;
+
+class TracingPhy final : public PhyModel {
+ public:
+  explicit TracingPhy(PhyModel& inner) : inner_(inner) {}
+
+  void begin_subsession(NodeId a, NodeId b, CodeId code) override {
+    inner_.begin_subsession(a, b, code);
+  }
+
+  [[nodiscard]] std::optional<BitVector> transmit(NodeId from, NodeId to, TxCode code,
+                                                  TxClass cls,
+                                                  const BitVector& payload) override;
+
+  [[nodiscard]] const std::vector<TxRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// Records matching a class (e.g. all HELLOs).
+  [[nodiscard]] std::vector<TxRecord> by_class(TxClass cls) const;
+
+  /// Delivered / total counts.
+  [[nodiscard]] std::size_t delivered_count() const noexcept;
+
+  /// Renders the trace as one line per transmission.
+  void print(std::ostream& os) const;
+
+ private:
+  PhyModel& inner_;
+  std::vector<TxRecord> records_;
+};
+
+}  // namespace jrsnd::core

@@ -1,0 +1,28 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on the from-scratch SHA-256.
+//
+// Used directly for the MAC f_K(.) in the D-NDP authentication handshake and
+// as the PRF underlying key derivation and the pairing oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace jrsnd::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message) noexcept;
+
+/// Convenience overload for string messages.
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       const std::string& message) noexcept;
+
+/// Constant-time digest comparison (avoids timing side channels in the
+/// verification paths even though the simulation itself is not attackable).
+[[nodiscard]] bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) noexcept;
+
+}  // namespace jrsnd::crypto

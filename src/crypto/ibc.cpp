@@ -1,0 +1,65 @@
+#include "crypto/ibc.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+
+namespace jrsnd::crypto {
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+SymmetricKey PairingOracle::pair_key(NodeId a, NodeId b) const noexcept {
+  // The bilinear map is symmetric, so canonicalize the pair ordering.
+  const std::uint32_t lo = std::min(raw(a), raw(b));
+  const std::uint32_t hi = std::max(raw(a), raw(b));
+  std::vector<std::uint8_t> input = {'p', 'a', 'i', 'r'};
+  append_u32(input, lo);
+  append_u32(input, hi);
+  return hmac_sha256(master_, input);
+}
+
+SymmetricKey PairingOracle::sign_key(NodeId id) const noexcept {
+  std::vector<std::uint8_t> input = {'s', 'i', 'g'};
+  append_u32(input, raw(id));
+  return hmac_sha256(master_, input);
+}
+
+bool PairingOracle::verify(NodeId signer_id, std::span<const std::uint8_t> message,
+                           const IbcSignature& sig) const noexcept {
+  const Sha256Digest expected = hmac_sha256(sign_key(signer_id), message);
+  return digest_equal(expected, sig.tag);
+}
+
+SymmetricKey IbcPrivateKey::shared_key(NodeId peer) const noexcept {
+  return oracle_->pair_key(id_, peer);
+}
+
+IbcSignature IbcPrivateKey::sign(std::span<const std::uint8_t> message) const noexcept {
+  return IbcSignature{hmac_sha256(oracle_->sign_key(id_), message)};
+}
+
+IbcAuthority::IbcAuthority(std::uint64_t master_seed) noexcept {
+  // Stretch the seed into a 256-bit master secret.
+  std::vector<std::uint8_t> seed_bytes(8);
+  for (int i = 0; i < 8; ++i) seed_bytes[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(master_seed >> (56 - 8 * i));
+  const SymmetricKey master = Sha256::hash(seed_bytes);
+  oracle_ = std::shared_ptr<const PairingOracle>(new PairingOracle(master));
+}
+
+IbcPrivateKey IbcAuthority::issue(NodeId id) const { return IbcPrivateKey(id, oracle_); }
+
+Sha256Digest compute_mac(const SymmetricKey& key, std::span<const std::uint8_t> message) noexcept {
+  return hmac_sha256(key, message);
+}
+
+}  // namespace jrsnd::crypto

@@ -1,0 +1,35 @@
+#include "crypto/prf.hpp"
+
+#include <cassert>
+
+#include "crypto/hmac.hpp"
+
+namespace jrsnd::crypto {
+
+std::vector<std::uint8_t> expand(const SymmetricKey& key, const std::string& info,
+                                 std::size_t output_len) {
+  assert(output_len <= 255 * kSha256DigestSize);
+  std::vector<std::uint8_t> out;
+  out.reserve(output_len);
+  std::uint8_t counter = 1;
+  while (out.size() < output_len) {
+    std::vector<std::uint8_t> block_input(info.begin(), info.end());
+    block_input.push_back(counter++);
+    const Sha256Digest block = hmac_sha256(key, block_input);
+    const std::size_t take = std::min(block.size(), output_len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+BitVector derive_bits(const SymmetricKey& key, const std::string& info, std::size_t bit_count) {
+  const std::vector<std::uint8_t> bytes = expand(key, info, (bit_count + 7) / 8);
+  BitVector all = BitVector::from_bytes(bytes);
+  return all.slice(0, bit_count);
+}
+
+SymmetricKey derive_key(const SymmetricKey& key, const std::string& label) noexcept {
+  return hmac_sha256(key, label);
+}
+
+}  // namespace jrsnd::crypto

@@ -1,0 +1,34 @@
+// PRF / KDF utilities on top of HMAC-SHA-256.
+//
+// expand() implements an HKDF-expand-style construction producing arbitrary
+// length output; derive_bits() feeds BitVector consumers such as the
+// session-spread-code derivation, where the paper needs an N-bit (N = 512)
+// pseudorandom string from a 256-bit MAC key.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jrsnd::crypto {
+
+/// A symmetric key as used throughout the protocols (always 32 bytes here).
+using SymmetricKey = Sha256Digest;
+
+/// HKDF-expand style: out(i) = HMAC(key, info || counter_i), concatenated and
+/// truncated to `output_len` bytes. Precondition: output_len <= 255 * 32.
+[[nodiscard]] std::vector<std::uint8_t> expand(const SymmetricKey& key, const std::string& info,
+                                               std::size_t output_len);
+
+/// Derives `bit_count` pseudorandom bits keyed by `key` over `info`.
+[[nodiscard]] BitVector derive_bits(const SymmetricKey& key, const std::string& info,
+                                    std::size_t bit_count);
+
+/// Derives a fresh 32-byte key: HMAC(key, label).
+[[nodiscard]] SymmetricKey derive_key(const SymmetricKey& key, const std::string& label) noexcept;
+
+}  // namespace jrsnd::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the sole hash primitive in the repository: HMAC, the PRF/KDF, the
+// pairing-oracle IBC, and the session-spread-code derivation h_K(.) of the
+// paper are all built on it. Verified against the FIPS test vectors in
+// tests/crypto_sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jrsnd::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs more message bytes.
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const std::string& text) noexcept;
+
+  /// Finalizes and returns the digest. The context must not be updated
+  /// afterwards (reset() first to reuse).
+  [[nodiscard]] Sha256Digest finalize() noexcept;
+
+  /// Returns the context to its initial state.
+  void reset() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Sha256Digest hash(const std::string& text) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace jrsnd::crypto

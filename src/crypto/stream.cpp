@@ -1,0 +1,116 @@
+#include "crypto/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "crypto/hmac.hpp"
+
+namespace jrsnd::crypto {
+
+namespace {
+
+void append_be64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::pair<SymmetricKey, SymmetricKey> derive_pair(const SymmetricKey& pair_key,
+                                                  const std::string& direction) {
+  return {derive_key(pair_key, "enc:" + direction), derive_key(pair_key, "mac:" + direction)};
+}
+
+std::vector<std::uint8_t> keystream(const SymmetricKey& enc_key, std::uint64_t counter,
+                                    std::size_t length) {
+  // expand() yields at most 255 blocks per info string; chain chunks for
+  // arbitrarily long payloads.
+  constexpr std::size_t kChunk = 255 * kSha256DigestSize;
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  for (std::uint64_t chunk = 0; out.size() < length; ++chunk) {
+    std::string info = "ctr:";
+    for (int i = 7; i >= 0; --i) info.push_back(static_cast<char>(counter >> (8 * i)));
+    info.push_back(':');
+    for (int i = 7; i >= 0; --i) info.push_back(static_cast<char>(chunk >> (8 * i)));
+    const std::vector<std::uint8_t> part =
+        expand(enc_key, info, std::min(kChunk, length - out.size()));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::array<std::uint8_t, kSealTagBytes> compute_tag(const SymmetricKey& mac_key,
+                                                    std::uint64_t counter,
+                                                    std::span<const std::uint8_t> ciphertext) {
+  std::vector<std::uint8_t> input;
+  input.reserve(8 + ciphertext.size());
+  append_be64(input, counter);
+  input.insert(input.end(), ciphertext.begin(), ciphertext.end());
+  const Sha256Digest digest = hmac_sha256(mac_key, input);
+  std::array<std::uint8_t, kSealTagBytes> tag{};
+  std::copy(digest.begin(), digest.begin() + kSealTagBytes, tag.begin());
+  return tag;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SealedMessage::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + ciphertext.size() + kSealTagBytes);
+  append_be64(out, counter);
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<SealedMessage> SealedMessage::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8 + kSealTagBytes) return std::nullopt;
+  SealedMessage msg;
+  for (int i = 0; i < 8; ++i) msg.counter = (msg.counter << 8) | bytes[static_cast<std::size_t>(i)];
+  const std::size_t body = bytes.size() - 8 - kSealTagBytes;
+  msg.ciphertext.assign(bytes.begin() + 8, bytes.begin() + 8 + static_cast<std::ptrdiff_t>(body));
+  std::copy(bytes.end() - kSealTagBytes, bytes.end(), msg.tag.begin());
+  return msg;
+}
+
+Sealer::Sealer(const SymmetricKey& pair_key, const std::string& direction) {
+  std::tie(enc_key_, mac_key_) = derive_pair(pair_key, direction);
+}
+
+SealedMessage Sealer::seal(std::span<const std::uint8_t> plaintext) {
+  SealedMessage msg;
+  msg.counter = counter_++;
+  const std::vector<std::uint8_t> ks = keystream(enc_key_, msg.counter, plaintext.size());
+  msg.ciphertext.resize(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    msg.ciphertext[i] = static_cast<std::uint8_t>(plaintext[i] ^ ks[i]);
+  }
+  msg.tag = compute_tag(mac_key_, msg.counter, msg.ciphertext);
+  return msg;
+}
+
+Unsealer::Unsealer(const SymmetricKey& pair_key, const std::string& direction) {
+  std::tie(enc_key_, mac_key_) = derive_pair(pair_key, direction);
+}
+
+std::optional<std::vector<std::uint8_t>> Unsealer::open(const SealedMessage& message) {
+  // Authenticate first (constant-time compare), then replay-check, then
+  // decrypt.
+  const auto expected = compute_tag(mac_key_, message.counter, message.ciphertext);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kSealTagBytes; ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^ message.tag[i]);
+  }
+  if (diff != 0) return std::nullopt;
+  if (message.counter <= highest_seen_) return std::nullopt;  // replay / reorder
+  highest_seen_ = message.counter;
+
+  const std::vector<std::uint8_t> ks =
+      keystream(enc_key_, message.counter, message.ciphertext.size());
+  std::vector<std::uint8_t> plaintext(message.ciphertext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    plaintext[i] = static_cast<std::uint8_t>(message.ciphertext[i] ^ ks[i]);
+  }
+  return plaintext;
+}
+
+}  // namespace jrsnd::crypto

@@ -1,0 +1,73 @@
+// Authenticated symmetric encryption for post-discovery traffic.
+//
+// The whole point of JR-SND is to put two strangers in possession of a
+// shared secret usable for "subsequent anti-jamming communications"
+// (paper §I). This module supplies the payload protection for that
+// traffic: encrypt-then-MAC with keys derived from the pairwise key —
+//
+//   enc_key = PRF(K_AB, "enc"),   mac_key = PRF(K_AB, "mac"),
+//   keystream = PRF-CTR(enc_key, counter),
+//   tag = HMAC(mac_key, counter || ciphertext)[0..15].
+//
+// The counter doubles as a nonce and as replay protection (receivers track
+// the highest counter seen). Built entirely on the repository's SHA-256.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/prf.hpp"
+
+namespace jrsnd::crypto {
+
+inline constexpr std::size_t kSealTagBytes = 16;
+
+/// A sealed (encrypted + authenticated) message.
+struct SealedMessage {
+  std::uint64_t counter = 0;
+  std::vector<std::uint8_t> ciphertext;
+  std::array<std::uint8_t, kSealTagBytes> tag{};
+
+  /// Wire form: 8-byte big-endian counter || ciphertext || tag.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  [[nodiscard]] static std::optional<SealedMessage> from_bytes(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Duplex cipher state bound to one pairwise key and one direction.
+/// (Each endpoint uses one Sealer for its sending direction and one
+/// Unsealer per peer direction; direction labels keep keystreams apart.)
+class Sealer {
+ public:
+  /// `direction` domain-separates A->B from B->A (use the sender's id).
+  Sealer(const SymmetricKey& pair_key, const std::string& direction);
+
+  [[nodiscard]] SealedMessage seal(std::span<const std::uint8_t> plaintext);
+
+  [[nodiscard]] std::uint64_t next_counter() const noexcept { return counter_; }
+
+ private:
+  SymmetricKey enc_key_;
+  SymmetricKey mac_key_;
+  std::uint64_t counter_ = 1;
+};
+
+class Unsealer {
+ public:
+  Unsealer(const SymmetricKey& pair_key, const std::string& direction);
+
+  /// Verifies and decrypts. Rejects bad tags and non-increasing counters
+  /// (replays); on success advances the replay floor.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> open(const SealedMessage& message);
+
+  [[nodiscard]] std::uint64_t replay_floor() const noexcept { return highest_seen_; }
+
+ private:
+  SymmetricKey enc_key_;
+  SymmetricKey mac_key_;
+  std::uint64_t highest_seen_ = 0;
+};
+
+}  // namespace jrsnd::crypto

@@ -1,0 +1,60 @@
+// Buffer-occupancy model of the §V-B schedule.
+//
+// The paper asserts ("It can be easily shown that...") that the duty cycle
+//   during [i t_p, (i+1) t_p): process the chips buffered during
+//   [i t_p - t_b, i t_p), delete them as processed, and capture the chips
+//   arriving during [(i+1) t_p - t_b, (i+1) t_p)
+// never overflows a buffer of 2 f chips (f = R t_b). This module makes the
+// claim checkable: it walks the schedule over an arbitrary horizon and
+// reports the exact occupancy high-water mark, the capture windows, and
+// whether a given chip instant lands in a captured window. Tests verify
+// the paper's bound for every lambda regime, including the degenerate
+// lambda < 1 (processing faster than buffering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsss/timing.hpp"
+
+namespace jrsnd::dsss {
+
+class BufferSchedule {
+ public:
+  /// `phase` shifts the node's duty cycle (nodes are unsynchronized).
+  BufferSchedule(const TimingModel& timing, Duration phase = Duration(0.0));
+
+  struct Window {
+    TimePoint capture_start;    ///< chips arriving from here ...
+    TimePoint capture_end;      ///< ... to here are stored
+    TimePoint processing_start; ///< == capture_end
+    TimePoint processing_end;   ///< processed chips are deleted by here
+  };
+
+  /// The i-th capture/processing window (i >= 0).
+  [[nodiscard]] Window window(std::uint64_t index) const;
+
+  /// True if a chip arriving at `t` falls inside some capture window.
+  [[nodiscard]] bool captures(TimePoint t) const;
+
+  /// Buffer occupancy (in chips) at time `t`: captured-but-not-yet-deleted
+  /// chips, assuming linear capture at R and linear deletion over the
+  /// processing span.
+  [[nodiscard]] double occupancy_chips(TimePoint t) const;
+
+  /// Exact high-water mark of occupancy over `windows` duty cycles.
+  [[nodiscard]] double max_occupancy_chips(std::uint64_t windows = 64) const;
+
+  /// The paper's claimed bound: two buffers' worth of chips, 2 f = 2 R t_b.
+  [[nodiscard]] double claimed_bound_chips() const;
+
+ private:
+  const TimingModel& timing_;
+  double phase_s_;
+  double t_b_;
+  double t_p_;
+  double rate_;
+};
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,31 @@
+#include "dsss/chip_channel.hpp"
+
+namespace jrsnd::dsss {
+
+ChipChannel::ChipChannel(std::size_t duration_chips)
+    : soft_(duration_chips, 0), active_(duration_chips, false) {}
+
+void ChipChannel::add(const Transmission& tx) {
+  for (std::size_t i = 0; i < tx.chips.size(); ++i) {
+    const std::size_t pos = tx.start_chip + i;
+    if (pos >= soft_.size()) break;
+    soft_[pos] += tx.chips.get(i) ? +1 : -1;
+    active_[pos] = true;
+  }
+}
+
+BitVector ChipChannel::receive(Rng& rng) const {
+  BitVector out(soft_.size());
+  for (std::size_t i = 0; i < soft_.size(); ++i) {
+    if (soft_[i] > 0) {
+      out.set(i, true);
+    } else if (soft_[i] < 0) {
+      out.set(i, false);
+    } else {
+      out.set(i, rng.bernoulli(0.5));
+    }
+  }
+  return out;
+}
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,53 @@
+// Chip-level wireless channel with jamming superposition (paper §§III-IV).
+//
+// Concurrent transmissions add in the air: each active transmitter
+// contributes +1 or -1 per chip, and the receiver's demodulator makes a hard
+// sign decision per chip (ties and silent chips resolve to random chips —
+// thermal noise). A jammer that transmits the *same* spread code in sync
+// therefore cancels or corrupts chips and drives the per-bit correlation
+// below tau; a jammer using a different pseudorandom code just adds
+// uncorrelated chips that shrink correlation magnitude by a factor the
+// despreader tolerates (the paper's negligible-interference assumption for
+// large N).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "common/rng.hpp"
+
+namespace jrsnd::dsss {
+
+/// One on-air transmission: a chip pattern placed at an absolute chip offset.
+struct Transmission {
+  std::size_t start_chip = 0;
+  BitVector chips;  ///< packed +-1 chips (bit 1 <-> +1)
+};
+
+class ChipChannel {
+ public:
+  /// A channel observation window of `duration_chips` chips.
+  explicit ChipChannel(std::size_t duration_chips);
+
+  [[nodiscard]] std::size_t duration() const noexcept { return soft_.size(); }
+
+  /// Superposes a transmission; parts outside the window are clipped.
+  void add(const Transmission& tx);
+
+  /// Per-chip sums of all contributions (no receiver decision applied).
+  [[nodiscard]] const std::vector<int>& soft() const noexcept { return soft_; }
+
+  /// Chips that carry at least one transmission.
+  [[nodiscard]] const std::vector<bool>& active() const noexcept { return active_; }
+
+  /// Hard sign decision per chip: positive sum -> 1, negative -> 0, zero sum
+  /// (tie or silence) -> random. Deterministic given the rng state.
+  [[nodiscard]] BitVector receive(Rng& rng) const;
+
+ private:
+  std::vector<int> soft_;
+  std::vector<bool> active_;
+};
+
+}  // namespace jrsnd::dsss

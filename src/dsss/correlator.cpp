@@ -1,0 +1,61 @@
+#include "dsss/correlator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsss/spread_code.hpp"
+
+namespace jrsnd::dsss {
+
+double correlation_noise_sigma(std::size_t code_length) {
+  assert(code_length > 0);
+  return 1.0 / std::sqrt(static_cast<double>(code_length));
+}
+
+double recommended_tau(std::size_t code_length, double sigmas) {
+  return sigmas * correlation_noise_sigma(code_length);
+}
+
+double false_sync_probability(std::size_t code_length, double tau) {
+  const double sigma = correlation_noise_sigma(code_length);
+  // Two-sided tail: P(|corr| >= tau) = erfc(tau / (sigma * sqrt(2))).
+  return std::erfc(tau / (sigma * std::sqrt(2.0)));
+}
+
+namespace {
+
+/// The code's chips rotated left by `shift`, as a packed window.
+BitVector cyclic_shift(const BitVector& bits, std::size_t shift) {
+  const std::size_t n = bits.size();
+  shift %= n;
+  if (shift == 0) return bits;
+  BitVector out = bits.slice(shift, n - shift);
+  out.append(bits.slice(0, shift));
+  return out;
+}
+
+}  // namespace
+
+CorrelationProfile autocorrelation_profile(const SpreadCode& code) {
+  CorrelationProfile profile;
+  const std::size_t n = code.length();
+  double total = 0.0;
+  for (std::size_t shift = 1; shift < n; ++shift) {
+    const double corr = std::abs(code.correlate(cyclic_shift(code.bits(), shift)));
+    profile.max_off_peak = std::max(profile.max_off_peak, corr);
+    total += corr;
+  }
+  profile.mean_abs_off_peak = n > 1 ? total / static_cast<double>(n - 1) : 0.0;
+  return profile;
+}
+
+double max_cross_correlation(const SpreadCode& a, const SpreadCode& b) {
+  assert(a.length() == b.length());
+  double worst = 0.0;
+  for (std::size_t shift = 0; shift < b.length(); ++shift) {
+    worst = std::max(worst, std::abs(a.correlate(cyclic_shift(b.bits(), shift))));
+  }
+  return worst;
+}
+
+}  // namespace jrsnd::dsss

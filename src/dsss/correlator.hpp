@@ -1,0 +1,48 @@
+// Correlation decision support (paper §III).
+//
+// For pseudorandom codes of length N, the correlation of a code with an
+// unrelated chip window is a sum of N iid +-1/N terms: mean 0, variance 1/N.
+// The threshold tau must sit far enough above that noise floor that false
+// synchronization is negligible, yet low enough that legitimate bits decode.
+// The paper (after [7]) uses tau = 0.15 at N = 512, about 3.4 sigma.
+#pragma once
+
+#include <cstddef>
+
+namespace jrsnd::dsss {
+
+/// Default decision threshold from the paper for N = 512.
+inline constexpr double kDefaultTau = 0.15;
+
+/// Standard deviation of the correlation between a length-N pseudorandom
+/// code and an independent window: sqrt(1/N).
+[[nodiscard]] double correlation_noise_sigma(std::size_t code_length);
+
+/// A threshold placed `sigmas` standard deviations above the noise floor.
+[[nodiscard]] double recommended_tau(std::size_t code_length, double sigmas = 3.4);
+
+/// Probability that an unrelated window exceeds tau in absolute value
+/// (two-sided Gaussian tail) — the per-position false-sync probability of
+/// the sliding-window search.
+[[nodiscard]] double false_sync_probability(std::size_t code_length, double tau);
+
+/// Quality metrics of a concrete spread code: the sliding-window
+/// synchronizer depends on the peak autocorrelation standing far above
+/// every off-peak shift, and code pools depend on low pairwise
+/// cross-correlation. Computed over cyclic shifts.
+struct CorrelationProfile {
+  double peak = 1.0;           ///< autocorrelation at shift 0 (always 1)
+  double max_off_peak = 0.0;   ///< max |autocorrelation| over shifts != 0
+  double mean_abs_off_peak = 0.0;
+};
+
+class SpreadCode;  // dsss/spread_code.hpp
+
+/// Cyclic autocorrelation profile of `code`.
+[[nodiscard]] CorrelationProfile autocorrelation_profile(const SpreadCode& code);
+
+/// Max |cross-correlation| of a and b over all cyclic shifts of b.
+/// Precondition: equal lengths.
+[[nodiscard]] double max_cross_correlation(const SpreadCode& a, const SpreadCode& b);
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,70 @@
+#include "dsss/sliding_window.hpp"
+
+#include <cmath>
+
+namespace jrsnd::dsss {
+
+std::optional<SyncHit> find_first_message(const BitVector& buffer,
+                                          std::span<const SpreadCode> codes,
+                                          std::size_t message_bits, double tau,
+                                          std::size_t start_offset) {
+  if (codes.empty() || message_bits == 0) return std::nullopt;
+  const std::size_t n = codes[0].length();
+  const std::size_t needed = message_bits * n;
+  if (buffer.size() < needed) return std::nullopt;
+
+  for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      const BitVector window = buffer.slice(offset, n);
+      const double corr = codes[c].correlate(window);
+      if (std::abs(corr) >= tau) {
+        SyncHit hit;
+        hit.code_index = c;
+        hit.chip_offset = offset;
+        hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+        return hit;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const SpreadCode> codes,
+                                       std::size_t message_bits, double tau) {
+  std::vector<SyncHit> hits;
+  if (codes.empty() || message_bits == 0) return hits;
+  const std::size_t n = codes[0].length();
+  const std::size_t needed = message_bits * n;
+
+  std::size_t offset = 0;
+  while (offset + needed <= buffer.size()) {
+    bool found = false;
+    for (; offset + needed <= buffer.size() && !found; /* advanced below */) {
+      for (std::size_t c = 0; c < codes.size(); ++c) {
+        const BitVector window = buffer.slice(offset, n);
+        const double corr = codes[c].correlate(window);
+        if (std::abs(corr) >= tau) {
+          SyncHit hit;
+          hit.code_index = c;
+          hit.chip_offset = offset;
+          hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+          hits.push_back(std::move(hit));
+          offset += needed;  // resume after the recovered message
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++offset;
+    }
+    if (!found) break;
+  }
+  return hits;
+}
+
+std::size_t scan_correlation_count(std::size_t buffer_chips, std::size_t code_count,
+                                   std::size_t code_length) {
+  if (buffer_chips < code_length) return 0;
+  return (buffer_chips - code_length + 1) * code_count;
+}
+
+}  // namespace jrsnd::dsss

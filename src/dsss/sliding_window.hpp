@@ -1,0 +1,55 @@
+// Sliding-window synchronization + message recovery (paper §V-B).
+//
+// A receiver that has buffered f chips does not know where (or with which of
+// its m codes) an incoming HELLO starts. Following the paper's algorithm
+// (after [7]), it slides an N-chip window over every chip position i in
+// [0, f - N], correlating the window against each candidate code; the first
+// position where |correlation| >= tau marks the first bit of a message
+// spread with that code, and the remaining bits are de-spread at stride N
+// from there.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "dsss/spread_code.hpp"
+#include "dsss/spreader.hpp"
+
+namespace jrsnd::dsss {
+
+/// A message recovered from the chip buffer.
+struct SyncHit {
+  std::size_t code_index = 0;   ///< index into the candidate-code span
+  std::size_t chip_offset = 0;  ///< chip position of the message's first bit
+  DespreadResult message;       ///< the de-spread bits + erasure marks
+};
+
+/// Scans `buffer` from `start_offset` for the earliest message of
+/// `message_bits` bits spread with any of `codes`. Returns nullopt if no
+/// window synchronizes. The scan requires the *full* message to fit:
+/// offsets beyond buffer.size() - message_bits * N are not considered.
+/// Noise can exceed tau at a random position (false lock, probability
+/// false_sync_probability() per position); callers resolve this by retrying
+/// from hit.chip_offset + 1 when the ECC decode rejects the recovered bits.
+[[nodiscard]] std::optional<SyncHit> find_first_message(const BitVector& buffer,
+                                                        std::span<const SpreadCode> codes,
+                                                        std::size_t message_bits, double tau,
+                                                        std::size_t start_offset = 0);
+
+/// Scans the whole buffer and returns every non-overlapping message found
+/// (continues searching after each recovered message). Models the paper's
+/// note that a buffer may hold multiple HELLOs from concurrent initiators.
+[[nodiscard]] std::vector<SyncHit> find_all_messages(const BitVector& buffer,
+                                                     std::span<const SpreadCode> codes,
+                                                     std::size_t message_bits, double tau);
+
+/// The number of code correlations the scan performs, the quantity the
+/// paper's processing-time model t_p = rho * N * m * f is built on.
+[[nodiscard]] std::size_t scan_correlation_count(std::size_t buffer_chips,
+                                                 std::size_t code_count,
+                                                 std::size_t code_length);
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,26 @@
+#include "dsss/spread_code.hpp"
+
+#include <stdexcept>
+
+namespace jrsnd::dsss {
+
+SpreadCode::SpreadCode(BitVector chips, CodeId id) : chips_(std::move(chips)), id_(id) {
+  if (chips_.empty()) throw std::invalid_argument("SpreadCode: empty chip pattern");
+}
+
+SpreadCode SpreadCode::random(Rng& rng, std::size_t length, CodeId id) {
+  BitVector chips(length);
+  for (std::size_t i = 0; i < length; ++i) chips.set(i, rng.bernoulli(0.5));
+  return SpreadCode(std::move(chips), id);
+}
+
+double SpreadCode::correlate(const BitVector& window) const {
+  if (window.size() != chips_.size()) {
+    throw std::invalid_argument("SpreadCode::correlate: window length mismatch");
+  }
+  const std::size_t hamming = chips_.hamming_distance(window);
+  const auto n = static_cast<double>(chips_.size());
+  return (n - 2.0 * static_cast<double>(hamming)) / n;
+}
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,51 @@
+#include "dsss/spreader.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace jrsnd::dsss {
+
+BitVector spread(const BitVector& message, const SpreadCode& code) {
+  // NRZ product: message +1 keeps the chip pattern, -1 inverts it. Both
+  // patterns are precomputed so each message bit is one word-level append.
+  const BitVector& direct = code.bits();
+  const BitVector flipped = direct.inverted();
+  BitVector chips;
+  for (std::size_t bit = 0; bit < message.size(); ++bit) {
+    chips.append(message.get(bit) ? direct : flipped);
+  }
+  return chips;
+}
+
+DespreadBit despread_bit(const BitVector& chips, std::size_t start, const SpreadCode& code,
+                         double tau) {
+  assert(start + code.length() <= chips.size());
+  const BitVector window = chips.slice(start, code.length());
+  const double corr = code.correlate(window);
+  DespreadBit out;
+  out.correlation = corr;
+  if (corr >= tau) {
+    out.value = true;
+  } else if (corr <= -tau) {
+    out.value = false;
+  } else {
+    out.erased = true;
+  }
+  return out;
+}
+
+DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                        const SpreadCode& code, double tau) {
+  if (start + bit_count * code.length() > chips.size()) {
+    throw std::invalid_argument("despread: window exceeds chip buffer");
+  }
+  DespreadResult result;
+  for (std::size_t bit = 0; bit < bit_count; ++bit) {
+    const DespreadBit d = despread_bit(chips, start + bit * code.length(), code, tau);
+    result.bits.push_back(d.value);
+    if (d.erased) result.erased_bits.push_back(bit);
+  }
+  return result;
+}
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,37 @@
+#include "dsss/timing.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace jrsnd::dsss {
+
+TimingModel::TimingModel(const TimingInputs& in) : in_(in) {
+  assert(in.code_length_chips > 0 && in.chip_rate_bps > 0 && in.codes_per_node > 0 &&
+         in.rx_chains > 0);
+  const double n = static_cast<double>(in.code_length_chips);
+  const double m = static_cast<double>(in.codes_per_node);
+  const double lh = static_cast<double>(in.hello_coded_bits);
+
+  t_h_ = Duration(lh * n / in.chip_rate_bps);
+  t_b_ = Duration((m + 1.0) * t_h_.seconds());
+  lambda_ = in.rho_seconds_per_bit * n * m * in.chip_rate_bps /
+            static_cast<double>(in.rx_chains);
+  t_p_ = Duration(lambda_ * t_b_.seconds());
+  rounds_ = static_cast<std::uint64_t>(std::ceil((lambda_ + 1.0) * (m + 1.0) / m));
+}
+
+Duration TimingModel::hello_broadcast_duration() const noexcept {
+  return Duration(static_cast<double>(rounds_) *
+                  static_cast<double>(in_.codes_per_node) * t_h_.seconds());
+}
+
+std::uint64_t TimingModel::buffer_chips() const noexcept {
+  return static_cast<std::uint64_t>(std::llround(in_.chip_rate_bps * t_b_.seconds()));
+}
+
+Duration TimingModel::message_time(std::size_t coded_bits) const noexcept {
+  return Duration(static_cast<double>(coded_bits) *
+                  static_cast<double>(in_.code_length_chips) / in_.chip_rate_bps);
+}
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,75 @@
+// Buffering/processing timing model of D-NDP (paper §V-B).
+//
+// Receivers cannot monitor m codes in real time; they buffer incoming chips
+// and scan the buffer offline. The paper derives:
+//
+//   t_h = l_h * N / R            time to send one ECC-coded HELLO
+//   t_b = (m + 1) * t_h          buffer span guaranteeing one complete HELLO
+//   lambda = rho * N * m * R     processing/buffering time ratio
+//   t_p = lambda * t_b           time to scan one buffer (m corr per chip)
+//   r = ceil((lambda+1)(m+1)/m)  HELLO rounds so the target buffers a copy
+//
+// All quantities are exposed as typed durations so protocol engines and the
+// latency analysis (Theorem 2) share one implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace jrsnd::dsss {
+
+struct TimingInputs {
+  std::size_t code_length_chips = 512;  ///< N
+  double chip_rate_bps = 22e6;          ///< R (chips per second)
+  double rho_seconds_per_bit = 1e-11;   ///< per-chip correlation cost rho
+  std::size_t codes_per_node = 100;     ///< m
+  std::size_t hello_coded_bits = 42;    ///< l_h = (1+mu)(l_t + l_id)
+  /// Parallel receive/correlation chains. The paper assumes one (plus a
+  /// transmit antenna) and leaves "an arbitrary number of antennas" as
+  /// future work; k chains scan a buffer k times faster, dividing lambda
+  /// and with it the identification latency.
+  std::uint32_t rx_chains = 1;
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const TimingInputs& in);
+
+  /// Time to transmit one spread HELLO: l_h * N / R.
+  [[nodiscard]] Duration hello_time() const noexcept { return t_h_; }
+
+  /// Buffer span that surely contains one complete HELLO: (m + 1) t_h.
+  [[nodiscard]] Duration buffer_time() const noexcept { return t_b_; }
+
+  /// Full-buffer scan time: rho * N * m * R * t_b.
+  [[nodiscard]] Duration processing_time() const noexcept { return t_p_; }
+
+  /// Processing-to-buffering ratio lambda = rho N m R.
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+  /// HELLO rounds r = ceil((lambda + 1)(m + 1)/m); total broadcast duration
+  /// r * m * t_h >= (lambda + 1) t_b guarantees the receiver buffers a copy.
+  [[nodiscard]] std::uint64_t hello_rounds() const noexcept { return rounds_; }
+
+  /// Total HELLO broadcast duration r * m * t_h.
+  [[nodiscard]] Duration hello_broadcast_duration() const noexcept;
+
+  /// Chips accumulated in one buffer window: f = R * t_b.
+  [[nodiscard]] std::uint64_t buffer_chips() const noexcept;
+
+  /// Transmission time of an arbitrary coded message of `coded_bits` bits.
+  [[nodiscard]] Duration message_time(std::size_t coded_bits) const noexcept;
+
+  [[nodiscard]] const TimingInputs& inputs() const noexcept { return in_; }
+
+ private:
+  TimingInputs in_;
+  Duration t_h_;
+  Duration t_b_;
+  Duration t_p_;
+  double lambda_;
+  std::uint64_t rounds_;
+};
+
+}  // namespace jrsnd::dsss

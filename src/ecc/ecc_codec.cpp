@@ -1,0 +1,139 @@
+#include "ecc/ecc_codec.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace jrsnd::ecc {
+
+namespace {
+
+// Largest data-symbol count per block such that n = ceil(k (1+mu)) <= 255.
+int max_block_k(double mu) {
+  int k = static_cast<int>(std::floor(255.0 / (1.0 + mu)));
+  while (k > 1 && static_cast<int>(std::ceil(static_cast<double>(k) * (1.0 + mu))) > 255) --k;
+  return std::max(k, 1);
+}
+
+int block_n_for(int k, double mu) {
+  // n = ceil(k (1+mu)), clamped so that k < n (at least one parity symbol).
+  const int n = static_cast<int>(std::ceil(static_cast<double>(k) * (1.0 + mu)));
+  return std::max(n, k + 1);
+}
+
+}  // namespace
+
+EccCodec::EccCodec(double mu) : mu_(mu) {
+  if (!(mu > 0.0)) throw std::invalid_argument("EccCodec: mu must be positive");
+}
+
+EccCodec::Layout EccCodec::layout_for(std::size_t payload_bits) const {
+  Layout layout;
+  const int total_k = static_cast<int>((payload_bits + 7) / 8);
+  assert(total_k > 0);
+  const int kmax = max_block_k(mu_);
+  const int num_blocks = (total_k + kmax - 1) / kmax;
+  // Spread data symbols as evenly as possible across blocks.
+  const int base = total_k / num_blocks;
+  const int extra = total_k % num_blocks;
+  int max_n = 0;
+  for (int b = 0; b < num_blocks; ++b) {
+    const int k = base + (b < extra ? 1 : 0);
+    const int n = block_n_for(k, mu_);
+    layout.block_nk.emplace_back(n, k);
+    layout.total_symbols += static_cast<std::size_t>(n);
+    max_n = std::max(max_n, n);
+  }
+  // Round-robin symbol interleaving across blocks.
+  layout.order.reserve(layout.total_symbols);
+  for (int pos = 0; pos < max_n; ++pos) {
+    for (int b = 0; b < num_blocks; ++b) {
+      if (pos < layout.block_nk[static_cast<std::size_t>(b)].first) {
+        layout.order.emplace_back(b, pos);
+      }
+    }
+  }
+  return layout;
+}
+
+std::size_t EccCodec::coded_length_bits(std::size_t payload_bits) const {
+  return layout_for(payload_bits).total_symbols * 8;
+}
+
+std::size_t EccCodec::nominal_coded_length_bits(std::size_t payload_bits) const {
+  return static_cast<std::size_t>(
+      std::ceil((1.0 + mu_) * static_cast<double>(payload_bits)));
+}
+
+BitVector EccCodec::encode(const BitVector& payload) const {
+  if (payload.empty()) throw std::invalid_argument("EccCodec::encode: empty payload");
+  const Layout layout = layout_for(payload.size());
+  const std::vector<std::uint8_t> data = payload.to_bytes();
+
+  // Encode each block.
+  std::vector<std::vector<std::uint8_t>> codewords;
+  codewords.reserve(layout.block_nk.size());
+  std::size_t data_offset = 0;
+  for (const auto& [n, k] : layout.block_nk) {
+    const ReedSolomon rs(n, k);
+    const std::span<const std::uint8_t> block(data.data() + data_offset,
+                                              static_cast<std::size_t>(k));
+    codewords.push_back(rs.encode(block));
+    data_offset += static_cast<std::size_t>(k);
+  }
+  assert(data_offset == data.size());
+
+  // Emit symbols in interleaved order.
+  BitVector out;
+  for (const auto& [b, sym] : layout.order) {
+    out.append_uint(codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)], 8);
+  }
+  return out;
+}
+
+std::optional<BitVector> EccCodec::decode(const BitVector& received, std::size_t payload_bits,
+                                          std::span<const std::size_t> erased_bits) const {
+  if (payload_bits == 0) return std::nullopt;
+  const Layout layout = layout_for(payload_bits);
+  if (received.size() != layout.total_symbols * 8) return std::nullopt;
+
+  // Mark erased symbols: a symbol is erased iff any of its 8 bits is erased.
+  std::set<std::size_t> erased_symbols;
+  for (const std::size_t bit : erased_bits) {
+    if (bit >= received.size()) return std::nullopt;
+    erased_symbols.insert(bit / 8);
+  }
+
+  // De-interleave symbols back into per-block codewords + erasure lists.
+  std::vector<std::vector<std::uint8_t>> codewords;
+  std::vector<std::vector<int>> erasures(layout.block_nk.size());
+  codewords.reserve(layout.block_nk.size());
+  for (const auto& [n, k] : layout.block_nk) {
+    (void)k;
+    codewords.emplace_back(static_cast<std::size_t>(n), 0);
+  }
+  for (std::size_t tx_idx = 0; tx_idx < layout.order.size(); ++tx_idx) {
+    const auto [b, sym] = layout.order[tx_idx];
+    codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)] =
+        static_cast<std::uint8_t>(received.read_uint(tx_idx * 8, 8));
+    if (erased_symbols.contains(tx_idx)) {
+      erasures[static_cast<std::size_t>(b)].push_back(sym);
+    }
+  }
+
+  // Decode each block; all must succeed.
+  std::vector<std::uint8_t> data;
+  for (std::size_t b = 0; b < layout.block_nk.size(); ++b) {
+    const auto [n, k] = layout.block_nk[b];
+    const ReedSolomon rs(n, k);
+    auto block = rs.decode(codewords[b], erasures[b]);
+    if (!block.has_value()) return std::nullopt;
+    data.insert(data.end(), block->begin(), block->end());
+  }
+
+  BitVector bits = BitVector::from_bytes(data);
+  return bits.slice(0, payload_bits);
+}
+
+}  // namespace jrsnd::ecc

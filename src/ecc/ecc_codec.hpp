@@ -1,0 +1,72 @@
+// Message-level ECC wrapper (paper §V-B).
+//
+// Every JR-SND message of L = l_t + l_id (or longer) bits is expanded to
+// l_coded = (1 + mu) * L bits such that the receiver can recover the message
+// even when a fraction mu/(1+mu) of the coded bits is jammed. We realize
+// this with rate-1/(1+mu) Reed-Solomon over GF(2^8):
+//
+//   * the payload is packed into bytes (symbols),
+//   * split into blocks of at most 255/(1+mu) data symbols each,
+//   * each block is RS(n_i, k_i) encoded with k_i/n_i ~= 1/(1+mu),
+//   * blocks are symbol-interleaved so a contiguous jamming burst spreads
+//     evenly across blocks instead of overwhelming one of them,
+//   * de-spreading marks unreliable bits (|correlation| < tau) as erasures;
+//     a symbol is erased iff any of its bits is erased, and RS errata
+//     decoding then tolerates an n_i - k_i erasure fraction = mu/(1+mu).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "ecc/reed_solomon.hpp"
+
+namespace jrsnd::ecc {
+
+class EccCodec {
+ public:
+  /// mu > 0 is the paper's redundancy parameter (Table I: mu = 1).
+  explicit EccCodec(double mu);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+
+  /// Number of coded bits produced for a payload of `payload_bits` bits.
+  [[nodiscard]] std::size_t coded_length_bits(std::size_t payload_bits) const;
+
+  /// The paper's idealized coded length (1+mu)(payload bits); the actual
+  /// coded_length_bits() rounds up to whole RS symbols and is used on the
+  /// wire, while timing formulas use this idealized value.
+  [[nodiscard]] std::size_t nominal_coded_length_bits(std::size_t payload_bits) const;
+
+  /// Encodes `payload` into the interleaved RS codeword bit stream.
+  [[nodiscard]] BitVector encode(const BitVector& payload) const;
+
+  /// Decodes a received bit stream. `payload_bits` is the original payload
+  /// length (known from the message type); `erased_bits` lists coded-bit
+  /// positions flagged unreliable by the de-spreader. Bits may additionally
+  /// be silently corrupted (errors); RS errata decoding handles both.
+  /// Returns nullopt when the errata exceed the code's capability.
+  [[nodiscard]] std::optional<BitVector> decode(const BitVector& received,
+                                                std::size_t payload_bits,
+                                                std::span<const std::size_t> erased_bits = {}) const;
+
+  /// Guaranteed-tolerable erased-bit fraction (the paper's mu/(1+mu)).
+  [[nodiscard]] double erasure_tolerance() const noexcept { return mu_ / (1.0 + mu_); }
+
+ private:
+  struct Layout {
+    // Per-block (n, k) and the interleaved transmission order of symbols as
+    // (block index, symbol-within-block) pairs.
+    std::vector<std::pair<int, int>> block_nk;
+    std::vector<std::pair<int, int>> order;
+    std::size_t total_symbols = 0;
+  };
+
+  [[nodiscard]] Layout layout_for(std::size_t payload_bits) const;
+
+  double mu_;
+};
+
+}  // namespace jrsnd::ecc

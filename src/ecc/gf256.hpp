@@ -1,0 +1,48 @@
+// Arithmetic in GF(2^8) = GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), the symbol
+// field of the Reed-Solomon code (paper ref [15]). Log/antilog tables are
+// built once at static initialization; alpha = 0x02 is a generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace jrsnd::ecc {
+
+class GF256 {
+ public:
+  static constexpr std::uint16_t kPrimitivePoly = 0x11d;  // x^8+x^4+x^3+x^2+1
+  static constexpr int kFieldSize = 256;
+  static constexpr int kGroupOrder = 255;  // multiplicative group order
+
+  /// Addition and subtraction coincide (characteristic 2).
+  [[nodiscard]] static std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] static std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  [[nodiscard]] static std::uint8_t inv(std::uint8_t a) noexcept;
+
+  /// a / b. Precondition: b != 0.
+  [[nodiscard]] static std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept;
+
+  /// alpha^power (power taken mod 255, negative powers allowed).
+  [[nodiscard]] static std::uint8_t exp(int power) noexcept;
+
+  /// Discrete log base alpha. Precondition: a != 0.
+  [[nodiscard]] static int log(std::uint8_t a) noexcept;
+
+  /// a^power for non-negative integer power (0^0 == 1 by convention).
+  [[nodiscard]] static std::uint8_t pow(std::uint8_t a, int power) noexcept;
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 512> exp_table;
+    std::array<int, 256> log_table;
+    Tables() noexcept;
+  };
+  static const Tables& tables() noexcept;
+};
+
+}  // namespace jrsnd::ecc

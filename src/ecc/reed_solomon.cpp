@@ -1,0 +1,252 @@
+#include "ecc/reed_solomon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "ecc/gf256.hpp"
+
+namespace jrsnd::ecc {
+
+namespace {
+
+// Polynomials below are stored in ascending order: p[i] is the coefficient
+// of x^i. The codeword itself is stored in transmission order, cw[0] being
+// the coefficient of x^{n-1} (systematic data first).
+
+using Poly = std::vector<std::uint8_t>;
+
+void trim(Poly& p) {
+  while (p.size() > 1 && p.back() == 0) p.pop_back();
+}
+
+[[nodiscard]] int degree(const Poly& p) {
+  for (std::size_t i = p.size(); i-- > 0;) {
+    if (p[i] != 0) return static_cast<int>(i);
+  }
+  return -1;  // zero polynomial
+}
+
+[[nodiscard]] bool is_zero(const Poly& p) { return degree(p) < 0; }
+
+[[nodiscard]] Poly poly_mul(const Poly& a, const Poly& b) {
+  Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = GF256::add(out[i + j], GF256::mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] Poly poly_add(const Poly& a, const Poly& b) {
+  Poly out(std::max(a.size(), b.size()), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = GF256::add(out[i], b[i]);
+  return out;
+}
+
+[[nodiscard]] Poly poly_scale(const Poly& a, std::uint8_t s) {
+  Poly out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = GF256::mul(a[i], s);
+  return out;
+}
+
+[[nodiscard]] Poly poly_mod_xn(Poly p, std::size_t n) {
+  if (p.size() > n) p.resize(n);
+  if (p.empty()) p.push_back(0);
+  return p;
+}
+
+/// Evaluates an ascending-order polynomial at x (Horner from the top).
+[[nodiscard]] std::uint8_t poly_eval(const Poly& p, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) acc = GF256::add(GF256::mul(acc, x), p[i]);
+  return acc;
+}
+
+/// Polynomial division: returns {quotient, remainder} with a = q*b + r.
+[[nodiscard]] std::pair<Poly, Poly> poly_divmod(Poly a, const Poly& b) {
+  const int db = degree(b);
+  assert(db >= 0);
+  Poly q(std::max<std::size_t>(a.size(), 1), 0);
+  int da = degree(a);
+  const std::uint8_t lead_inv = GF256::inv(b[static_cast<std::size_t>(db)]);
+  while (da >= db) {
+    const std::uint8_t coef = GF256::mul(a[static_cast<std::size_t>(da)], lead_inv);
+    const std::size_t shift = static_cast<std::size_t>(da - db);
+    q[shift] = coef;
+    for (int i = 0; i <= db; ++i) {
+      a[shift + static_cast<std::size_t>(i)] =
+          GF256::add(a[shift + static_cast<std::size_t>(i)],
+                     GF256::mul(coef, b[static_cast<std::size_t>(i)]));
+    }
+    da = degree(a);
+  }
+  trim(q);
+  trim(a);
+  return {q, a};
+}
+
+/// Formal derivative in characteristic 2: only odd-power terms survive.
+[[nodiscard]] Poly poly_derivative(const Poly& p) {
+  Poly out(std::max<std::size_t>(p.size() - 1, 1), 0);
+  for (std::size_t j = 1; j < p.size(); j += 2) out[j - 1] = p[j];
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  if (!(0 < k && k < n && n <= 255)) {
+    throw std::invalid_argument("ReedSolomon: require 0 < k < n <= 255");
+  }
+  // Generator g(x) = prod_{i=0}^{n-k-1} (x + alpha^i), stored descending
+  // (generator_[0] is the leading coefficient, always 1).
+  generator_ = {1};
+  for (int i = 0; i < n - k; ++i) {
+    const std::uint8_t root = GF256::exp(i);
+    Poly next(generator_.size() + 1, 0);
+    next[0] = generator_[0];
+    for (std::size_t j = 1; j < generator_.size(); ++j) {
+      next[j] = GF256::add(generator_[j], GF256::mul(root, generator_[j - 1]));
+    }
+    next[generator_.size()] = GF256::mul(root, generator_.back());
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  assert(static_cast<int>(data.size()) == k_);
+  const int parity_len = n_ - k_;
+  // Long division of data(x) * x^{n-k} by g(x); remainder is the parity.
+  std::vector<std::uint8_t> rem(data.begin(), data.end());
+  rem.resize(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < k_; ++i) {
+    const std::uint8_t coef = rem[static_cast<std::size_t>(i)];
+    if (coef == 0) continue;
+    for (int j = 0; j <= parity_len; ++j) {
+      rem[static_cast<std::size_t>(i + j)] =
+          GF256::add(rem[static_cast<std::size_t>(i + j)],
+                     GF256::mul(coef, generator_[static_cast<std::size_t>(j)]));
+    }
+  }
+  std::vector<std::uint8_t> codeword(data.begin(), data.end());
+  codeword.insert(codeword.end(), rem.begin() + k_, rem.end());
+  return codeword;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    std::span<const std::uint8_t> received, std::span<const int> erasures) const {
+  if (static_cast<int>(received.size()) != n_) return std::nullopt;
+  const int two_t = n_ - k_;
+
+  // Deduplicate and validate erasure positions.
+  std::set<int> erasure_set;
+  for (const int pos : erasures) {
+    if (pos < 0 || pos >= n_) return std::nullopt;
+    erasure_set.insert(pos);
+  }
+  const int f = static_cast<int>(erasure_set.size());
+  if (f > two_t) return std::nullopt;
+
+  std::vector<std::uint8_t> cw(received.begin(), received.end());
+  // Erased symbols carry no information; zero them so their "error" value is
+  // simply the transmitted symbol.
+  for (const int pos : erasure_set) cw[static_cast<std::size_t>(pos)] = 0;
+
+  // Syndromes S_j = c(alpha^j), j = 0..2t-1 (Horner over descending coeffs).
+  Poly syndromes(static_cast<std::size_t>(two_t), 0);
+  bool all_zero = true;
+  for (int j = 0; j < two_t; ++j) {
+    const std::uint8_t x = GF256::exp(j);
+    std::uint8_t acc = 0;
+    for (int i = 0; i < n_; ++i) acc = GF256::add(GF256::mul(acc, x), cw[static_cast<std::size_t>(i)]);
+    syndromes[static_cast<std::size_t>(j)] = acc;
+    if (acc != 0) all_zero = false;
+  }
+  if (all_zero) {
+    // Codeword is valid as-is (including the zeroed erasures).
+    return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
+  }
+
+  // Erasure locator Gamma(x) = prod (1 + X_i x), X_i = alpha^{n-1-pos}.
+  Poly gamma = {1};
+  for (const int pos : erasure_set) {
+    const std::uint8_t X = GF256::exp(n_ - 1 - pos);
+    gamma = poly_mul(gamma, Poly{1, X});
+  }
+
+  // Modified syndrome Xi(x) = S(x) * Gamma(x) mod x^{2t}.
+  const Poly xi = poly_mod_xn(poly_mul(syndromes, gamma), static_cast<std::size_t>(two_t));
+
+  // Sugiyama (extended Euclid) on (x^{2t}, Xi): stop when 2*deg(r) < 2t + f.
+  Poly r_prev(static_cast<std::size_t>(two_t) + 1, 0);
+  r_prev.back() = 1;  // x^{2t}
+  Poly r_cur = xi;
+  trim(r_cur);
+  Poly t_prev = {0};
+  Poly t_cur = {1};
+  while (!is_zero(r_cur) && 2 * degree(r_cur) >= two_t + f) {
+    auto [q, r_next] = poly_divmod(r_prev, r_cur);
+    Poly t_next = poly_add(t_prev, poly_mul(q, t_cur));
+    r_prev = std::move(r_cur);
+    r_cur = std::move(r_next);
+    t_prev = std::move(t_cur);
+    t_cur = std::move(t_next);
+  }
+  Poly lambda = t_cur;   // error locator (up to a scalar)
+  Poly omega = r_cur;    // errata evaluator (same scalar)
+  trim(lambda);
+  trim(omega);
+  if (lambda.empty() || lambda[0] == 0) return std::nullopt;
+  const std::uint8_t norm = GF256::inv(lambda[0]);
+  lambda = poly_scale(lambda, norm);
+  omega = poly_scale(omega, norm);
+
+  // Combined errata locator Psi = Lambda * Gamma.
+  const Poly psi = poly_mul(lambda, gamma);
+  const int errata_count = degree(psi);
+  const int error_count = degree(lambda);
+  if (error_count < 0 || 2 * error_count + f > two_t) return std::nullopt;
+
+  // Chien search: position power p corresponds to codeword index n-1-p.
+  std::vector<int> errata_indices;
+  std::vector<std::uint8_t> errata_locators;  // X = alpha^p
+  for (int p = 0; p < n_; ++p) {
+    const std::uint8_t x_inv = GF256::exp(-p);
+    if (poly_eval(psi, x_inv) == 0) {
+      errata_indices.push_back(n_ - 1 - p);
+      errata_locators.push_back(GF256::exp(p));
+    }
+  }
+  if (static_cast<int>(errata_indices.size()) != errata_count) return std::nullopt;
+
+  // Forney magnitudes (roots start at alpha^0, so b = 0):
+  //   e = X * Omega(X^{-1}) / Psi'(X^{-1}).
+  const Poly psi_deriv = poly_derivative(psi);
+  for (std::size_t idx = 0; idx < errata_indices.size(); ++idx) {
+    const std::uint8_t X = errata_locators[idx];
+    const std::uint8_t x_inv = GF256::inv(X);
+    const std::uint8_t denom = poly_eval(psi_deriv, x_inv);
+    if (denom == 0) return std::nullopt;
+    const std::uint8_t num = GF256::mul(X, poly_eval(omega, x_inv));
+    const std::uint8_t magnitude = GF256::div(num, denom);
+    cw[static_cast<std::size_t>(errata_indices[idx])] =
+        GF256::add(cw[static_cast<std::size_t>(errata_indices[idx])], magnitude);
+  }
+
+  // Re-verify: all syndromes of the corrected word must vanish.
+  for (int j = 0; j < two_t; ++j) {
+    const std::uint8_t x = GF256::exp(j);
+    std::uint8_t acc = 0;
+    for (int i = 0; i < n_; ++i) acc = GF256::add(GF256::mul(acc, x), cw[static_cast<std::size_t>(i)]);
+    if (acc != 0) return std::nullopt;
+  }
+
+  return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
+}
+
+}  // namespace jrsnd::ecc

@@ -1,0 +1,50 @@
+// Systematic Reed-Solomon code RS(n, k) over GF(2^8) with full errata
+// decoding (simultaneous error + erasure correction).
+//
+// The paper (§V-B, ref [15]) encodes every neighbor-discovery message with an
+// ECC that tolerates a fraction mu/(1+mu) of bit errors *or losses*. RS(n, k)
+// corrects e errors and f erasures whenever 2e + f <= n - k, so a rate
+// k/n = 1/(1+mu) code tolerates exactly a mu/(1+mu) erasure fraction —
+// matching the paper's claim when the DSSS correlator flags sub-threshold
+// bits as erasures (see src/ecc/ecc_codec.hpp for the bit<->symbol bridge).
+//
+// Decoder pipeline: syndromes -> erasure locator -> Forney syndromes ->
+// Berlekamp-Massey (errors) -> combined errata locator -> Chien search ->
+// Forney magnitude algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace jrsnd::ecc {
+
+class ReedSolomon {
+ public:
+  /// Constructs RS(n, k): n total symbols, k data symbols, n - k parity.
+  /// Preconditions: 0 < k < n <= 255.
+  ReedSolomon(int n, int k);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int parity() const noexcept { return n_ - k_; }
+
+  /// Encodes k data symbols into n codeword symbols (systematic: data first,
+  /// parity appended). Precondition: data.size() == k.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+  /// Decodes a received word of n symbols. `erasures` lists symbol positions
+  /// known to be unreliable (each in [0, n), duplicates ignored). Returns the
+  /// k data symbols, or nullopt if the errata are beyond the code's
+  /// correction capability (2e + f > n - k) or decoding is inconsistent.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
+      std::span<const std::uint8_t> received, std::span<const int> erasures = {}) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::uint8_t> generator_;  // generator polynomial, ascending powers
+};
+
+}  // namespace jrsnd::ecc

@@ -1,0 +1,52 @@
+#include "fhss/fhss_channel.hpp"
+
+#include <stdexcept>
+
+namespace jrsnd::fhss {
+
+FhssChannel::FhssChannel(std::uint32_t channel_count) : channels_(channel_count) {
+  if (channel_count == 0) throw std::invalid_argument("FhssChannel: zero channels");
+}
+
+void FhssChannel::begin_slot() {
+  slot_.clear();
+  tx_count_ = 0;
+  jam_count_ = 0;
+}
+
+void FhssChannel::transmit(TxId /*tx*/, Channel channel, std::uint64_t payload) {
+  if (channel >= channels_) throw std::out_of_range("FhssChannel::transmit: bad channel");
+  Occupancy& occ = slot_[channel];
+  occ.payload = payload;
+  ++occ.transmitters;
+  ++tx_count_;
+}
+
+void FhssChannel::jam(Channel channel) {
+  if (channel >= channels_) throw std::out_of_range("FhssChannel::jam: bad channel");
+  Occupancy& occ = slot_[channel];
+  if (!occ.jammed) {
+    occ.jammed = true;
+    ++jam_count_;
+  }
+}
+
+void FhssChannel::jam_random(std::uint32_t count, Rng& rng) {
+  if (count >= channels_) {
+    for (Channel c = 0; c < channels_; ++c) jam(c);
+    return;
+  }
+  for (const std::uint32_t c : rng.sample_without_replacement(channels_, count)) {
+    jam(static_cast<Channel>(c));
+  }
+}
+
+std::optional<std::uint64_t> FhssChannel::listen(Channel channel) const {
+  const auto it = slot_.find(channel);
+  if (it == slot_.end()) return std::nullopt;           // silence
+  const Occupancy& occ = it->second;
+  if (occ.jammed || occ.transmitters != 1) return std::nullopt;  // jam/collision
+  return occ.payload;
+}
+
+}  // namespace jrsnd::fhss

@@ -1,0 +1,65 @@
+// Slotted frequency-hopping medium.
+//
+// Time is divided into slots; in each slot every transmitter occupies one
+// channel and every receiver listens on one. A receiver decodes a
+// transmission iff it is alone on the transmitter's channel that slot (two
+// transmitters on one channel collide, and a jammer "transmitter" on the
+// channel destroys it too). This is the standard UFH evaluation model
+// ([3]); the jammer gets `z` single-channel transmitters per slot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fhss/hop_sequence.hpp"
+
+namespace jrsnd::fhss {
+
+/// Identifies a transmitter within a slot.
+using TxId = std::uint32_t;
+
+class FhssChannel {
+ public:
+  explicit FhssChannel(std::uint32_t channel_count);
+
+  [[nodiscard]] std::uint32_t channel_count() const noexcept { return channels_; }
+
+  /// Begins a new slot (clears all per-slot occupancy).
+  void begin_slot();
+
+  /// Places transmitter `tx` on `channel` this slot (payload is an opaque
+  /// id the receiver gets back on success).
+  void transmit(TxId tx, Channel channel, std::uint64_t payload);
+
+  /// The jammer burns one of its transmitters on `channel`.
+  void jam(Channel channel);
+
+  /// Jams `count` distinct channels chosen uniformly at random.
+  void jam_random(std::uint32_t count, Rng& rng);
+
+  /// What a receiver tuned to `channel` hears this slot: the payload if
+  /// exactly one non-jammed transmission occupies the channel, nullopt on
+  /// silence, collision, or jamming.
+  [[nodiscard]] std::optional<std::uint64_t> listen(Channel channel) const;
+
+  /// Diagnostics for the current slot.
+  [[nodiscard]] std::size_t transmissions_this_slot() const noexcept { return tx_count_; }
+  [[nodiscard]] std::size_t jammed_channels_this_slot() const noexcept { return jam_count_; }
+
+ private:
+  struct Occupancy {
+    std::uint64_t payload = 0;
+    std::uint32_t transmitters = 0;
+    bool jammed = false;
+  };
+
+  std::uint32_t channels_;
+  std::unordered_map<Channel, Occupancy> slot_;
+  std::size_t tx_count_ = 0;
+  std::size_t jam_count_ = 0;
+};
+
+}  // namespace jrsnd::fhss

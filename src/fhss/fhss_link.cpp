@@ -1,0 +1,78 @@
+#include "fhss/fhss_link.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace jrsnd::fhss {
+
+FhssLink::FhssLink(const crypto::SymmetricKey& key, std::uint32_t channel_count)
+    : key_(key), channels_(channel_count) {}
+
+FhssLink::Result FhssLink::run(std::uint64_t slots, std::uint32_t jammer_channels,
+                               bool jammer_has_key, Rng& rng) const {
+  const KeyedHopSequence sequence(key_, channels_);
+  FhssChannel medium(channels_);
+  Result result;
+  result.slots = slots;
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    medium.begin_slot();
+    const Channel ch = sequence.channel(slot);
+    medium.transmit(/*tx=*/0, ch, /*payload=*/slot + 1);
+    if (jammer_has_key) {
+      medium.jam(ch);  // lockstep: the leaked key predicts every hop
+    } else {
+      medium.jam_random(jammer_channels, rng);
+    }
+    // The receiver hops on the same keyed sequence.
+    if (medium.listen(ch).has_value()) ++result.delivered;
+  }
+  return result;
+}
+
+UfhChannelExchange::UfhChannelExchange(const baselines::UfhParams& params, Rng& rng)
+    : params_(params), rng_(rng) {
+  if (params.channels == 0 || params.jammed_channels >= params.channels) {
+    throw std::invalid_argument("UfhChannelExchange: need jammed_channels < channels");
+  }
+}
+
+baselines::UfhExchange::Result UfhChannelExchange::run(
+    const baselines::UfhFragmentChain& chain, std::uint64_t max_slots) {
+  const auto& fragments = chain.fragments();
+  // Fresh independent hop walks for sender and receiver each exchange.
+  const RandomHopSequence tx_hops(rng_.next(), params_.channels);
+  const RandomHopSequence rx_hops(rng_.next(), params_.channels);
+  FhssChannel medium(params_.channels);
+
+  baselines::UfhExchange::Result result;
+  std::vector<bool> have(fragments.size(), false);
+  std::size_t have_count = 0;
+  std::vector<baselines::UfhFragmentChain::Fragment> received;
+
+  for (std::uint64_t slot = 0; slot < max_slots && have_count < fragments.size(); ++slot) {
+    ++result.slots;
+    medium.begin_slot();
+    const std::uint64_t fragment_index = slot % fragments.size();
+    medium.transmit(/*tx=*/0, tx_hops.channel(slot), fragment_index + 1);
+    medium.jam_random(params_.jammed_channels, rng_);
+    const auto heard = medium.listen(rx_hops.channel(slot));
+    if (!heard.has_value()) continue;
+    ++result.fragments_heard;
+    const std::size_t index = static_cast<std::size_t>(*heard - 1);
+    if (!have[index]) {
+      have[index] = true;
+      ++have_count;
+      received.push_back(fragments[index]);
+    }
+  }
+  result.seconds = static_cast<double>(result.slots) * params_.slot_seconds;
+  if (have_count == fragments.size()) {
+    baselines::UfhParams check = params_;
+    check.fragments = static_cast<std::uint32_t>(fragments.size());
+    result.reassembled =
+        baselines::UfhFragmentChain::reassemble(check, received).has_value();
+  }
+  return result;
+}
+
+}  // namespace jrsnd::fhss

@@ -1,0 +1,63 @@
+// Channel-level FHSS simulations built on FhssChannel + hop sequences.
+//
+//   * FhssLink — a coordinated post-discovery link: both ends hop on the
+//     keyed sequence derived from the pairwise key JR-SND established. A
+//     jammer without the key covers z random channels per slot and hits
+//     ~z/c of the traffic; a jammer WITH the key (leaked endpoint) hops in
+//     lockstep and kills everything — the FH analogue of the paper's
+//     compromised-code story.
+//   * UfhChannelExchange — the UFH bootstrap of baselines/ufh.hpp re-run at
+//     channel level: independent random hop sequences for sender and
+//     receiver, per-slot jamming, fragment chain reassembly. Validates the
+//     slot-abstraction UfhExchange the same way ChipPhy validates
+//     AbstractPhy.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/ufh.hpp"
+#include "common/rng.hpp"
+#include "fhss/fhss_channel.hpp"
+#include "fhss/hop_sequence.hpp"
+
+namespace jrsnd::fhss {
+
+class FhssLink {
+ public:
+  /// A link keyed by `key` over `channel_count` channels.
+  FhssLink(const crypto::SymmetricKey& key, std::uint32_t channel_count);
+
+  struct Result {
+    std::uint64_t slots = 0;
+    std::uint64_t delivered = 0;
+    [[nodiscard]] double delivery_rate() const {
+      return slots == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(slots);
+    }
+  };
+
+  /// Runs `slots` slots with the sender transmitting every slot. The jammer
+  /// covers `jammer_channels` random channels per slot; if `jammer_has_key`
+  /// it instead follows the keyed sequence exactly.
+  [[nodiscard]] Result run(std::uint64_t slots, std::uint32_t jammer_channels,
+                           bool jammer_has_key, Rng& rng) const;
+
+ private:
+  crypto::SymmetricKey key_;
+  std::uint32_t channels_;
+};
+
+/// UFH fragment-chain transfer at channel level (cf. baselines::UfhExchange
+/// which models the same process at slot-probability level).
+class UfhChannelExchange {
+ public:
+  UfhChannelExchange(const baselines::UfhParams& params, Rng& rng);
+
+  [[nodiscard]] baselines::UfhExchange::Result run(const baselines::UfhFragmentChain& chain,
+                                                   std::uint64_t max_slots = 2000000);
+
+ private:
+  baselines::UfhParams params_;
+  Rng& rng_;
+};
+
+}  // namespace jrsnd::fhss

@@ -1,0 +1,35 @@
+#include "fhss/hop_sequence.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace jrsnd::fhss {
+
+KeyedHopSequence::KeyedHopSequence(const crypto::SymmetricKey& key,
+                                   std::uint32_t channel_count)
+    : key_(key), channels_(channel_count) {
+  if (channel_count == 0) throw std::invalid_argument("KeyedHopSequence: zero channels");
+}
+
+Channel KeyedHopSequence::channel(std::uint64_t slot) const {
+  std::vector<std::uint8_t> input = {'h', 'o', 'p'};
+  for (int i = 7; i >= 0; --i) input.push_back(static_cast<std::uint8_t>(slot >> (8 * i)));
+  const crypto::Sha256Digest digest = crypto::hmac_sha256(key_, input);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | digest[static_cast<std::size_t>(i)];
+  return static_cast<Channel>(value % channels_);
+}
+
+RandomHopSequence::RandomHopSequence(std::uint64_t seed, std::uint32_t channel_count)
+    : seed_(seed), channels_(channel_count) {
+  if (channel_count == 0) throw std::invalid_argument("RandomHopSequence: zero channels");
+}
+
+Channel RandomHopSequence::channel(std::uint64_t slot) const {
+  // Stateless per-slot mixing keeps channel(t) O(1) for any t.
+  std::uint64_t state = seed_ ^ (slot * 0x9e3779b97f4a7c15ULL);
+  return static_cast<Channel>(splitmix64(state) % channels_);
+}
+
+}  // namespace jrsnd::fhss

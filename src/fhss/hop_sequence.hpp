@@ -1,0 +1,60 @@
+// Frequency-hopping sequences (substrate for the UFH baseline, paper §II).
+//
+// Coordinated FHSS peers derive their common hop sequence from a shared key
+// via a PRF; uncoordinated (UFH) parties hop on independent random
+// sequences and rely on chance coincidences. Both kinds are generated here:
+// deterministic keyed sequences for post-discovery communication, and
+// seeded random sequences for the UFH bootstrap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "crypto/prf.hpp"
+
+namespace jrsnd::fhss {
+
+/// A channel index in [0, channel_count).
+using Channel = std::uint32_t;
+
+/// Abstract per-slot channel selector.
+class HopSequence {
+ public:
+  virtual ~HopSequence() = default;
+
+  /// The channel used during slot `slot`.
+  [[nodiscard]] virtual Channel channel(std::uint64_t slot) const = 0;
+
+  [[nodiscard]] virtual std::uint32_t channel_count() const noexcept = 0;
+};
+
+/// Keyed sequence: channel(t) = PRF_key("hop", t) mod c. Two nodes holding
+/// the same key (e.g. the K_AB JR-SND establishes) hop in lockstep.
+class KeyedHopSequence final : public HopSequence {
+ public:
+  KeyedHopSequence(const crypto::SymmetricKey& key, std::uint32_t channel_count);
+
+  [[nodiscard]] Channel channel(std::uint64_t slot) const override;
+  [[nodiscard]] std::uint32_t channel_count() const noexcept override { return channels_; }
+
+ private:
+  crypto::SymmetricKey key_;
+  std::uint32_t channels_;
+};
+
+/// Uncoordinated sequence: an independent pseudorandom walk from a seed
+/// (the UFH sender/receiver strategy — public as a *strategy*, private as a
+/// realization).
+class RandomHopSequence final : public HopSequence {
+ public:
+  RandomHopSequence(std::uint64_t seed, std::uint32_t channel_count);
+
+  [[nodiscard]] Channel channel(std::uint64_t slot) const override;
+  [[nodiscard]] std::uint32_t channel_count() const noexcept override { return channels_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t channels_;
+};
+
+}  // namespace jrsnd::fhss

@@ -1,0 +1,81 @@
+// The MANET authority's random spread-code pre-distribution (paper §V-A).
+//
+// Before deployment the authority generates a secret pool of s << 2^N codes
+// and hands each node m of them such that no code is held by more than l
+// nodes. Distribution runs in m rounds: each round the (possibly padded)
+// node set is randomly partitioned into w = s/m groups of exactly l, and
+// group j receives code C_{w(i-1)+j}. When l does not divide n, l' virtual
+// nodes pad the final groups; their code sets are banked and handed to
+// late-joining nodes. Once the bank is empty, a fresh cohort of w virtual
+// slots is distributed over the *same* s codes, raising each code's holder
+// count by at most one — exactly the paper's join procedure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsss/spread_code.hpp"
+#include "predist/code_assignment.hpp"
+
+namespace jrsnd::predist {
+
+struct PredistParams {
+  std::uint32_t node_count = 2000;      ///< n
+  std::uint32_t codes_per_node = 100;   ///< m
+  std::uint32_t holders_per_code = 40;  ///< l
+  std::size_t code_length_chips = 512;  ///< N
+
+  /// w = ceil(n / l): groups per round; pool size s = w * m.
+  [[nodiscard]] std::uint32_t groups_per_round() const noexcept {
+    return (node_count + holders_per_code - 1) / holders_per_code;
+  }
+  [[nodiscard]] std::uint32_t pool_size() const noexcept {
+    return groups_per_round() * codes_per_node;
+  }
+  /// l' = l*w - n: virtual nodes padding the partition.
+  [[nodiscard]] std::uint32_t virtual_node_count() const noexcept {
+    return groups_per_round() * holders_per_code - node_count;
+  }
+};
+
+class CodePoolAuthority {
+ public:
+  /// Generates the secret pool and runs the m-round distribution for nodes
+  /// 0..n-1 (real) plus the virtual padding slots.
+  CodePoolAuthority(const PredistParams& params, Rng rng);
+
+  [[nodiscard]] const PredistParams& params() const noexcept { return params_; }
+
+  /// The distribution outcome for the n real nodes.
+  [[nodiscard]] const CodeAssignment& assignment() const noexcept { return assignment_; }
+
+  /// The actual chip pattern of a pool code (authority-private in the real
+  /// system; protocol engines obtain codes only through node code sets).
+  [[nodiscard]] const dsss::SpreadCode& code(CodeId id) const;
+
+  [[nodiscard]] std::size_t pool_size() const noexcept { return pool_.size(); }
+
+  /// Admits a late-joining node: hands it a banked virtual slot's code set,
+  /// distributing a fresh cohort over the same pool if the bank is empty.
+  /// The node id must be new. Returns the codes granted.
+  std::vector<CodeId> join(NodeId new_node);
+
+  /// Virtual code-set bank currently available for joins.
+  [[nodiscard]] std::size_t banked_slots() const noexcept { return virtual_bank_.size(); }
+
+ private:
+  /// Runs the m-round partition over `slots` participants and returns each
+  /// participant's code set (same pool ids every time).
+  [[nodiscard]] std::vector<std::vector<CodeId>> run_distribution(std::size_t slots);
+
+  PredistParams params_;
+  Rng rng_;
+  std::vector<dsss::SpreadCode> pool_;
+  CodeAssignment assignment_;
+  std::vector<std::vector<CodeId>> virtual_bank_;
+  std::uint32_t next_node_ = 0;
+};
+
+}  // namespace jrsnd::predist

@@ -1,0 +1,67 @@
+#include "predist/code_assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace jrsnd::predist {
+
+void CodeAssignment::assign(NodeId node, std::vector<CodeId> codes) {
+  std::sort(codes.begin(), codes.end());
+  auto [it, inserted] = per_node_.emplace(node, std::move(codes));
+  if (!inserted) throw std::invalid_argument("CodeAssignment::assign: node already assigned");
+  for (const CodeId code : it->second) per_code_[code].push_back(node);
+}
+
+bool CodeAssignment::has_node(NodeId node) const { return per_node_.contains(node); }
+
+const std::vector<CodeId>& CodeAssignment::codes_of(NodeId node) const {
+  const auto it = per_node_.find(node);
+  if (it == per_node_.end()) throw std::out_of_range("CodeAssignment::codes_of: unknown node");
+  return it->second;
+}
+
+std::vector<CodeId> CodeAssignment::shared_codes(NodeId a, NodeId b) const {
+  const auto& ca = codes_of(a);
+  const auto& cb = codes_of(b);
+  std::vector<CodeId> out;
+  std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> CodeAssignment::holders_of(CodeId code) const {
+  const auto it = per_code_.find(code);
+  if (it == per_code_.end()) return {};
+  std::vector<NodeId> holders = it->second;
+  std::sort(holders.begin(), holders.end());
+  return holders;
+}
+
+std::vector<NodeId> CodeAssignment::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(per_node_.size());
+  for (const auto& [node, codes] : per_node_) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t CodeAssignment::max_holders() const {
+  std::size_t max_count = 0;
+  for (const auto& [code, holders] : per_code_) max_count = std::max(max_count, holders.size());
+  return max_count;
+}
+
+std::vector<std::size_t> CodeAssignment::shared_count_histogram() const {
+  const std::vector<NodeId> all = nodes();
+  std::vector<std::size_t> histogram;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const std::size_t x = shared_codes(all[i], all[j]).size();
+      if (x >= histogram.size()) histogram.resize(x + 1, 0);
+      ++histogram[x];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace jrsnd::predist

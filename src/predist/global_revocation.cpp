@@ -1,0 +1,44 @@
+#include "predist/global_revocation.hpp"
+
+#include "common/bit_vector.hpp"
+
+namespace jrsnd::predist {
+
+std::vector<std::uint8_t> RevocationList::sign_input() const {
+  BitVector bv;
+  bv.append_uint(sequence, 64);
+  bv.append_uint(revoked.size(), 32);
+  for (const CodeId code : revoked) bv.append_uint(raw(code), 32);
+  return bv.to_bytes();
+}
+
+RevocationIssuer::RevocationIssuer(crypto::IbcPrivateKey authority_key)
+    : key_(std::move(authority_key)) {}
+
+RevocationList RevocationIssuer::issue(std::vector<CodeId> codes) {
+  RevocationList list;
+  list.sequence = next_sequence_++;
+  list.revoked = std::move(codes);
+  list.signature = key_.sign(list.sign_input());
+  return list;
+}
+
+RevocationListener::RevocationListener(std::shared_ptr<const crypto::PairingOracle> oracle)
+    : oracle_(std::move(oracle)) {}
+
+RevocationListener::Outcome RevocationListener::apply(const RevocationList& list,
+                                                      RevocationState& state,
+                                                      std::size_t* purged) {
+  if (purged != nullptr) *purged = 0;
+  if (!oracle_->verify(kAuthorityId, list.sign_input(), list.signature)) {
+    return Outcome::BadSignature;
+  }
+  if (list.sequence <= last_sequence_) return Outcome::Stale;
+  last_sequence_ = list.sequence;
+  std::size_t count = 0;
+  for (const CodeId code : list.revoked) count += state.revoke(code);
+  if (purged != nullptr) *purged = count;
+  return Outcome::Applied;
+}
+
+}  // namespace jrsnd::predist

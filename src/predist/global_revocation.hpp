@@ -1,0 +1,75 @@
+// Authority-driven revocation (paper §V-D: compromised codes "can also be
+// revoked in many ways" — local counters are one; this is the other).
+//
+// When the authority learns that nodes were captured (soldiers report a
+// lost radio, tamper sensors fire, ...), it issues a signed revocation list
+// naming the leaked code ids. Nodes verify the authority's ID-based
+// signature and purge the named codes from their active sets immediately —
+// network-wide, without each node having to absorb gamma fake requests
+// per code first. Lists carry a monotonically increasing sequence number
+// so replayed or stale lists are ignored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/ibc.hpp"
+#include "predist/revocation.hpp"
+
+namespace jrsnd::predist {
+
+/// The reserved identity the authority signs revocation lists under.
+inline constexpr NodeId kAuthorityId{0xfffffffe};
+
+/// A signed revocation list.
+struct RevocationList {
+  std::uint64_t sequence = 0;   ///< strictly increasing per authority
+  std::vector<CodeId> revoked;  ///< code ids to purge
+  crypto::IbcSignature signature{};
+
+  /// Canonical bytes the authority signs.
+  [[nodiscard]] std::vector<std::uint8_t> sign_input() const;
+};
+
+/// Authority side: issues signed lists with increasing sequence numbers.
+class RevocationIssuer {
+ public:
+  explicit RevocationIssuer(crypto::IbcPrivateKey authority_key);
+
+  /// Signs a new list revoking `codes`. Sequence numbers auto-increment.
+  [[nodiscard]] RevocationList issue(std::vector<CodeId> codes);
+
+  [[nodiscard]] std::uint64_t next_sequence() const noexcept { return next_sequence_; }
+
+ private:
+  crypto::IbcPrivateKey key_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+/// Node side: validates lists and applies them to the local RevocationState.
+class RevocationListener {
+ public:
+  explicit RevocationListener(std::shared_ptr<const crypto::PairingOracle> oracle);
+
+  enum class Outcome {
+    Applied,        ///< valid, fresh; codes purged
+    BadSignature,   ///< rejected: not from the authority
+    Stale,          ///< rejected: sequence <= last applied (replay)
+  };
+
+  /// Verifies `list` and, if valid and fresh, revokes every named code the
+  /// node holds in `state`. Returns what happened and (on Applied) how many
+  /// of the node's own codes were purged.
+  Outcome apply(const RevocationList& list, RevocationState& state,
+                std::size_t* purged = nullptr);
+
+  [[nodiscard]] std::uint64_t last_sequence() const noexcept { return last_sequence_; }
+
+ private:
+  std::shared_ptr<const crypto::PairingOracle> oracle_;
+  std::uint64_t last_sequence_ = 0;
+};
+
+}  // namespace jrsnd::predist

@@ -1,0 +1,44 @@
+// Pre-deployment provisioning blobs.
+//
+// Before the MANET ships out, the authority flashes each radio with its
+// identity and its m secret spread codes (ids + chip patterns). This module
+// defines that artifact as a versioned, integrity-checked byte format:
+//
+//   magic "JRSP" | version u8 | node id u32 | code length (chips) u32 |
+//   code count u32 | count x { code id u32 | ceil(N/8) pattern bytes } |
+//   sha256(all prior bytes)[0..7]
+//
+// The checksum detects flashing corruption (it is NOT an authenticity
+// mechanism — blobs travel over the authority's provisioning bench, not
+// the air). parse() rejects truncation, bad magic/version, checksum
+// mismatch, and trailing garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+#include "common/types.hpp"
+#include "predist/authority.hpp"
+
+namespace jrsnd::predist {
+
+struct NodeProvisioning {
+  NodeId id = kInvalidNode;
+  std::size_t code_length_chips = 0;
+  std::vector<CodeId> code_ids;
+  std::vector<BitVector> code_patterns;  ///< parallel to code_ids
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<NodeProvisioning> parse(
+      std::span<const std::uint8_t> bytes);
+
+  bool operator==(const NodeProvisioning&) const = default;
+};
+
+/// Builds node `id`'s blob from the authority's assignment and pool.
+[[nodiscard]] NodeProvisioning provision_node(const CodePoolAuthority& authority, NodeId id);
+
+}  // namespace jrsnd::predist

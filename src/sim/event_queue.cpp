@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace jrsnd::sim {
+
+EventQueue::EventHandle EventQueue::schedule_at(TimePoint when, Callback callback) {
+  if (when < now_) throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  const EventHandle handle = next_handle_++;
+  heap_.push(Entry{when, next_sequence_++, handle, std::move(callback)});
+  ++live_count_;
+  return handle;
+}
+
+EventQueue::EventHandle EventQueue::schedule_after(Duration delay, Callback callback) {
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (handle == 0 || handle >= next_handle_) return false;
+  // Lazy deletion: mark the handle; the heap entry is discarded when popped.
+  if (!cancelled_.insert(handle).second) return false;
+  if (live_count_ == 0) {
+    cancelled_.erase(handle);
+    return false;
+  }
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    const auto it = cancelled_.find(entry.handle);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(entry);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::empty() const { return live_count_ == 0; }
+
+bool EventQueue::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  --live_count_;
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  entry.callback();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+std::uint64_t EventQueue::run_until(TimePoint until) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek through tombstones without consuming a live entry early.
+    while (!heap_.empty() && cancelled_.contains(heap_.top().handle)) {
+      cancelled_.erase(heap_.top().handle);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().when > until) break;
+    step();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace jrsnd::sim

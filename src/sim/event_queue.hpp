@@ -1,0 +1,81 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event queue ordered by simulated time (FIFO among equal
+// timestamps, so protocol traces are deterministic). Scheduled events can be
+// cancelled through their handle — used e.g. when a CONFIRM timer is
+// disarmed because the response arrived first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jrsnd::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Identifies a scheduled event; valid until the event runs or is
+  /// cancelled.
+  using EventHandle = std::uint64_t;
+
+  EventQueue() = default;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(TimePoint when, Callback callback);
+
+  /// Schedules `callback` after `delay` from now.
+  EventHandle schedule_after(Duration delay, Callback callback);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventHandle handle);
+
+  /// True when no runnable events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Runs the next event; returns false when the queue is exhausted.
+  bool step();
+
+  /// Runs events until the queue drains or `limit` is reached.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with timestamps <= `until`, then advances the clock to
+  /// `until` (even if idle). Returns the number of events executed.
+  std::uint64_t run_until(TimePoint until);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
+    EventHandle handle;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  [[nodiscard]] bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventHandle> cancelled_;  // tombstones for lazy deletion
+  TimePoint now_{0.0};
+  std::uint64_t next_sequence_ = 0;
+  EventHandle next_handle_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace jrsnd::sim

@@ -1,0 +1,30 @@
+#include "sim/field.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jrsnd::sim {
+
+Field::Field(double width_m, double height_m) : width_(width_m), height_(height_m) {
+  if (width_m <= 0.0 || height_m <= 0.0) throw std::invalid_argument("Field: non-positive size");
+}
+
+bool Field::contains(const Position& p) const noexcept {
+  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+}
+
+Position Field::clamp(Position p) const noexcept {
+  p.x = std::clamp(p.x, 0.0, width_);
+  p.y = std::clamp(p.y, 0.0, height_);
+  return p;
+}
+
+double expected_overlap_area(double radius) noexcept {
+  return (M_PI - 3.0 * std::sqrt(3.0) / 4.0) * radius * radius;
+}
+
+double common_neighbor_fraction() noexcept {
+  return 1.0 - 3.0 * std::sqrt(3.0) / (4.0 * M_PI);
+}
+
+}  // namespace jrsnd::sim

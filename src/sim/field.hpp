@@ -1,0 +1,49 @@
+// The deployment field (paper §VI-B: 5000 x 5000 m^2, range a = 300 m).
+#pragma once
+
+#include <cmath>
+
+namespace jrsnd::sim {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Position&) const = default;
+};
+
+[[nodiscard]] inline double distance(const Position& a, const Position& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+class Field {
+ public:
+  Field(double width_m, double height_m);
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double height() const noexcept { return height_; }
+  [[nodiscard]] double area() const noexcept { return width_ * height_; }
+
+  [[nodiscard]] bool contains(const Position& p) const noexcept;
+
+  /// Clamps p into the field (used by mobility models at boundaries).
+  [[nodiscard]] Position clamp(Position p) const noexcept;
+
+ private:
+  double width_;
+  double height_;
+};
+
+/// Expected overlap area of two unit-distance-apart transmission disks of
+/// radius a whose centers are physical neighbors, averaged over the distance
+/// distribution (paper Thm 3 after [11]): (pi - 3*sqrt(3)/4) a^2.
+[[nodiscard]] double expected_overlap_area(double radius) noexcept;
+
+/// The paper's common-neighbor coefficient 1 - 3*sqrt(3)/(4*pi): the
+/// expected fraction of a node's neighbors that also neighbor a random
+/// physical neighbor of it.
+[[nodiscard]] double common_neighbor_fraction() noexcept;
+
+}  // namespace jrsnd::sim

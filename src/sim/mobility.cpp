@@ -1,0 +1,87 @@
+#include "sim/mobility.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace jrsnd::sim {
+
+std::vector<Position> MobilityModel::snapshot(TimePoint t) const {
+  std::vector<Position> out;
+  out.reserve(node_count());
+  for (std::uint32_t i = 0; i < node_count(); ++i) out.push_back(position(node_id(i), t));
+  return out;
+}
+
+UniformPlacement::UniformPlacement(const Field& field, std::size_t node_count, Rng& rng) {
+  positions_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    positions_.push_back({rng.uniform_real(0.0, field.width()),
+                          rng.uniform_real(0.0, field.height())});
+  }
+}
+
+Position UniformPlacement::position(NodeId node, TimePoint /*t*/) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= positions_.size()) throw std::out_of_range("UniformPlacement::position");
+  return positions_[idx];
+}
+
+RandomWaypoint::RandomWaypoint(const Field& field, std::size_t node_count, const Params& params,
+                               Rng& rng)
+    : field_(field), params_(params) {
+  if (params.min_speed_mps <= 0.0 || params.max_speed_mps < params.min_speed_mps) {
+    throw std::invalid_argument("RandomWaypoint: bad speed range");
+  }
+  lanes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) lanes_.emplace_back(rng.split());
+}
+
+void RandomWaypoint::extend_until(const Lane& lane, TimePoint t) const {
+  if (lane.legs.empty()) {
+    const Position start{lane.rng.uniform_real(0.0, field_.width()),
+                         lane.rng.uniform_real(0.0, field_.height())};
+    lane.legs.push_back(Leg{kSimStart, kSimStart, kSimStart, start, start});
+  }
+  while (lane.legs.back().next <= t) {
+    const Leg& prev = lane.legs.back();
+    Leg leg;
+    leg.from = prev.to;
+    leg.to = Position{lane.rng.uniform_real(0.0, field_.width()),
+                      lane.rng.uniform_real(0.0, field_.height())};
+    const double speed =
+        lane.rng.uniform_real(params_.min_speed_mps, params_.max_speed_mps);
+    const double travel = distance(leg.from, leg.to) / speed;
+    leg.start = prev.next;
+    leg.arrival = leg.start + seconds(travel);
+    leg.next = leg.arrival + seconds(lane.rng.uniform_real(0.0, params_.max_pause_s));
+    lane.legs.push_back(leg);
+  }
+}
+
+Position RandomWaypoint::position(NodeId node, TimePoint t) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= lanes_.size()) throw std::out_of_range("RandomWaypoint::position");
+  const Lane& lane = lanes_[idx];
+  extend_until(lane, t);
+
+  // Binary search for the leg containing t (legs are time-ordered).
+  std::size_t lo = 0;
+  std::size_t hi = lane.legs.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (lane.legs[mid].start <= t) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const Leg& leg = lane.legs[lo];
+  if (t >= leg.arrival) return leg.to;  // paused at destination
+  const double total = (leg.arrival - leg.start).seconds();
+  if (total <= 0.0) return leg.to;
+  const double frac = (t - leg.start).seconds() / total;
+  return Position{leg.from.x + frac * (leg.to.x - leg.from.x),
+                  leg.from.y + frac * (leg.to.y - leg.from.y)};
+}
+
+}  // namespace jrsnd::sim

@@ -1,0 +1,81 @@
+// Node placement and mobility models.
+//
+// The paper's figures are snapshot averages over uniform random topologies;
+// UniformPlacement reproduces those. RandomWaypoint adds the classic MANET
+// mobility model (pick destination, move at uniform-random speed, pause,
+// repeat) for the mobility-driven examples and the periodic-rediscovery
+// integration tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/field.hpp"
+
+namespace jrsnd::sim {
+
+/// Abstract mobility: positions of n nodes at any simulated time.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  [[nodiscard]] virtual std::size_t node_count() const noexcept = 0;
+
+  /// Position of `node` at time `t`. Precondition: raw(node) < node_count().
+  [[nodiscard]] virtual Position position(NodeId node, TimePoint t) const = 0;
+
+  /// Positions of all nodes at time `t`, indexed by raw node id.
+  [[nodiscard]] std::vector<Position> snapshot(TimePoint t) const;
+};
+
+/// Static nodes placed uniformly at random in the field.
+class UniformPlacement final : public MobilityModel {
+ public:
+  UniformPlacement(const Field& field, std::size_t node_count, Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept override { return positions_.size(); }
+  [[nodiscard]] Position position(NodeId node, TimePoint t) const override;
+
+ private:
+  std::vector<Position> positions_;
+};
+
+/// Random-waypoint mobility. Each node's trajectory is generated lazily and
+/// deterministically from the model seed, so position(node, t) is pure.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    double min_speed_mps = 1.0;
+    double max_speed_mps = 10.0;
+    double max_pause_s = 5.0;
+  };
+
+  RandomWaypoint(const Field& field, std::size_t node_count, const Params& params, Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept override { return lanes_.size(); }
+  [[nodiscard]] Position position(NodeId node, TimePoint t) const override;
+
+ private:
+  struct Leg {
+    TimePoint start;     // departure time from `from` (after any pause)
+    TimePoint arrival;   // arrival time at `to`
+    TimePoint next;      // arrival + pause: when the following leg departs
+    Position from;
+    Position to;
+  };
+  struct Lane {
+    mutable std::vector<Leg> legs;  // grown on demand; derived from seed
+    mutable Rng rng;                // per-node deterministic stream
+    explicit Lane(Rng r) : rng(r) {}
+  };
+
+  void extend_until(const Lane& lane, TimePoint t) const;
+
+  Field field_;
+  Params params_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace jrsnd::sim

@@ -1,0 +1,54 @@
+#include "sim/spatial_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jrsnd::sim {
+
+SpatialIndex::SpatialIndex(const Field& field, const std::vector<Position>& positions,
+                           double query_radius)
+    : cell_size_(std::max(query_radius, 1e-9)),
+      cols_(static_cast<std::size_t>(std::ceil(field.width() / cell_size_)) + 1),
+      rows_(static_cast<std::size_t>(std::ceil(field.height() / cell_size_)) + 1),
+      positions_(positions),
+      cells_(cols_ * rows_) {
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    cells_[cell_of(positions[i])].push_back(i);
+  }
+}
+
+std::size_t SpatialIndex::cell_of(const Position& p) const noexcept {
+  const auto cx = std::min(static_cast<std::size_t>(std::max(p.x, 0.0) / cell_size_), cols_ - 1);
+  const auto cy = std::min(static_cast<std::size_t>(std::max(p.y, 0.0) / cell_size_), rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+std::vector<NodeId> SpatialIndex::within(const Position& center, double radius,
+                                         NodeId exclude) const {
+  std::vector<NodeId> out;
+  const auto cx = std::min(static_cast<std::size_t>(std::max(center.x, 0.0) / cell_size_),
+                           cols_ - 1);
+  const auto cy = std::min(static_cast<std::size_t>(std::max(center.y, 0.0) / cell_size_),
+                           rows_ - 1);
+  const std::size_t x_lo = cx > 0 ? cx - 1 : 0;
+  const std::size_t y_lo = cy > 0 ? cy - 1 : 0;
+  const std::size_t x_hi = std::min(cx + 1, cols_ - 1);
+  const std::size_t y_hi = std::min(cy + 1, rows_ - 1);
+  const double r2 = radius * radius;
+
+  for (std::size_t y = y_lo; y <= y_hi; ++y) {
+    for (std::size_t x = x_lo; x <= x_hi; ++x) {
+      for (const std::uint32_t idx : cells_[y * cols_ + x]) {
+        if (node_id(idx) == exclude) continue;
+        const double dx = positions_[idx].x - center.x;
+        const double dy = positions_[idx].y - center.y;
+        if (dx * dx + dy * dy < r2) out.push_back(node_id(idx));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace jrsnd::sim

@@ -1,0 +1,37 @@
+// Uniform-grid spatial index for O(1)-neighborhood range queries.
+//
+// The topology builder needs "all nodes within radius a of p" for 2000
+// nodes; a grid with cell size = query radius reduces that to scanning the
+// 3x3 cell neighborhood.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/field.hpp"
+
+namespace jrsnd::sim {
+
+class SpatialIndex {
+ public:
+  /// Builds the index over `positions` (indexed by raw NodeId 0..n-1) with
+  /// grid cells sized for `query_radius` queries.
+  SpatialIndex(const Field& field, const std::vector<Position>& positions, double query_radius);
+
+  /// Nodes strictly within `radius` of `center` (excluding `exclude`).
+  /// Precondition: radius <= query radius given at construction.
+  [[nodiscard]] std::vector<NodeId> within(const Position& center, double radius,
+                                           NodeId exclude = kInvalidNode) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_of(const Position& p) const noexcept;
+
+  double cell_size_;
+  std::size_t cols_;
+  std::size_t rows_;
+  const std::vector<Position>& positions_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace jrsnd::sim

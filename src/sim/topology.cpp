@@ -1,0 +1,120 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/spatial_index.hpp"
+
+namespace jrsnd::sim {
+
+Topology::Topology(const Field& field, std::vector<Position> positions, double radius)
+    : radius_(radius), positions_(std::move(positions)), adjacency_(positions_.size()) {
+  if (radius <= 0.0) throw std::invalid_argument("Topology: non-positive radius");
+  const SpatialIndex index(field, positions_, radius);
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    adjacency_[i] = index.within(positions_[i], radius, node_id(i));
+    for (const NodeId j : adjacency_[i]) {
+      if (raw(j) > i) pairs_.emplace_back(node_id(i), j);
+    }
+  }
+}
+
+const Position& Topology::position(NodeId node) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= positions_.size()) throw std::out_of_range("Topology::position");
+  return positions_[idx];
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId node) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= adjacency_.size()) throw std::out_of_range("Topology::neighbors");
+  return adjacency_[idx];
+}
+
+bool Topology::are_neighbors(NodeId a, NodeId b) const {
+  const auto& adj = neighbors(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+double Topology::average_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return static_cast<double>(total) / static_cast<double>(adjacency_.size());
+}
+
+LogicalGraph::LogicalGraph(std::size_t node_count) : adjacency_(node_count) {}
+
+void LogicalGraph::add_edge(NodeId a, NodeId b) {
+  assert(raw(a) < adjacency_.size() && raw(b) < adjacency_.size() && a != b);
+  auto& la = adjacency_[raw(a)];
+  if (std::find(la.begin(), la.end(), b) != la.end()) return;
+  la.push_back(b);
+  adjacency_[raw(b)].push_back(a);
+  ++edge_count_;
+}
+
+bool LogicalGraph::has_edge(NodeId a, NodeId b) const {
+  const auto& la = adjacency_[raw(a)];
+  return std::find(la.begin(), la.end(), b) != la.end();
+}
+
+const std::vector<NodeId>& LogicalGraph::neighbors(NodeId node) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= adjacency_.size()) throw std::out_of_range("LogicalGraph::neighbors");
+  return adjacency_[idx];
+}
+
+std::vector<std::size_t> LogicalGraph::bfs_distances(NodeId source, std::size_t max_hops) const {
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(adjacency_.size(), kUnreached);
+  std::deque<NodeId> frontier;
+  dist[raw(source)] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    const std::size_t d = dist[raw(cur)];
+    if (d == max_hops) continue;
+    for (const NodeId next : adjacency_[raw(cur)]) {
+      if (dist[raw(next)] == kUnreached) {
+        dist[raw(next)] = d + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+bool LogicalGraph::reachable_within(NodeId a, NodeId b, std::size_t max_hops,
+                                    bool exclude_direct) const {
+  if (a == b) return true;
+  // Early-exit BFS bounded by max_hops.
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(adjacency_.size(), kUnreached);
+  std::deque<NodeId> frontier;
+  dist[raw(a)] = 0;
+  frontier.push_back(a);
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    const std::size_t d = dist[raw(cur)];
+    if (d == max_hops) continue;
+    for (const NodeId next : adjacency_[raw(cur)]) {
+      if (next == b) {
+        if (exclude_direct && cur == a) continue;  // skip the direct edge
+        return true;
+      }
+      if (dist[raw(next)] == kUnreached) {
+        dist[raw(next)] = d + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace jrsnd::sim

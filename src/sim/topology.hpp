@@ -1,0 +1,76 @@
+// Physical-neighbor topology: who is in whose transmission range.
+//
+// Built from a placement snapshot + transmission radius using the grid
+// index. Exposes the queries the protocols and analysis need: adjacency,
+// the list of physical-neighbor pairs (the denominator of every P-hat
+// figure), average degree g (Theorem 3), and bounded-depth BFS used to
+// evaluate M-NDP reachability over the logical graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/field.hpp"
+
+namespace jrsnd::sim {
+
+class Topology {
+ public:
+  /// Builds the neighbor graph of `positions` with transmission `radius`.
+  Topology(const Field& field, std::vector<Position> positions, double radius);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+  [[nodiscard]] const Position& position(NodeId node) const;
+
+  /// Physical neighbors of `node`, ascending.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId node) const;
+
+  [[nodiscard]] bool are_neighbors(NodeId a, NodeId b) const;
+
+  /// Every unordered physical-neighbor pair (a < b).
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  /// Average physical degree g.
+  [[nodiscard]] double average_degree() const noexcept;
+
+ private:
+  double radius_;
+  std::vector<Position> positions_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::pair<NodeId, NodeId>> pairs_;
+};
+
+/// An undirected logical graph over the same node ids (edges = discovered
+/// pairs). Used for M-NDP: two physical neighbors indirectly discover each
+/// other iff the logical graph connects them within nu hops.
+class LogicalGraph {
+ public:
+  explicit LogicalGraph(std::size_t node_count);
+
+  void add_edge(NodeId a, NodeId b);
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// True when a path of at most `max_hops` edges connects a and b.
+  /// With `exclude_direct`, the single edge a-b (if present) is ignored —
+  /// the M-NDP question "could A and B meet through intermediaries?" asked
+  /// of a pair that already has a direct logical link.
+  [[nodiscard]] bool reachable_within(NodeId a, NodeId b, std::size_t max_hops,
+                                      bool exclude_direct = false) const;
+
+  /// Hop distances from `source` up to `max_hops` (SIZE_MAX = unreachable).
+  [[nodiscard]] std::vector<std::size_t> bfs_distances(NodeId source,
+                                                       std::size_t max_hops) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace jrsnd::sim

@@ -1,0 +1,148 @@
+#include "adversary/jammer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predist/authority.hpp"
+
+namespace jrsnd::adversary {
+namespace {
+
+struct World {
+  predist::CodePoolAuthority authority;
+  Rng rng;
+  CompromiseModel compromise;
+
+  World(std::uint32_t q, std::uint64_t seed)
+      : authority(make_params(), Rng(seed)),
+        rng(seed + 1),
+        compromise(authority.assignment(), q, rng) {}
+
+  static predist::PredistParams make_params() {
+    predist::PredistParams p;
+    p.node_count = 200;
+    p.codes_per_node = 10;
+    p.holders_per_code = 8;
+    p.code_length_chips = 32;
+    return p;
+  }
+
+  [[nodiscard]] CodeId some_compromised_code() const {
+    return compromise.compromised_codes().front();
+  }
+  [[nodiscard]] CodeId some_safe_code() const {
+    for (std::uint32_t c = 0; c < authority.pool_size(); ++c) {
+      if (!compromise.is_code_compromised(code_id(c))) return code_id(c);
+    }
+    return kInvalidCode;
+  }
+};
+
+TEST(NullJammer, NeverJams) {
+  const NullJammer jammer;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(jammer.jams(code_id(0), MessageClass::Hello, rng));
+  }
+  EXPECT_STREQ(jammer.name(), "none");
+}
+
+TEST(ReactiveJammer, AlwaysJamsCompromisedCodes) {
+  const World w(20, 1);
+  const ReactiveJammer jammer(w.compromise, JammerParams{8, 1.0});
+  Rng rng(2);
+  const CodeId victim = w.some_compromised_code();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(jammer.jams(victim, MessageClass::Hello, rng));
+    EXPECT_TRUE(jammer.jams(victim, MessageClass::Followup, rng));
+  }
+}
+
+TEST(ReactiveJammer, NeverJamsSafeOrSessionCodes) {
+  const World w(20, 2);
+  const ReactiveJammer jammer(w.compromise, JammerParams{8, 1.0});
+  Rng rng(3);
+  const CodeId safe = w.some_safe_code();
+  ASSERT_NE(safe, kInvalidCode);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(jammer.jams(safe, MessageClass::Hello, rng));
+    EXPECT_FALSE(jammer.jams(kInvalidCode, MessageClass::Hello, rng));
+    EXPECT_FALSE(jammer.jams(kInvalidCode, MessageClass::SessionSpread, rng));
+  }
+}
+
+TEST(ReactiveJammer, IdentificationProbabilityThrottlesIt) {
+  const World w(20, 3);
+  const ReactiveJammer jammer(w.compromise, JammerParams{8, 1.0}, 0.4);
+  Rng rng(4);
+  const CodeId victim = w.some_compromised_code();
+  int jams = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) jams += jammer.jams(victim, MessageClass::Hello, rng);
+  EXPECT_NEAR(static_cast<double>(jams) / kTrials, 0.4, 0.02);
+}
+
+TEST(RandomJammer, BetaMatchesTheorem1Formula) {
+  const World w(20, 4);
+  const JammerParams params{8, 1.0};
+  const RandomJammer jammer(w.compromise, params);
+  const double c = static_cast<double>(w.compromise.compromised_code_count());
+  const double tries = 8.0 * 2.0 / 1.0;  // z(1+mu)/mu
+  EXPECT_NEAR(jammer.beta(), std::min(tries / c, 1.0), 1e-12);
+  EXPECT_NEAR(jammer.beta_prime(), std::min(3.0 * tries / c, 1.0), 1e-12);
+}
+
+TEST(RandomJammer, EmpiricalRatesMatchBeta) {
+  const World w(40, 5);
+  const RandomJammer jammer(w.compromise, JammerParams{4, 1.0});
+  Rng rng(6);
+  const CodeId victim = w.some_compromised_code();
+  int hello_jams = 0;
+  int follow_jams = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    hello_jams += jammer.jams(victim, MessageClass::Hello, rng);
+    follow_jams += jammer.jams(victim, MessageClass::Followup, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(hello_jams) / kTrials, jammer.beta(), 0.01);
+  EXPECT_NEAR(static_cast<double>(follow_jams) / kTrials, jammer.beta_prime(), 0.015);
+}
+
+TEST(RandomJammer, WeakerThanReactive) {
+  // beta <= 1 always; a random jammer never exceeds the reactive jammer's
+  // per-message success on compromised codes.
+  const World w(10, 6);
+  const RandomJammer random_jammer(w.compromise, JammerParams{2, 1.0});
+  EXPECT_LE(random_jammer.beta(), 1.0);
+  EXPECT_LE(random_jammer.beta(), random_jammer.beta_prime());
+}
+
+TEST(RandomJammer, NoCompromisedCodesMeansNoJamming) {
+  const World w(0, 7);
+  const RandomJammer jammer(w.compromise, JammerParams{8, 1.0});
+  EXPECT_DOUBLE_EQ(jammer.beta(), 0.0);
+  EXPECT_DOUBLE_EQ(jammer.beta_prime(), 0.0);
+  Rng rng(8);
+  EXPECT_FALSE(jammer.jams(code_id(0), MessageClass::Hello, rng));
+}
+
+TEST(RandomJammer, SaturatesWithHugeZ) {
+  const World w(5, 8);
+  const RandomJammer jammer(w.compromise, JammerParams{100000, 1.0});
+  EXPECT_DOUBLE_EQ(jammer.beta(), 1.0);
+  EXPECT_DOUBLE_EQ(jammer.beta_prime(), 1.0);
+}
+
+class ZSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ZSweep, BetaMonotoneInZ) {
+  const World w(20, 9);
+  const RandomJammer weak(w.compromise, JammerParams{GetParam(), 1.0});
+  const RandomJammer strong(w.compromise, JammerParams{GetParam() * 2, 1.0});
+  EXPECT_LE(weak.beta(), strong.beta());
+  EXPECT_LE(weak.beta_prime(), strong.beta_prime());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zs, ZSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace jrsnd::adversary

@@ -1,0 +1,159 @@
+#include "baselines/ufh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jrsnd::baselines {
+namespace {
+
+BitVector random_bits(Rng& rng, std::size_t n) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+UfhParams small_params() {
+  UfhParams p;
+  p.channels = 20;
+  p.jammed_channels = 2;
+  p.fragments = 4;
+  return p;
+}
+
+TEST(UfhChain, SplitsAndLinks) {
+  Rng rng(1);
+  const UfhParams p = small_params();
+  const BitVector msg = random_bits(rng, 256);
+  const UfhFragmentChain chain(p, msg);
+  ASSERT_EQ(chain.fragments().size(), 4u);
+  // Each fragment (except the last) carries its successor's digest.
+  for (std::uint32_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_EQ(chain.fragments()[i].next_digest,
+              UfhFragmentChain::digest_of(chain.fragments()[i + 1]));
+  }
+  crypto::Sha256Digest zero{};
+  EXPECT_EQ(chain.fragments()[3].next_digest, zero);
+}
+
+TEST(UfhChain, ReassemblesInAnyOrder) {
+  Rng rng(2);
+  const UfhParams p = small_params();
+  const BitVector msg = random_bits(rng, 256);
+  const UfhFragmentChain chain(p, msg);
+  std::vector<UfhFragmentChain::Fragment> shuffled = chain.fragments();
+  std::swap(shuffled[0], shuffled[3]);
+  std::swap(shuffled[1], shuffled[2]);
+  const auto out = UfhFragmentChain::reassemble(p, shuffled);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(UfhChain, RejectsSplicedFragment) {
+  // An attacker substituting one fragment breaks the hash chain.
+  Rng rng(3);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain_a(p, random_bits(rng, 256));
+  const UfhFragmentChain chain_b(p, random_bits(rng, 256));
+  std::vector<UfhFragmentChain::Fragment> spliced = chain_a.fragments();
+  spliced[2] = chain_b.fragments()[2];
+  EXPECT_FALSE(UfhFragmentChain::reassemble(p, spliced).has_value());
+}
+
+TEST(UfhChain, RejectsTamperedPayload) {
+  Rng rng(4);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain(p, random_bits(rng, 256));
+  std::vector<UfhFragmentChain::Fragment> tampered = chain.fragments();
+  tampered[1].payload.flip(0);
+  EXPECT_FALSE(UfhFragmentChain::reassemble(p, tampered).has_value());
+}
+
+TEST(UfhChain, RejectsMissingOrDuplicateFragments) {
+  Rng rng(5);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain(p, random_bits(rng, 256));
+  std::vector<UfhFragmentChain::Fragment> missing(chain.fragments().begin(),
+                                                  chain.fragments().end() - 1);
+  EXPECT_FALSE(UfhFragmentChain::reassemble(p, missing).has_value());
+  std::vector<UfhFragmentChain::Fragment> duplicated = chain.fragments();
+  duplicated[3] = duplicated[0];
+  EXPECT_FALSE(UfhFragmentChain::reassemble(p, duplicated).has_value());
+}
+
+TEST(UfhChain, RejectsDegenerateInputs) {
+  UfhParams p = small_params();
+  p.fragments = 0;
+  EXPECT_THROW(UfhFragmentChain(p, BitVector(8)), std::invalid_argument);
+  p.fragments = 4;
+  EXPECT_THROW(UfhFragmentChain(p, BitVector()), std::invalid_argument);
+}
+
+TEST(UfhExchange, RejectsOverwhelmedChannelSet) {
+  UfhParams p = small_params();
+  p.jammed_channels = p.channels;
+  Rng rng(6);
+  EXPECT_THROW(UfhExchange(p, rng), std::invalid_argument);
+}
+
+TEST(UfhExchange, TransfersAndVerifiesEventually) {
+  Rng rng(7);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain(p, random_bits(rng, 256));
+  UfhExchange exchange(p, rng);
+  const auto result = exchange.run(chain);
+  EXPECT_TRUE(result.reassembled);
+  EXPECT_GE(result.fragments_heard, 4u);
+  EXPECT_GT(result.slots, 4u);
+}
+
+TEST(UfhExchange, MeasuredSlotsMatchExpectation) {
+  Rng rng(8);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain(p, random_bits(rng, 256));
+  UfhExchange exchange(p, rng);
+  double total_slots = 0.0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = exchange.run(chain);
+    ASSERT_TRUE(result.reassembled);
+    total_slots += static_cast<double>(result.slots);
+  }
+  const double measured = total_slots / kTrials;
+  // Coupon-collector expectation: M * H_M deliveries, each ~1/p slots.
+  const double expected = exchange.expected_transfer_seconds() / p.slot_seconds;
+  EXPECT_NEAR(measured, expected, expected * 0.35);
+}
+
+TEST(UfhExchange, JammingSlowsTransferDown) {
+  Rng rng(9);
+  UfhParams clean = small_params();
+  clean.jammed_channels = 0;
+  UfhParams jammed = small_params();
+  jammed.jammed_channels = 10;  // half the channels
+  const UfhExchange clean_x(clean, rng);
+  const UfhExchange jammed_x(jammed, rng);
+  EXPECT_GT(jammed_x.expected_slots_per_fragment(), clean_x.expected_slots_per_fragment());
+  // z = c/2 roughly halves per-slot success.
+  EXPECT_NEAR(jammed_x.expected_slots_per_fragment() / clean_x.expected_slots_per_fragment(),
+              1.0 / std::pow(1.0 - 1.0 / 20.0, 10), 0.01);
+}
+
+TEST(UfhExchange, GivesUpAtMaxSlots) {
+  Rng rng(10);
+  const UfhParams p = small_params();
+  const UfhFragmentChain chain(p, random_bits(rng, 256));
+  UfhExchange exchange(p, rng);
+  const auto result = exchange.run(chain, /*max_slots=*/3);
+  EXPECT_FALSE(result.reassembled);
+  EXPECT_EQ(result.slots, 3u);
+}
+
+TEST(UfhDos, LinearInInsertions) {
+  EXPECT_EQ(ufh_dos_verifications(0), 0u);
+  EXPECT_EQ(ufh_dos_verifications(1000000), 1000000u);
+}
+
+}  // namespace
+}  // namespace jrsnd::baselines

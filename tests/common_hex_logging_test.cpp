@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace jrsnd {
+namespace {
+
+TEST(Hex, EncodeKnownBytes) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(bytes), "00deadbeefff");
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, DecodeUpperAndLowerCase) {
+  const std::vector<std::uint8_t> expected = {0xab, 0xcd};
+  EXPECT_EQ(from_hex("abcd"), expected);
+  EXPECT_EQ(from_hex("ABCD"), expected);
+  EXPECT_EQ(from_hex("AbCd"), expected);
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW((void)from_hex("abc"), std::invalid_argument); }
+
+TEST(Hex, RejectsNonHexChars) { EXPECT_THROW((void)from_hex("zz"), std::invalid_argument); }
+
+TEST(Logging, LevelIsSettable) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  JRSND_INFO("test") << "should be suppressed " << 42;
+  JRSND_ERROR("test") << "also suppressed";
+  set_log_level(before);
+}
+
+TEST(Types, DurationArithmetic) {
+  const Duration a = seconds(1.5);
+  const Duration b = millis(500);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_DOUBLE_EQ(b.millis(), 500.0);
+  EXPECT_DOUBLE_EQ(micros(1500).millis(), 1.5);
+}
+
+TEST(Types, TimePointOrderingAndArithmetic) {
+  const TimePoint t0{0.0};
+  const TimePoint t1 = t0 + seconds(2.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_DOUBLE_EQ((t1 - t0).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((t1 - seconds(0.5)).seconds(), 1.5);
+}
+
+TEST(Types, StrongIdsCompareAndHash) {
+  const NodeId a = node_id(1);
+  const NodeId b = node_id(2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(raw(a), 1u);
+  EXPECT_NE(std::hash<NodeId>{}(a), std::hash<NodeId>{}(b));
+  EXPECT_EQ(raw(code_id(7)), 7u);
+}
+
+}  // namespace
+}  // namespace jrsnd

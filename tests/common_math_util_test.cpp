@@ -1,0 +1,146 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jrsnd {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(Binomial, SmallValuesExact) {
+  EXPECT_NEAR(binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(binomial(10, 5), 252.0, 1e-7);
+  EXPECT_NEAR(binomial(52, 5), 2598960.0, 1e-2);
+}
+
+TEST(Binomial, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(7, 8), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(7, -1), 0.0);
+}
+
+TEST(Binomial, SymmetryProperty) {
+  for (int n = 1; n <= 60; n += 7) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, PascalRecurrence) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k) for modest n (checkable exactly).
+  for (int n = 2; n <= 40; n += 3) {
+    for (int k = 1; k < n; k += 2) {
+      const double lhs = binomial(n, k);
+      const double rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-10) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const double p : {0.1, 0.3, 0.5, 0.9}) {
+    double total = 0.0;
+    for (int k = 0; k <= 50; ++k) total += binomial_pmf(50, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, MeanMatchesNP) {
+  double mean = 0.0;
+  for (int k = 0; k <= 100; ++k) mean += k * binomial_pmf(100, k, 0.3);
+  EXPECT_NEAR(mean, 30.0, 1e-7);
+}
+
+TEST(PrSharedCodes, PaperDefaultsSumToOne) {
+  // Eq. (1) with Table I parameters: n=2000, m=100, l=40.
+  double total = 0.0;
+  for (int x = 0; x <= 100; ++x) total += pr_shared_codes(100, x, 2000, 40);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PrSharedCodes, ExpectedSharedCount) {
+  // E[x] = m (l-1)/(n-1) ~= 100 * 39/1999 ~= 1.951.
+  double mean = 0.0;
+  for (int x = 0; x <= 100; ++x) mean += x * pr_shared_codes(100, x, 2000, 40);
+  EXPECT_NEAR(mean, 100.0 * 39.0 / 1999.0, 1e-8);
+}
+
+TEST(PrSharedCodes, LEquals1MeansNoSharing) {
+  // l = 1: codes are never shared, so Pr[0] = 1.
+  EXPECT_NEAR(pr_shared_codes(100, 0, 2000, 1), 1.0, 1e-12);
+  EXPECT_NEAR(pr_shared_codes(100, 1, 2000, 1), 0.0, 1e-12);
+}
+
+TEST(CodeCompromise, ZeroCapturesZeroAlpha) {
+  EXPECT_DOUBLE_EQ(code_compromise_probability(2000, 40, 0), 0.0);
+}
+
+TEST(CodeCompromise, SingleCaptureMatchesLOverN) {
+  // One captured node holds the code with probability l/n.
+  EXPECT_NEAR(code_compromise_probability(2000, 40, 1), 40.0 / 2000.0, 1e-10);
+}
+
+TEST(CodeCompromise, MonotoneInQ) {
+  double prev = 0.0;
+  for (int q = 0; q <= 200; q += 10) {
+    const double a = code_compromise_probability(2000, 40, q);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(CodeCompromise, MonotoneInL) {
+  double prev = 0.0;
+  for (int l = 1; l <= 200; l += 20) {
+    const double a = code_compromise_probability(2000, l, 20);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(CodeCompromise, SaturatesAtOne) {
+  // q > n - l forces every q-subset to include a holder.
+  EXPECT_DOUBLE_EQ(code_compromise_probability(100, 40, 61), 1.0);
+  EXPECT_DOUBLE_EQ(code_compromise_probability(100, 40, 100), 1.0);
+}
+
+TEST(CodeCompromise, PaperDefaultValue) {
+  // alpha = 1 - C(1960, 20)/C(2000, 20); sanity: about 1-(1960/2000)^20.
+  const double a = code_compromise_probability(2000, 40, 20);
+  const double approx = 1.0 - std::pow(1960.0 / 2000.0, 20);
+  EXPECT_NEAR(a, approx, 0.01);
+  EXPECT_GT(a, 0.3);
+  EXPECT_LT(a, 0.4);
+}
+
+TEST(Clamp01, Clamps) {
+  EXPECT_DOUBLE_EQ(clamp01(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace jrsnd

@@ -1,0 +1,219 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jrsnd::core {
+namespace {
+
+TEST(Analysis, Eq1DistributionSumsToOne) {
+  const Params p = Params::defaults();
+  double total = 0.0;
+  for (std::uint32_t x = 0; x <= p.m; ++x) total += pr_shared_codes(p, x);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Analysis, ShareAtLeastOneMatchesComplement) {
+  const Params p = Params::defaults();
+  EXPECT_NEAR(pr_share_at_least_one(p), 1.0 - pr_shared_codes(p, 0), 1e-12);
+  // With Table I values ~86%.
+  EXPECT_GT(pr_share_at_least_one(p), 0.8);
+  EXPECT_LT(pr_share_at_least_one(p), 0.9);
+}
+
+TEST(Analysis, AlphaDefaults) {
+  const Params p = Params::defaults();
+  // alpha(2000, 40, 20) ~ 0.33.
+  EXPECT_GT(alpha(p), 0.3);
+  EXPECT_LT(alpha(p), 0.4);
+  EXPECT_NEAR(expected_compromised_codes(p), 5000.0 * alpha(p), 1e-6);
+}
+
+TEST(Analysis, Theorem1BoundsAreOrdered) {
+  Params p = Params::defaults();
+  for (const std::uint32_t q : {0u, 10u, 20u, 60u, 100u}) {
+    p.q = q;
+    const Theorem1Result r = theorem1(p);
+    EXPECT_LE(r.p_lower, r.p_upper + 1e-12) << "q=" << q;
+    EXPECT_GE(r.p_lower, 0.0);
+    EXPECT_LE(r.p_upper, 1.0);
+  }
+}
+
+TEST(Analysis, Theorem1NoCompromiseIsShareProbability) {
+  // With q = 0 nothing is jammed: both bounds collapse to P(x >= 1).
+  Params p = Params::defaults();
+  p.q = 0;
+  const Theorem1Result r = theorem1(p);
+  EXPECT_NEAR(r.p_lower, pr_share_at_least_one(p), 1e-9);
+  EXPECT_NEAR(r.p_upper, pr_share_at_least_one(p), 1e-9);
+}
+
+TEST(Analysis, Theorem1LowerBoundFormula) {
+  // P^- = 1 - sum Pr[x] alpha^x, independently computed.
+  const Params p = Params::defaults();
+  const Theorem1Result r = theorem1(p);
+  double fail = 0.0;
+  for (std::uint32_t x = 0; x <= p.m; ++x) {
+    fail += pr_shared_codes(p, x) * std::pow(r.alpha, x);
+  }
+  EXPECT_NEAR(r.p_lower, 1.0 - fail, 1e-9);
+}
+
+TEST(Analysis, Theorem1DegradesWithQ) {
+  Params p = Params::defaults();
+  double prev_lower = 1.0;
+  for (const std::uint32_t q : {0u, 20u, 40u, 80u, 160u}) {
+    p.q = q;
+    const Theorem1Result r = theorem1(p);
+    EXPECT_LE(r.p_lower, prev_lower + 1e-12);
+    prev_lower = r.p_lower;
+  }
+}
+
+TEST(Analysis, Theorem1BetaUsesZBudget) {
+  Params p = Params::defaults();
+  p.q = 20;
+  const Theorem1Result r = theorem1(p);
+  const double tries = p.z * (1.0 + p.mu) / p.mu;
+  EXPECT_NEAR(r.beta, std::min(tries / r.c, 1.0), 1e-12);
+  EXPECT_NEAR(r.beta_prime, std::min(3.0 * tries / r.c, 1.0), 1e-12);
+}
+
+TEST(Analysis, Theorem2MatchesPaperMagnitude) {
+  // Paper: at m = 100 defaults, JR-SND latency is "under 2 seconds",
+  // dominated by D-NDP's quadratic term.
+  const Params p = Params::defaults();
+  const double t = theorem2_dndp_latency(p);
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 2.0);
+}
+
+TEST(Analysis, Theorem2QuadraticInM) {
+  Params p = Params::defaults();
+  p.m = 100;
+  const double t100 = theorem2_dndp_latency(p);
+  p.m = 200;
+  const double t200 = theorem2_dndp_latency(p);
+  // Identification term scales ~ m(3m+4): ratio ~ 3.97.
+  const double ratio = (200.0 * 604.0) / (100.0 * 304.0);
+  // Subtract the constant auth-phase time before comparing.
+  const double auth = 2.0 * 512.0 * p.l_f() / p.R + 2.0 * p.t_key;
+  EXPECT_NEAR((t200 - auth) / (t100 - auth), ratio, 1e-9);
+}
+
+TEST(Analysis, Theorem3Behaviour) {
+  // More common neighbors or higher P_D -> higher bound; degenerate cases 0.
+  EXPECT_DOUBLE_EQ(theorem3_mndp_probability(0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(theorem3_mndp_probability(0.0, 20.0), 0.0);
+  EXPECT_GT(theorem3_mndp_probability(0.5, 20.0), theorem3_mndp_probability(0.5, 10.0));
+  EXPECT_GT(theorem3_mndp_probability(0.8, 20.0), theorem3_mndp_probability(0.4, 20.0));
+  EXPECT_LE(theorem3_mndp_probability(1.0, 50.0), 1.0);
+}
+
+TEST(Analysis, Theorem3KnownValue) {
+  // P_M >= 1 - (1 - 0.04)^(22 * 0.5865 - 1) for p_d = 0.2, g = 22.
+  const double expected = 1.0 - std::pow(1.0 - 0.04, 22.0 * 0.58650 - 1.0);
+  EXPECT_NEAR(theorem3_mndp_probability(0.2, 22.0), expected, 1e-3);
+}
+
+TEST(Analysis, Theorem4GrowsWithNu) {
+  Params p = Params::defaults();
+  double prev = 0.0;
+  for (const std::uint32_t nu : {1u, 2u, 4u, 6u, 8u}) {
+    p.nu = nu;
+    const double t = theorem4_mndp_latency(p, 22.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Analysis, Theorem4PaperMagnitudeAtNu6) {
+  // Paper Fig. 5(b): T ~ 4 seconds at nu = 6.
+  Params p = Params::defaults();
+  p.nu = 6;
+  const double t = theorem4_mndp_latency(p, expected_degree(p));
+  EXPECT_GT(t, 2.0);
+  EXPECT_LT(t, 7.0);
+}
+
+TEST(Analysis, Theorem4VerificationTermDominates) {
+  // 2 nu (nu+1) t_ver is the bulk of M-NDP latency at Table I timings.
+  Params p = Params::defaults();
+  p.nu = 2;
+  const double full = theorem4_mndp_latency(p, 22.0);
+  const double ver_term = 2.0 * 2.0 * 3.0 * p.t_ver;
+  EXPECT_GT(ver_term / full, 0.5);
+}
+
+TEST(Analysis, CombinedProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(jrsnd_probability(0.6, 0.5), 0.6 + 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(jrsnd_probability(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(jrsnd_probability(0.0, 0.0), 0.0);
+  EXPECT_GE(jrsnd_probability(0.3, 0.4), 0.3);
+}
+
+TEST(Analysis, CombinedLatencyIsMax) {
+  EXPECT_DOUBLE_EQ(jrsnd_latency(1.5, 0.3), 1.5);
+  EXPECT_DOUBLE_EQ(jrsnd_latency(0.2, 0.9), 0.9);
+}
+
+TEST(Analysis, ExpectedDegreeDefaults) {
+  // g = 1999 * pi * 300^2 / 25e6 ~= 22.6.
+  EXPECT_NEAR(expected_degree(Params::defaults()), 22.6, 0.2);
+}
+
+
+TEST(Analysis, RecursiveMndpMatchesTheorem3AtNu2) {
+  for (const double p_d : {0.1, 0.2, 0.5, 0.8}) {
+    for (const double g : {10.0, 22.0, 40.0}) {
+      EXPECT_NEAR(mndp_probability_recursive(p_d, g, 2),
+                  theorem3_mndp_probability(p_d, g), 1e-12)
+          << "p_d=" << p_d << " g=" << g;
+    }
+  }
+}
+
+TEST(Analysis, RecursiveMndpMonotoneInNu) {
+  double prev = 0.0;
+  for (std::uint32_t nu = 2; nu <= 10; ++nu) {
+    const double m = mndp_probability_recursive(0.2, 22.0, nu);
+    EXPECT_GE(m, prev - 1e-12) << nu;
+    EXPECT_LE(m, 1.0);
+    prev = m;
+  }
+}
+
+TEST(Analysis, RecursiveMndpDegenerateCases) {
+  EXPECT_DOUBLE_EQ(mndp_probability_recursive(0.2, 22.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mndp_probability_recursive(0.2, 1.0, 4), 0.0);   // g_c <= 0
+  EXPECT_DOUBLE_EQ(mndp_probability_recursive(0.0, 22.0, 4), 0.0);  // no links
+}
+
+TEST(Analysis, RecursiveMndpPaperOperatingPoint) {
+  // At the paper's Fig. 5(a) operating point (P_D ~ 0.2, g ~ 21.6) the
+  // recursion tracks our measured sim closely: ~0.38 at nu=2, ~0.71 at
+  // nu=3, saturating around 0.9.
+  EXPECT_NEAR(mndp_probability_recursive(0.214, 21.6, 2), 0.40, 0.06);
+  EXPECT_NEAR(mndp_probability_recursive(0.214, 21.6, 3), 0.73, 0.08);
+  EXPECT_GT(mndp_probability_recursive(0.214, 21.6, 8), 0.85);
+}
+
+class AnalysisLSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AnalysisLSweep, BoundsStayInUnitInterval) {
+  Params p = Params::defaults();
+  p.l = GetParam();
+  const Theorem1Result r = theorem1(p);
+  EXPECT_GE(r.p_lower, 0.0);
+  EXPECT_LE(r.p_lower, 1.0);
+  EXPECT_GE(r.p_upper, 0.0);
+  EXPECT_LE(r.p_upper, 1.0);
+  EXPECT_LE(r.p_lower, r.p_upper + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ls, AnalysisLSweep, ::testing::Values(5, 10, 20, 40, 80, 100, 160));
+
+}  // namespace
+}  // namespace jrsnd::core

@@ -1,0 +1,82 @@
+#include "core/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+TEST(Latency, SampleAverageConvergesToTheorem2) {
+  const Params p = Params::defaults();
+  const LatencyModel model(p);
+  Rng rng(1);
+  Stat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(model.sample_dndp(rng).seconds());
+  const double expected = theorem2_dndp_latency(p);
+  EXPECT_NEAR(stat.mean(), expected, expected * 0.02);
+}
+
+TEST(Latency, ExpectedDndpEqualsTheorem2) {
+  const Params p = Params::defaults();
+  const LatencyModel model(p);
+  EXPECT_NEAR(model.expected_dndp().seconds(), theorem2_dndp_latency(p), 1e-12);
+}
+
+TEST(Latency, SamplesAreBounded) {
+  // Each residual is in [0, t_p] and the scan in [0, lambda t_h]; plus the
+  // deterministic auth phase — the sample can never exceed the max.
+  const Params p = Params::defaults();
+  const LatencyModel model(p);
+  const double t_p = model.timing().processing_time().seconds();
+  const double lambda_th = model.timing().lambda() * model.timing().hello_time().seconds();
+  const double auth = 2.0 * 512.0 * p.l_f() / p.R + 2.0 * p.t_key;
+  const double max_latency = 3.0 * t_p + lambda_th + auth;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double s = model.sample_dndp(rng).seconds();
+    EXPECT_GE(s, auth);
+    EXPECT_LE(s, max_latency + 1e-12);
+  }
+}
+
+TEST(Latency, MndpMatchesTheorem4) {
+  Params p = Params::defaults();
+  const LatencyModel model(p);
+  const double g = 22.0;
+  for (const std::uint32_t nu : {1u, 2u, 5u, 8u}) {
+    Params at = p;
+    at.nu = nu;
+    EXPECT_NEAR(model.mndp(g, nu).seconds(), theorem4_mndp_latency(at, g), 1e-12) << nu;
+  }
+}
+
+TEST(Latency, CombinedIsMax) {
+  const LatencyModel model(Params::defaults());
+  EXPECT_DOUBLE_EQ(model.combined(Duration(2.0), Duration(0.5)).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(model.combined(Duration(0.1), Duration(0.5)).seconds(), 0.5);
+}
+
+TEST(Latency, PaperCrossoverNearM60) {
+  // Fig. 2(b): D-NDP latency exceeds M-NDP latency for m > 60 at defaults.
+  Params p = Params::defaults();
+  const double g = expected_degree(p);
+  p.m = 40;
+  EXPECT_LT(theorem2_dndp_latency(p), theorem4_mndp_latency(p, g));
+  p.m = 100;
+  EXPECT_GT(theorem2_dndp_latency(p), theorem4_mndp_latency(p, g));
+}
+
+TEST(Latency, Under2SecondsAtDefaults) {
+  // The paper's headline: JR-SND latency < 2 s at m = 100.
+  Params p = Params::defaults();
+  const LatencyModel model(p);
+  const double g = expected_degree(p);
+  const double t =
+      model.combined(model.expected_dndp(), model.mndp(g, p.nu)).seconds();
+  EXPECT_LT(t, 2.0);
+}
+
+}  // namespace
+}  // namespace jrsnd::core

@@ -1,0 +1,150 @@
+// Robustness: decoders must never crash, loop, or accept garbage as valid
+// on adversarial input — every bit pattern a jammer or attacker could put
+// on the air. Random buffers, truncations, bit flips, and hostile length
+// fields are thrown at every message codec.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "crypto/ibc.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+const WireConfig kCfg{};
+
+BitVector random_bits(Rng& rng, std::size_t n) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+TEST(MessageFuzz, RandomBuffersNeverCrashAnyDecoder) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = rng.uniform(4000);
+    const BitVector junk = random_bits(rng, len);
+    (void)HelloMessage::decode(junk, kCfg);
+    (void)ConfirmMessage::decode(junk, kCfg);
+    (void)AuthMessage::decode(junk, kCfg);
+    (void)MndpRequest::decode(junk, kCfg);
+    (void)MndpResponse::decode(junk, kCfg);
+    (void)peek_type(junk, kCfg);
+  }
+}
+
+TEST(MessageFuzz, EveryTruncationOfValidHelloRejected) {
+  const BitVector bits = HelloMessage{node_id(7)}.encode(kCfg);
+  for (std::size_t cut = 0; cut < bits.size(); ++cut) {
+    EXPECT_FALSE(HelloMessage::decode(bits.slice(0, cut), kCfg).has_value()) << cut;
+  }
+}
+
+TEST(MessageFuzz, EveryTruncationOfValidRequestRejected) {
+  Rng rng(2);
+  const crypto::IbcAuthority authority(1);
+  MndpRequest req;
+  req.source = node_id(1);
+  req.source_neighbors = {node_id(2), node_id(3)};
+  req.nonce = random_bits(rng, kCfg.l_n);
+  req.nu = 2;
+  req.source_signature = authority.issue(node_id(1)).sign(req.source_sign_input(kCfg));
+  HopRecord hop;
+  hop.id = node_id(2);
+  hop.neighbors = {node_id(4)};
+  req.hops.push_back(hop);
+  req.hops.back().signature = authority.issue(node_id(2)).sign(req.hop_sign_input(0, kCfg));
+
+  const BitVector bits = req.encode(kCfg);
+  // Check every 7th truncation (full sweep is ~2k decodes of ~2kb each).
+  for (std::size_t cut = 0; cut < bits.size(); cut += 7) {
+    EXPECT_FALSE(MndpRequest::decode(bits.slice(0, cut), kCfg).has_value()) << cut;
+  }
+}
+
+TEST(MessageFuzz, HostileListCountIsBounded) {
+  // Forge a request whose neighbor-list count field claims 65535 entries
+  // but whose body ends immediately: must reject, not allocate/overread.
+  BitVector bits;
+  bits.append_uint(static_cast<std::uint64_t>(MessageType::MndpRequest), kCfg.l_t);
+  bits.append_uint(1, kCfg.l_id);       // source
+  bits.append_uint(0xffff, 16);         // list count: 65535
+  EXPECT_FALSE(MndpRequest::decode(bits, kCfg).has_value());
+}
+
+TEST(MessageFuzz, HostileHopCountIsBounded) {
+  Rng rng(3);
+  const crypto::IbcAuthority authority(1);
+  MndpRequest req;
+  req.source = node_id(1);
+  req.nonce = random_bits(rng, kCfg.l_n);
+  req.nu = 2;
+  req.source_signature = authority.issue(node_id(1)).sign(req.source_sign_input(kCfg));
+  BitVector bits = req.encode(kCfg);
+  // The hop-count byte is the last 8 bits; claim 255 hops with no bodies.
+  for (std::size_t i = bits.size() - 8; i < bits.size(); ++i) bits.set(i, true);
+  EXPECT_FALSE(MndpRequest::decode(bits, kCfg).has_value());
+}
+
+TEST(MessageFuzz, SingleBitFlipsNeverValidateAuth) {
+  // Any single bit flip in an Auth message must fail MAC verification
+  // (flips in the MAC wire bits themselves included).
+  Rng rng(4);
+  crypto::SymmetricKey key;
+  key.fill(0x61);
+  const AuthMessage msg = AuthMessage::make(node_id(3), random_bits(rng, kCfg.l_n), key, kCfg);
+  const BitVector bits = msg.encode(kCfg);
+  for (std::size_t flip = 0; flip < bits.size(); flip += 3) {
+    BitVector mutated = bits;
+    mutated.flip(flip);
+    const auto decoded = AuthMessage::decode(mutated, kCfg);
+    if (!decoded.has_value()) continue;  // type tag destroyed: fine
+    EXPECT_FALSE(decoded->verify(key, kCfg)) << "flip " << flip;
+  }
+}
+
+TEST(MessageFuzz, SingleBitFlipsNeverValidateRequestSignature) {
+  Rng rng(5);
+  const crypto::IbcAuthority authority(2);
+  MndpRequest req;
+  req.source = node_id(9);
+  req.source_neighbors = {node_id(1)};
+  req.nonce = random_bits(rng, kCfg.l_n);
+  req.nu = 3;
+  req.source_signature = authority.issue(node_id(9)).sign(req.source_sign_input(kCfg));
+  const BitVector bits = req.encode(kCfg);
+  const std::size_t sig_tag_end =
+      kCfg.l_t + kCfg.l_id + 16 + 16 + kCfg.l_n + kCfg.l_nu + 256;
+  // Flips in the signed region or the signature tag must break verification.
+  for (std::size_t flip = 0; flip < sig_tag_end; flip += 5) {
+    BitVector mutated = bits;
+    mutated.flip(flip);
+    const auto decoded = MndpRequest::decode(mutated, kCfg);
+    if (!decoded.has_value()) continue;
+    EXPECT_FALSE(authority.oracle()->verify(node_id(raw(decoded->source)),
+                                            decoded->source_sign_input(kCfg),
+                                            decoded->source_signature))
+        << "flip " << flip;
+  }
+}
+
+TEST(MessageFuzz, RoundTripSurvivesExtremeFieldValues) {
+  Rng rng(6);
+  const crypto::IbcAuthority authority(3);
+  MndpRequest req;
+  req.source = node_id(0xffff);          // max l_id value
+  req.nu = 15;                           // max l_nu value
+  req.nonce = BitVector(kCfg.l_n);       // all-zero nonce
+  for (std::uint32_t i = 0; i < 200; ++i) req.source_neighbors.push_back(node_id(i));
+  req.source_signature = authority.issue(node_id(0xffff)).sign(req.source_sign_input(kCfg));
+  const auto decoded = MndpRequest::decode(req.encode(kCfg), kCfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, node_id(0xffff));
+  EXPECT_EQ(decoded->nu, 15u);
+  EXPECT_EQ(decoded->source_neighbors.size(), 200u);
+  EXPECT_TRUE(authority.oracle()->verify(node_id(0xffff), decoded->source_sign_input(kCfg),
+                                         decoded->source_signature));
+}
+
+}  // namespace
+}  // namespace jrsnd::core

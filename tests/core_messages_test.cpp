@@ -1,0 +1,255 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/ibc.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+WireConfig paper_wire() { return WireConfig{}; }  // Table I defaults
+
+BitVector nonce20(Rng& rng) {
+  BitVector v(20);
+  for (std::size_t i = 0; i < 20; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+TEST(HelloMessage, RoundTrip) {
+  const WireConfig cfg = paper_wire();
+  const HelloMessage msg{node_id(1234)};
+  const BitVector bits = msg.encode(cfg);
+  EXPECT_EQ(bits.size(), HelloMessage::payload_bits(cfg));
+  EXPECT_EQ(bits.size(), 21u);  // l_t + l_id
+  const auto decoded = HelloMessage::decode(bits, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, node_id(1234));
+  EXPECT_EQ(peek_type(bits, cfg), MessageType::Hello);
+}
+
+TEST(HelloMessage, RejectsWrongType) {
+  const WireConfig cfg = paper_wire();
+  const ConfirmMessage confirm{node_id(5)};
+  EXPECT_FALSE(HelloMessage::decode(confirm.encode(cfg), cfg).has_value());
+}
+
+TEST(HelloMessage, RejectsTruncatedAndPadded) {
+  const WireConfig cfg = paper_wire();
+  const BitVector bits = HelloMessage{node_id(9)}.encode(cfg);
+  EXPECT_FALSE(HelloMessage::decode(bits.slice(0, 20), cfg).has_value());
+  BitVector padded = bits;
+  padded.push_back(false);
+  EXPECT_FALSE(HelloMessage::decode(padded, cfg).has_value());
+}
+
+TEST(ConfirmMessage, RoundTrip) {
+  const WireConfig cfg = paper_wire();
+  const ConfirmMessage msg{node_id(77)};
+  const auto decoded = ConfirmMessage::decode(msg.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, node_id(77));
+}
+
+TEST(AuthMessage, RoundTripAndVerify) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(1);
+  crypto::SymmetricKey key;
+  key.fill(0x42);
+  const AuthMessage msg = AuthMessage::make(node_id(3), nonce20(rng), key, cfg);
+  const BitVector bits = msg.encode(cfg);
+  EXPECT_EQ(bits.size(), AuthMessage::payload_bits(cfg));
+  EXPECT_EQ(bits.size(), 5u + 16u + 20u + 160u);
+  const auto decoded = AuthMessage::decode(bits, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, node_id(3));
+  EXPECT_EQ(decoded->nonce, msg.nonce);
+  EXPECT_TRUE(decoded->verify(key, cfg));
+}
+
+TEST(AuthMessage, VerifyFailsWithWrongKey) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(2);
+  crypto::SymmetricKey key;
+  key.fill(0x42);
+  crypto::SymmetricKey other;
+  other.fill(0x43);
+  const AuthMessage msg = AuthMessage::make(node_id(3), nonce20(rng), key, cfg);
+  const auto decoded = AuthMessage::decode(msg.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->verify(other, cfg));
+}
+
+TEST(AuthMessage, VerifyFailsOnTamperedNonce) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(3);
+  crypto::SymmetricKey key;
+  key.fill(0x01);
+  const AuthMessage msg = AuthMessage::make(node_id(3), nonce20(rng), key, cfg);
+  BitVector bits = msg.encode(cfg);
+  bits.flip(cfg.l_t + cfg.l_id + 2);  // a nonce bit
+  const auto decoded = AuthMessage::decode(bits, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->verify(key, cfg));
+}
+
+TEST(AuthMessage, VerifyFailsOnTamperedSenderId) {
+  // Replay-protection: the MAC binds the claimed identity.
+  const WireConfig cfg = paper_wire();
+  Rng rng(4);
+  crypto::SymmetricKey key;
+  key.fill(0x01);
+  const AuthMessage msg = AuthMessage::make(node_id(3), nonce20(rng), key, cfg);
+  BitVector bits = msg.encode(cfg);
+  bits.flip(cfg.l_t);  // an ID bit
+  const auto decoded = AuthMessage::decode(bits, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->verify(key, cfg));
+}
+
+MndpRequest make_request(Rng& rng, const crypto::IbcAuthority& authority) {
+  MndpRequest req;
+  req.source = node_id(1);
+  req.source_neighbors = {node_id(2), node_id(3), node_id(9)};
+  req.nonce = nonce20(rng);
+  req.nu = 3;
+  req.source_signature =
+      authority.issue(node_id(1)).sign(req.source_sign_input(WireConfig{}));
+  return req;
+}
+
+TEST(MndpRequest, RoundTripNoHops) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(5);
+  const crypto::IbcAuthority authority(9);
+  const MndpRequest req = make_request(rng, authority);
+  const auto decoded = MndpRequest::decode(req.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, req.source);
+  EXPECT_EQ(decoded->source_neighbors, req.source_neighbors);
+  EXPECT_EQ(decoded->nonce, req.nonce);
+  EXPECT_EQ(decoded->nu, 3u);
+  EXPECT_TRUE(decoded->hops.empty());
+  EXPECT_EQ(decoded->hops_traversed(), 1u);
+  // Signature survives the wire and verifies.
+  EXPECT_TRUE(authority.oracle()->verify(node_id(1), decoded->source_sign_input(cfg),
+                                         decoded->source_signature));
+}
+
+TEST(MndpRequest, RoundTripWithHops) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(6);
+  const crypto::IbcAuthority authority(10);
+  MndpRequest req = make_request(rng, authority);
+
+  HopRecord hop;
+  hop.id = node_id(2);
+  hop.neighbors = {node_id(1), node_id(7), node_id(8)};
+  req.hops.push_back(hop);
+  req.hops.back().signature = authority.issue(node_id(2)).sign(req.hop_sign_input(0, cfg));
+
+  const auto decoded = MndpRequest::decode(req.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->hops.size(), 1u);
+  EXPECT_EQ(decoded->hops[0].id, node_id(2));
+  EXPECT_EQ(decoded->hops[0].neighbors, hop.neighbors);
+  EXPECT_EQ(decoded->hops_traversed(), 2u);
+  EXPECT_TRUE(authority.oracle()->verify(node_id(2), decoded->hop_sign_input(0, cfg),
+                                         decoded->hops[0].signature));
+}
+
+TEST(MndpRequest, SignatureBreaksWhenListTampered) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(7);
+  const crypto::IbcAuthority authority(11);
+  const MndpRequest req = make_request(rng, authority);
+  auto decoded = MndpRequest::decode(req.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  decoded->source_neighbors.push_back(node_id(666));  // inject a neighbor
+  EXPECT_FALSE(authority.oracle()->verify(node_id(1), decoded->source_sign_input(cfg),
+                                          decoded->source_signature));
+}
+
+TEST(MndpRequest, EmptyNeighborListEncodes) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(8);
+  const crypto::IbcAuthority authority(12);
+  MndpRequest req;
+  req.source = node_id(4);
+  req.nonce = nonce20(rng);
+  req.nu = 1;
+  req.source_signature = authority.issue(node_id(4)).sign(req.source_sign_input(cfg));
+  const auto decoded = MndpRequest::decode(req.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->source_neighbors.empty());
+}
+
+TEST(MndpResponse, RoundTripWithHops) {
+  const WireConfig cfg = paper_wire();
+  Rng rng(9);
+  const crypto::IbcAuthority authority(13);
+  MndpResponse resp;
+  resp.source = node_id(1);
+  resp.via = node_id(2);
+  resp.responder = node_id(3);
+  resp.responder_neighbors = {node_id(2), node_id(5)};
+  resp.nonce = nonce20(rng);
+  resp.nu = 2;
+  resp.responder_signature =
+      authority.issue(node_id(3)).sign(resp.responder_sign_input(cfg));
+
+  HopRecord hop;
+  hop.id = node_id(2);
+  hop.neighbors = {node_id(1), node_id(3)};
+  resp.hops.push_back(hop);
+  resp.hops.back().signature = authority.issue(node_id(2)).sign(resp.hop_sign_input(0, cfg));
+
+  const auto decoded = MndpResponse::decode(resp.encode(cfg), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, node_id(1));
+  EXPECT_EQ(decoded->via, node_id(2));
+  EXPECT_EQ(decoded->responder, node_id(3));
+  EXPECT_EQ(decoded->responder_neighbors, resp.responder_neighbors);
+  ASSERT_EQ(decoded->hops.size(), 1u);
+  EXPECT_TRUE(authority.oracle()->verify(node_id(3), decoded->responder_sign_input(cfg),
+                                         decoded->responder_signature));
+  EXPECT_TRUE(authority.oracle()->verify(node_id(2), decoded->hop_sign_input(0, cfg),
+                                         decoded->hops[0].signature));
+}
+
+TEST(MndpMessages, WireLengthAccountsForLsig) {
+  // Each signature occupies l_sig = 672 bits regardless of tag size.
+  const WireConfig cfg = paper_wire();
+  Rng rng(10);
+  const crypto::IbcAuthority authority(14);
+  const MndpRequest req = make_request(rng, authority);
+  const std::size_t base = req.payload_bits(cfg);
+  MndpRequest extended = req;
+  HopRecord hop;
+  hop.id = node_id(2);
+  extended.hops.push_back(hop);
+  // One extra hop adds l_id + 16 (count) + l_sig bits (empty list).
+  EXPECT_EQ(extended.payload_bits(cfg), base + cfg.l_id + 16 + cfg.l_sig);
+}
+
+TEST(PeekType, InvalidValuesRejected) {
+  const WireConfig cfg = paper_wire();
+  BitVector bits;
+  bits.append_uint(0, cfg.l_t);  // 0 is not a valid type
+  EXPECT_FALSE(peek_type(bits, cfg).has_value());
+  EXPECT_FALSE(peek_type(BitVector(3), cfg).has_value());  // too short
+}
+
+TEST(TruncateDigest, WidthsAndPadding) {
+  crypto::Sha256Digest d{};
+  d[0] = 0xff;
+  const BitVector t8 = truncate_digest(d, 8);
+  EXPECT_EQ(t8.to_string(), "11111111");
+  const BitVector t300 = truncate_digest(d, 300);
+  EXPECT_EQ(t300.size(), 300u);
+  // Bits beyond 256 are zero-padded.
+  for (std::size_t i = 256; i < 300; ++i) EXPECT_FALSE(t300.get(i));
+}
+
+}  // namespace
+}  // namespace jrsnd::core

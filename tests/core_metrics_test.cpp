@@ -1,0 +1,105 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+TEST(Stat, EmptyIsZero) {
+  const Stat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(Stat, SingleSample) {
+  Stat s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(Stat, KnownMeanAndVariance) {
+  Stat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stat, WelfordIsNumericallyStable) {
+  // Large offset: naive sum-of-squares would lose precision.
+  Stat s;
+  const double offset = 1e9;
+  for (const double v : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(v);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Stat, Ci95ShrinksWithSamples) {
+  Rng rng(1);
+  Stat small;
+  Stat large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Stat, Ci95CoversTrueMean) {
+  // ~95% of repeated experiments should cover the true mean 0.5.
+  Rng rng(2);
+  int covered = 0;
+  constexpr int kExperiments = 200;
+  for (int e = 0; e < kExperiments; ++e) {
+    Stat s;
+    for (int i = 0; i < 50; ++i) s.add(rng.uniform01());
+    if (std::abs(s.mean() - 0.5) <= s.ci95()) ++covered;
+  }
+  EXPECT_GT(covered, kExperiments * 85 / 100);
+}
+
+TEST(Table, PrintsAlignedHeadersAndRows) {
+  Table t({"x", "y"}, 8);
+  t.add_row(std::vector<double>{1.0, 2.5}, 2);
+  t.add_row(std::vector<std::string>{"a", "b"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("--------"), std::string::npos);
+  // 3 content lines + rule.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+
+TEST(Table, CsvEscapesAndRoundTrips) {
+  Table t({"name", "value"}, 8);
+  t.add_row(std::vector<std::string>{"plain", "1.5"});
+  t.add_row(std::vector<std::string>{"with,comma", "a\"b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nplain,1.5\n\"with,comma\",\"a\"\"b\"\n");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace jrsnd::core

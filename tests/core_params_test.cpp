@@ -1,0 +1,67 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jrsnd::core {
+namespace {
+
+TEST(Params, TableIDefaults) {
+  const Params p = Params::defaults();
+  EXPECT_EQ(p.n, 2000u);
+  EXPECT_EQ(p.m, 100u);
+  EXPECT_EQ(p.l, 40u);
+  EXPECT_EQ(p.q, 20u);
+  EXPECT_EQ(p.N, 512u);
+  EXPECT_DOUBLE_EQ(p.R, 22e6);
+  EXPECT_DOUBLE_EQ(p.rho, 1e-11);
+  EXPECT_DOUBLE_EQ(p.mu, 1.0);
+  EXPECT_EQ(p.nu, 2u);
+  EXPECT_EQ(p.l_t, 5u);
+  EXPECT_EQ(p.l_id, 16u);
+  EXPECT_EQ(p.l_n, 20u);
+  EXPECT_EQ(p.l_mac, 160u);
+  EXPECT_EQ(p.l_nu, 4u);
+  EXPECT_EQ(p.l_sig, 672u);
+  EXPECT_DOUBLE_EQ(p.t_key, 11e-3);
+  EXPECT_DOUBLE_EQ(p.t_sig, 5.7e-3);
+  EXPECT_DOUBLE_EQ(p.t_ver, 35.5e-3);
+  EXPECT_DOUBLE_EQ(p.field_width, 5000.0);
+  EXPECT_DOUBLE_EQ(p.tx_range, 300.0);
+  EXPECT_EQ(p.runs, 100u);
+}
+
+TEST(Params, DerivedMessageLengths) {
+  const Params p = Params::defaults();
+  EXPECT_EQ(p.hello_payload_bits(), 21u);
+  EXPECT_DOUBLE_EQ(p.l_h(), 42.0);                  // (1+1)(5+16)
+  EXPECT_DOUBLE_EQ(p.l_f(), 2.0 * (16 + 20 + 160)); // (1+mu)(l_id+l_n+l_mac)
+}
+
+TEST(Params, PredistDerivation) {
+  const Params p = Params::defaults();
+  const auto pre = p.predist();
+  EXPECT_EQ(pre.node_count, 2000u);
+  EXPECT_EQ(pre.codes_per_node, 100u);
+  EXPECT_EQ(pre.holders_per_code, 40u);
+  EXPECT_EQ(pre.groups_per_round(), 50u);  // ceil(2000/40)
+  EXPECT_EQ(p.pool_size(), 5000u);         // s = w m
+}
+
+TEST(Params, TimingDerivation) {
+  const Params p = Params::defaults();
+  const auto t = p.timing();
+  EXPECT_EQ(t.code_length_chips, 512u);
+  EXPECT_DOUBLE_EQ(t.chip_rate_bps, 22e6);
+  EXPECT_EQ(t.codes_per_node, 100u);
+  EXPECT_EQ(t.hello_coded_bits, 42u);
+}
+
+TEST(Params, SummaryMentionsKeyValues) {
+  const std::string s = Params::defaults().summary();
+  EXPECT_NE(s.find("n=2000"), std::string::npos);
+  EXPECT_NE(s.find("m=100"), std::string::npos);
+  EXPECT_NE(s.find("l=40"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jrsnd::core

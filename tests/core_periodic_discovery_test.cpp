@@ -1,0 +1,109 @@
+#include "core/periodic_discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/field.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+PeriodicDiscoveryRunner::Config small_config() {
+  PeriodicDiscoveryRunner::Config cfg;
+  cfg.params = Params::defaults();
+  cfg.params.n = 80;
+  cfg.params.m = 10;
+  cfg.params.l = 8;
+  cfg.params.q = 4;
+  cfg.params.nu = 3;
+  cfg.params.field_width = 1500.0;
+  cfg.params.field_height = 1500.0;
+  cfg.interval = seconds(30.0);
+  cfg.link_timeout = seconds(60.0);
+  cfg.epochs = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(PeriodicDiscovery, StaticNetworkConvergesAndStaysConverged) {
+  const auto cfg = small_config();
+  const sim::Field field(cfg.params.field_width, cfg.params.field_height);
+  Rng rng(1);
+  const sim::UniformPlacement placement(field, cfg.params.n, rng);
+  PeriodicDiscoveryRunner runner(cfg, placement);
+  const auto reports = runner.run();
+  ASSERT_EQ(reports.size(), 4u);
+  // Static nodes: nothing expires, coverage is monotone non-decreasing and
+  // high once D-NDP + M-NDP have swept.
+  for (const auto& r : reports) EXPECT_EQ(r.links_expired, 0u);
+  EXPECT_GE(reports.back().coverage, reports.front().coverage);
+  EXPECT_GT(reports.back().coverage, 0.7);
+  // Work tapers off once the neighborhood is known.
+  EXPECT_LT(reports.back().dndp_attempts, reports.front().dndp_attempts);
+}
+
+TEST(PeriodicDiscovery, MobileNetworkExpiresStaleLinks) {
+  auto cfg = small_config();
+  cfg.epochs = 6;
+  const sim::Field field(cfg.params.field_width, cfg.params.field_height);
+  Rng rng(2);
+  const sim::RandomWaypoint mobility(field, cfg.params.n, {8.0, 15.0, 1.0}, rng);
+  PeriodicDiscoveryRunner runner(cfg, mobility);
+  const auto reports = runner.run();
+  std::size_t expired_total = 0;
+  for (const auto& r : reports) expired_total += r.links_expired;
+  // Fast movers at a 60 s timeout: some links must expire by epoch 6.
+  EXPECT_GT(expired_total, 0u);
+  // And discovery keeps rebuilding coverage anyway.
+  EXPECT_GT(reports.back().coverage, 0.5);
+}
+
+TEST(PeriodicDiscovery, DeterministicInSeed) {
+  const auto cfg = small_config();
+  const sim::Field field(cfg.params.field_width, cfg.params.field_height);
+  Rng rng(3);
+  const sim::UniformPlacement placement(field, cfg.params.n, rng);
+  PeriodicDiscoveryRunner r1(cfg, placement);
+  PeriodicDiscoveryRunner r2(cfg, placement);
+  const auto a = r1.run();
+  const auto b = r2.run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].logical_pairs, b[i].logical_pairs);
+    EXPECT_EQ(a[i].dndp_successes, b[i].dndp_successes);
+    EXPECT_EQ(a[i].mndp.discoveries, b[i].mndp.discoveries);
+  }
+}
+
+TEST(PeriodicDiscovery, MndpContributesDiscoveries) {
+  auto cfg = small_config();
+  cfg.params.q = 10;  // push D-NDP down so M-NDP visibly contributes
+  const sim::Field field(cfg.params.field_width, cfg.params.field_height);
+  Rng rng(4);
+  const sim::UniformPlacement placement(field, cfg.params.n, rng);
+  PeriodicDiscoveryRunner runner(cfg, placement);
+  const auto reports = runner.run();
+  std::size_t mndp_discoveries = 0;
+  for (const auto& r : reports) mndp_discoveries += r.mndp.discoveries;
+  EXPECT_GT(mndp_discoveries, 0u);
+}
+
+TEST(PeriodicDiscovery, ReportsAreInternallyConsistent) {
+  const auto cfg = small_config();
+  const sim::Field field(cfg.params.field_width, cfg.params.field_height);
+  Rng rng(6);
+  const sim::UniformPlacement placement(field, cfg.params.n, rng);
+  PeriodicDiscoveryRunner runner(cfg, placement);
+  for (const auto& r : runner.run()) {
+    EXPECT_LE(r.dndp_successes, r.dndp_attempts);
+    EXPECT_LE(r.logical_pairs, r.physical_pairs);
+    EXPECT_GE(r.coverage, 0.0);
+    EXPECT_LE(r.coverage, 1.0);
+    EXPECT_DOUBLE_EQ(r.coverage, r.physical_pairs == 0
+                                     ? 1.0
+                                     : static_cast<double>(r.logical_pairs) /
+                                           static_cast<double>(r.physical_pairs));
+  }
+}
+
+}  // namespace
+}  // namespace jrsnd::core

@@ -1,0 +1,130 @@
+#include "core/schedule_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+dsss::TimingModel paper_timing() { return dsss::TimingModel(Params::defaults().timing()); }
+
+TEST(ScheduleSim, EverySlotIsEventuallyBuffered) {
+  // The paper chooses r so that B always buffers one complete copy — the
+  // simulator must never come up empty, for any shared-code slot.
+  const dsss::TimingModel timing = paper_timing();
+  const ScheduleSimulator sim(timing);
+  Rng rng(1);
+  for (std::uint32_t slot = 0; slot < 100; slot += 7) {
+    for (int trial = 0; trial < 20; ++trial) {
+      EXPECT_TRUE(sim.sample(slot, rng).has_value()) << "slot " << slot;
+    }
+  }
+}
+
+TEST(ScheduleSim, HelloDespreadPrecedesIdentification) {
+  const dsss::TimingModel timing = paper_timing();
+  const ScheduleSimulator sim(timing);
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = sim.sample(static_cast<std::uint32_t>(rng.uniform(100)), rng);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_LT(s->hello_despread_at, s->identification);
+    EXPECT_GT(s->hello_despread_at.seconds(), 0.0);
+    EXPECT_GE(s->copies_sent, 1u);
+    EXPECT_GE(s->windows_scanned, 1u);
+  }
+}
+
+TEST(ScheduleSim, CopiesSentNeverExceedBudget) {
+  const dsss::TimingModel timing = paper_timing();
+  const ScheduleSimulator sim(timing);
+  Rng rng(3);
+  const std::uint64_t budget = timing.hello_rounds() * 100;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = sim.sample(static_cast<std::uint32_t>(rng.uniform(100)), rng);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_LE(s->copies_sent, budget);
+  }
+}
+
+TEST(ScheduleSim, MeanAgreesWithTheorem2IdentificationTerm) {
+  // Theorem 2's identification expectation is rho m (3m+4) N^2 l_h / 2.
+  // The schedule simulation includes the buffer-capture delay t_b the
+  // theorem drops, so it sits slightly above; require agreement within 15%.
+  const Params p = Params::defaults();
+  const dsss::TimingModel timing(p.timing());
+  const ScheduleSimulator sim(timing);
+  Rng rng(4);
+  const double measured = sim.mean_identification(4000, rng).seconds();
+  const double theorem =
+      p.rho * p.m * (3.0 * p.m + 4.0) * static_cast<double>(p.N) *
+      static_cast<double>(p.N) * p.l_h() / 2.0;
+  EXPECT_GT(measured, theorem * 0.9);
+  EXPECT_LT(measured, theorem * 1.15);
+}
+
+TEST(ScheduleSim, LatencyScalesWithM) {
+  Params p = Params::defaults();
+  Rng rng(5);
+  p.m = 50;
+  const dsss::TimingModel t50(p.timing());
+  const double mean50 = ScheduleSimulator(t50).mean_identification(500, rng).seconds();
+  p.m = 200;
+  const dsss::TimingModel t200(p.timing());
+  const double mean200 = ScheduleSimulator(t200).mean_identification(500, rng).seconds();
+  // Identification ~ m(3m+4): ratio ~ (200*604)/(50*154) ~ 15.7.
+  EXPECT_GT(mean200 / mean50, 10.0);
+  EXPECT_LT(mean200 / mean50, 22.0);
+}
+
+TEST(ScheduleSim, MultiAntennaSpeedsIdentificationUp) {
+  // The paper's future-work extension: k receive chains divide lambda and
+  // the identification time by ~k.
+  Params p = Params::defaults();
+  Rng rng(6);
+  p.rx_chains = 1;
+  const dsss::TimingModel t1(p.timing());
+  const double mean1 = ScheduleSimulator(t1).mean_identification(1500, rng).seconds();
+  p.rx_chains = 4;
+  const dsss::TimingModel t4(p.timing());
+  const double mean4 = ScheduleSimulator(t4).mean_identification(1500, rng).seconds();
+  EXPECT_NEAR(mean1 / mean4, 4.0, 1.2);
+}
+
+TEST(MultiAntenna, TimingAndTheorem2Scale) {
+  Params p = Params::defaults();
+  const double base = theorem2_dndp_latency(p);
+  const double auth = 2.0 * 512.0 * p.l_f() / p.R + 2.0 * p.t_key;
+  p.rx_chains = 2;
+  const double doubled = theorem2_dndp_latency(p);
+  EXPECT_NEAR(doubled - auth, (base - auth) / 2.0, 1e-12);
+
+  const dsss::TimingModel t2(p.timing());
+  p.rx_chains = 1;
+  const dsss::TimingModel t1(p.timing());
+  EXPECT_NEAR(t1.lambda() / t2.lambda(), 2.0, 1e-12);
+  // Buffering span is antenna-independent.
+  EXPECT_DOUBLE_EQ(t1.buffer_time().seconds(), t2.buffer_time().seconds());
+}
+
+class ScheduleSlotSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScheduleSlotSweep, DeterministicGivenRng) {
+  const dsss::TimingModel timing = paper_timing();
+  const ScheduleSimulator sim(timing);
+  Rng rng1(99);
+  Rng rng2(99);
+  const auto s1 = sim.sample(GetParam(), rng1);
+  const auto s2 = sim.sample(GetParam(), rng2);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s1->identification.seconds(), s2->identification.seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, ScheduleSlotSweep, ::testing::Values(0, 1, 50, 99));
+
+}  // namespace
+}  // namespace jrsnd::core

@@ -1,0 +1,74 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+
+namespace jrsnd::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, std::string("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key_str = "Jefe";
+  const std::vector<std::uint8_t> key(key_str.begin(), key_str.end());
+  EXPECT_EQ(digest_hex(hmac_sha256(key, std::string("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(digest_hex(hmac_sha256(
+                key, std::string("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, EmptyKeyAndMessageDeterministic) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(hmac_sha256(empty, empty), hmac_sha256(empty, empty));
+}
+
+TEST(Hmac, KeySensitivity) {
+  const std::vector<std::uint8_t> k1 = {1, 2, 3};
+  const std::vector<std::uint8_t> k2 = {1, 2, 4};
+  EXPECT_NE(hmac_sha256(k1, std::string("msg")), hmac_sha256(k2, std::string("msg")));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const std::vector<std::uint8_t> key = {9, 9, 9};
+  EXPECT_NE(hmac_sha256(key, std::string("msg1")), hmac_sha256(key, std::string("msg2")));
+}
+
+TEST(DigestEqual, ExactComparison) {
+  Sha256Digest a{};
+  Sha256Digest b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b[31] = 0;
+  b[0] = 0x80;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace jrsnd::crypto

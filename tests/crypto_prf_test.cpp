@@ -1,0 +1,74 @@
+#include "crypto/prf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jrsnd::crypto {
+namespace {
+
+SymmetricKey test_key(std::uint8_t fill) {
+  SymmetricKey k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(Prf, ExpandProducesRequestedLength) {
+  const SymmetricKey key = test_key(0x42);
+  for (const std::size_t len : {1u, 31u, 32u, 33u, 64u, 100u, 512u}) {
+    EXPECT_EQ(expand(key, "info", len).size(), len);
+  }
+}
+
+TEST(Prf, ExpandIsDeterministic) {
+  const SymmetricKey key = test_key(0x11);
+  EXPECT_EQ(expand(key, "x", 64), expand(key, "x", 64));
+}
+
+TEST(Prf, ExpandIsPrefixConsistent) {
+  // Longer output extends shorter output (counter-mode property).
+  const SymmetricKey key = test_key(0x23);
+  const auto short_out = expand(key, "ctx", 40);
+  const auto long_out = expand(key, "ctx", 80);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(Prf, InfoSeparatesOutputs) {
+  const SymmetricKey key = test_key(0x05);
+  EXPECT_NE(expand(key, "a", 32), expand(key, "b", 32));
+}
+
+TEST(Prf, KeySeparatesOutputs) {
+  EXPECT_NE(expand(test_key(1), "ctx", 32), expand(test_key(2), "ctx", 32));
+}
+
+TEST(Prf, DeriveBitsLengthAndDeterminism) {
+  const SymmetricKey key = test_key(0x77);
+  const BitVector bits = derive_bits(key, "code", 512);
+  EXPECT_EQ(bits.size(), 512u);
+  EXPECT_EQ(derive_bits(key, "code", 512), bits);
+}
+
+TEST(Prf, DeriveBitsNonByteAlignedLength) {
+  const SymmetricKey key = test_key(0x77);
+  EXPECT_EQ(derive_bits(key, "x", 13).size(), 13u);
+  EXPECT_EQ(derive_bits(key, "x", 1).size(), 1u);
+}
+
+TEST(Prf, DerivedBitsLookBalanced) {
+  const SymmetricKey key = test_key(0x3c);
+  const BitVector bits = derive_bits(key, "balance-check", 4096);
+  const double ones = static_cast<double>(bits.popcount()) / 4096.0;
+  EXPECT_GT(ones, 0.45);
+  EXPECT_LT(ones, 0.55);
+}
+
+TEST(Prf, DeriveKeyDiffersFromParentAndSiblings) {
+  const SymmetricKey parent = test_key(0x9a);
+  const SymmetricKey child1 = derive_key(parent, "one");
+  const SymmetricKey child2 = derive_key(parent, "two");
+  EXPECT_NE(child1, parent);
+  EXPECT_NE(child1, child2);
+  EXPECT_EQ(derive_key(parent, "one"), child1);
+}
+
+}  // namespace
+}  // namespace jrsnd::crypto

@@ -1,0 +1,124 @@
+#include "crypto/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::crypto {
+namespace {
+
+SymmetricKey key_of(std::uint8_t fill) {
+  SymmetricKey k;
+  k.fill(fill);
+  return k;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(Stream, SealOpenRoundTrip) {
+  Sealer sealer(key_of(1), "a->b");
+  Unsealer unsealer(key_of(1), "a->b");
+  const auto plaintext = bytes_of("attack at dawn");
+  const SealedMessage sealed = sealer.seal(plaintext);
+  const auto opened = unsealer.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Stream, CiphertextHidesPlaintext) {
+  Sealer sealer(key_of(2), "d");
+  const auto plaintext = bytes_of("secret");
+  const SealedMessage sealed = sealer.seal(plaintext);
+  EXPECT_NE(sealed.ciphertext, plaintext);
+}
+
+TEST(Stream, EmptyAndLargePayloads) {
+  Sealer sealer(key_of(3), "d");
+  Unsealer unsealer(key_of(3), "d");
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(*unsealer.open(sealer.seal(empty)), empty);
+  Rng rng(1);
+  std::vector<std::uint8_t> big(20000);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.uniform(256));
+  EXPECT_EQ(*unsealer.open(sealer.seal(big)), big);
+}
+
+TEST(Stream, WrongKeyRejected) {
+  Sealer sealer(key_of(4), "d");
+  Unsealer wrong(key_of(5), "d");
+  EXPECT_FALSE(wrong.open(sealer.seal(bytes_of("msg"))).has_value());
+}
+
+TEST(Stream, WrongDirectionRejected) {
+  // A->B traffic must not unseal with the B->A keys (reflection attack).
+  Sealer sealer(key_of(6), "a->b");
+  Unsealer reflected(key_of(6), "b->a");
+  EXPECT_FALSE(reflected.open(sealer.seal(bytes_of("msg"))).has_value());
+}
+
+TEST(Stream, TamperedCiphertextRejected) {
+  Sealer sealer(key_of(7), "d");
+  Unsealer unsealer(key_of(7), "d");
+  SealedMessage sealed = sealer.seal(bytes_of("integrity"));
+  sealed.ciphertext[0] ^= 1;
+  EXPECT_FALSE(unsealer.open(sealed).has_value());
+}
+
+TEST(Stream, TamperedTagRejected) {
+  Sealer sealer(key_of(8), "d");
+  Unsealer unsealer(key_of(8), "d");
+  SealedMessage sealed = sealer.seal(bytes_of("integrity"));
+  sealed.tag[15] ^= 0x80;
+  EXPECT_FALSE(unsealer.open(sealed).has_value());
+}
+
+TEST(Stream, TamperedCounterRejected) {
+  Sealer sealer(key_of(9), "d");
+  Unsealer unsealer(key_of(9), "d");
+  SealedMessage sealed = sealer.seal(bytes_of("integrity"));
+  sealed.counter += 5;  // tag covers the counter
+  EXPECT_FALSE(unsealer.open(sealed).has_value());
+}
+
+TEST(Stream, ReplayRejected) {
+  Sealer sealer(key_of(10), "d");
+  Unsealer unsealer(key_of(10), "d");
+  const SealedMessage sealed = sealer.seal(bytes_of("once"));
+  ASSERT_TRUE(unsealer.open(sealed).has_value());
+  EXPECT_FALSE(unsealer.open(sealed).has_value());  // replay
+}
+
+TEST(Stream, OutOfOrderOldMessagesRejected) {
+  Sealer sealer(key_of(11), "d");
+  Unsealer unsealer(key_of(11), "d");
+  const SealedMessage first = sealer.seal(bytes_of("1"));
+  const SealedMessage second = sealer.seal(bytes_of("2"));
+  ASSERT_TRUE(unsealer.open(second).has_value());
+  EXPECT_FALSE(unsealer.open(first).has_value());  // floor advanced past it
+}
+
+TEST(Stream, CountersIncreaseAndKeystreamsDiffer) {
+  Sealer sealer(key_of(12), "d");
+  const SealedMessage m1 = sealer.seal(bytes_of("same plaintext"));
+  const SealedMessage m2 = sealer.seal(bytes_of("same plaintext"));
+  EXPECT_LT(m1.counter, m2.counter);
+  EXPECT_NE(m1.ciphertext, m2.ciphertext);  // fresh keystream per counter
+}
+
+TEST(Stream, WireRoundTrip) {
+  Sealer sealer(key_of(13), "d");
+  const SealedMessage sealed = sealer.seal(bytes_of("wire"));
+  const auto parsed = SealedMessage::from_bytes(sealed.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counter, sealed.counter);
+  EXPECT_EQ(parsed->ciphertext, sealed.ciphertext);
+  EXPECT_EQ(parsed->tag, sealed.tag);
+}
+
+TEST(Stream, FromBytesRejectsShortInput) {
+  const std::vector<std::uint8_t> short_input(8 + kSealTagBytes - 1, 0);
+  EXPECT_FALSE(SealedMessage::from_bytes(short_input).has_value());
+}
+
+}  // namespace
+}  // namespace jrsnd::crypto

@@ -1,0 +1,133 @@
+#include "dsss/spreader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::dsss {
+namespace {
+
+TEST(Spreader, PaperExampleFromSectionIII) {
+  // Message "10" with code "+1-1-1+1" -> chips "+1-1-1+1 -1+1+1-1".
+  const SpreadCode code(BitVector::from_string("1001"));
+  const BitVector message = BitVector::from_string("10");
+  const BitVector chips = spread(message, code);
+  EXPECT_EQ(chips.to_string(), "10010110");
+}
+
+TEST(Spreader, OutputLengthIsBitsTimesN) {
+  Rng rng(1);
+  const SpreadCode code = SpreadCode::random(rng, 128);
+  const BitVector message = BitVector::from_string("10110");
+  EXPECT_EQ(spread(message, code).size(), 5u * 128u);
+}
+
+TEST(Spreader, DespreadRecoversCleanMessage) {
+  Rng rng(2);
+  const SpreadCode code = SpreadCode::random(rng, 256);
+  BitVector message(40);
+  for (std::size_t i = 0; i < 40; ++i) message.set(i, rng.bernoulli(0.5));
+  const BitVector chips = spread(message, code);
+  const DespreadResult result = despread(chips, 0, 40, code, 0.15);
+  EXPECT_EQ(result.bits, message);
+  EXPECT_TRUE(result.erased_bits.empty());
+}
+
+TEST(Spreader, DespreadBitCorrelationIsExact) {
+  Rng rng(3);
+  const SpreadCode code = SpreadCode::random(rng, 512);
+  const BitVector chips = spread(BitVector::from_string("1"), code);
+  const DespreadBit bit = despread_bit(chips, 0, code, 0.15);
+  EXPECT_TRUE(bit.value);
+  EXPECT_FALSE(bit.erased);
+  EXPECT_DOUBLE_EQ(bit.correlation, 1.0);
+}
+
+TEST(Spreader, ZeroBitDespreadsToMinusCorrelation) {
+  Rng rng(4);
+  const SpreadCode code = SpreadCode::random(rng, 512);
+  const BitVector chips = spread(BitVector::from_string("0"), code);
+  const DespreadBit bit = despread_bit(chips, 0, code, 0.15);
+  EXPECT_FALSE(bit.value);
+  EXPECT_FALSE(bit.erased);
+  EXPECT_DOUBLE_EQ(bit.correlation, -1.0);
+}
+
+TEST(Spreader, CorruptedChipsLowerCorrelation) {
+  Rng rng(5);
+  const std::size_t n = 512;
+  const SpreadCode code = SpreadCode::random(rng, n);
+  BitVector chips = spread(BitVector::from_string("1"), code);
+  // Flip 40% of chips: corr drops to (n - 2*flips)/n ~ 0.2.
+  const std::size_t flips = n * 2 / 5;
+  for (std::size_t i = 0; i < flips; ++i) chips.flip(i);
+  const DespreadBit bit = despread_bit(chips, 0, code, 0.15);
+  const double expected =
+      (static_cast<double>(n) - 2.0 * static_cast<double>(flips)) / static_cast<double>(n);
+  EXPECT_NEAR(bit.correlation, expected, 1e-9);
+  EXPECT_TRUE(bit.value);  // still above tau = 0.15
+}
+
+TEST(Spreader, HalfCorruptedChipsBecomeErasure) {
+  Rng rng(6);
+  const std::size_t n = 512;
+  const SpreadCode code = SpreadCode::random(rng, n);
+  BitVector chips = spread(BitVector::from_string("1"), code);
+  for (std::size_t i = 0; i < n / 2; ++i) chips.flip(i * 2);  // corr -> 0
+  const DespreadBit bit = despread_bit(chips, 0, code, 0.15);
+  EXPECT_TRUE(bit.erased);
+  EXPECT_NEAR(bit.correlation, 0.0, 1e-9);
+}
+
+TEST(Spreader, ErasedBitIndicesReported) {
+  Rng rng(7);
+  const std::size_t n = 256;
+  const SpreadCode code = SpreadCode::random(rng, n);
+  BitVector message(10);
+  for (std::size_t i = 0; i < 10; ++i) message.set(i, i % 2 == 0);
+  BitVector chips = spread(message, code);
+  // Destroy bit 3's and bit 7's chip windows (set to alternating garbage
+  // with zero correlation: flip every other chip).
+  for (const std::size_t victim : {3u, 7u}) {
+    for (std::size_t c = 0; c < n; c += 2) chips.flip(victim * n + c);
+  }
+  const DespreadResult result = despread(chips, 0, 10, code, 0.15);
+  EXPECT_EQ(result.erased_bits, (std::vector<std::size_t>{3, 7}));
+}
+
+TEST(Spreader, DespreadAtNonzeroOffset) {
+  Rng rng(8);
+  const SpreadCode code = SpreadCode::random(rng, 128);
+  BitVector message(8);
+  for (std::size_t i = 0; i < 8; ++i) message.set(i, rng.bernoulli(0.5));
+  BitVector buffer(50);  // leading noise
+  for (std::size_t i = 0; i < 50; ++i) buffer.set(i, rng.bernoulli(0.5));
+  buffer.append(spread(message, code));
+  const DespreadResult result = despread(buffer, 50, 8, code, 0.15);
+  EXPECT_EQ(result.bits, message);
+}
+
+TEST(Spreader, WindowBeyondBufferThrows) {
+  Rng rng(9);
+  const SpreadCode code = SpreadCode::random(rng, 128);
+  const BitVector chips = spread(BitVector::from_string("1"), code);
+  EXPECT_THROW((void)despread(chips, 1, 1, code, 0.15), std::invalid_argument);
+  EXPECT_THROW((void)despread(chips, 0, 2, code, 0.15), std::invalid_argument);
+}
+
+TEST(Spreader, WrongCodeDespreadsToNoise) {
+  Rng rng(10);
+  const SpreadCode code = SpreadCode::random(rng, 512);
+  const SpreadCode other = SpreadCode::random(rng, 512);
+  BitVector message(20);
+  for (std::size_t i = 0; i < 20; ++i) message.set(i, rng.bernoulli(0.5));
+  const BitVector chips = spread(message, code);
+  const DespreadResult result = despread(chips, 0, 20, other, 0.15);
+  // Nearly every bit should be an erasure: |corr| ~ N(0, 1/512).
+  EXPECT_GT(result.erased_bits.size(), 17u);
+}
+
+}  // namespace
+}  // namespace jrsnd::dsss

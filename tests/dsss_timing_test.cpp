@@ -1,0 +1,99 @@
+#include "dsss/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace jrsnd::dsss {
+namespace {
+
+TimingInputs paper_inputs() {
+  // Table I: N = 512, R = 22 Mb/s, rho = 1e-11 s/bit, m = 100,
+  // l_h = (1+mu)(l_t + l_id) = 2 * 21 = 42.
+  TimingInputs in;
+  in.code_length_chips = 512;
+  in.chip_rate_bps = 22e6;
+  in.rho_seconds_per_bit = 1e-11;
+  in.codes_per_node = 100;
+  in.hello_coded_bits = 42;
+  return in;
+}
+
+TEST(Timing, HelloTimeMatchesFormula) {
+  const TimingModel t(paper_inputs());
+  EXPECT_NEAR(t.hello_time().seconds(), 42.0 * 512.0 / 22e6, 1e-12);
+}
+
+TEST(Timing, BufferTimeIsMPlus1Hellos) {
+  const TimingModel t(paper_inputs());
+  EXPECT_NEAR(t.buffer_time().seconds(), 101.0 * t.hello_time().seconds(), 1e-12);
+}
+
+TEST(Timing, LambdaMatchesPaperFormula) {
+  // lambda = rho N m R = 1e-11 * 512 * 100 * 22e6 ~= 11.3.
+  const TimingModel t(paper_inputs());
+  EXPECT_NEAR(t.lambda(), 1e-11 * 512 * 100 * 22e6, 1e-9);
+}
+
+TEST(Timing, PaperExampleLambda94) {
+  // The paper's worked example: rho ~= 8.3e-12, N = 512, m = 1000,
+  // R = 22 Mb/s gives lambda ~= 94.
+  TimingInputs in = paper_inputs();
+  in.rho_seconds_per_bit = 8.3e-12;
+  in.codes_per_node = 1000;
+  const TimingModel t(in);
+  EXPECT_NEAR(t.lambda(), 94.0, 1.0);
+}
+
+TEST(Timing, ProcessingTimeIsLambdaTimesBuffer) {
+  const TimingModel t(paper_inputs());
+  EXPECT_NEAR(t.processing_time().seconds(), t.lambda() * t.buffer_time().seconds(), 1e-12);
+}
+
+TEST(Timing, HelloRoundsFormula) {
+  // r = ceil((lambda + 1)(m + 1)/m).
+  const TimingModel t(paper_inputs());
+  const double expected = std::ceil((t.lambda() + 1.0) * 101.0 / 100.0);
+  EXPECT_EQ(t.hello_rounds(), static_cast<std::uint64_t>(expected));
+}
+
+TEST(Timing, BroadcastDurationCoversBufferPlusProcessing) {
+  // r m t_h >= (lambda + 1) t_b guarantees the receiver buffers a full copy.
+  const TimingModel t(paper_inputs());
+  EXPECT_GE(t.hello_broadcast_duration().seconds(),
+            (t.lambda() + 1.0) * t.buffer_time().seconds() - 1e-12);
+}
+
+TEST(Timing, BufferChipsIsRateTimesSpan) {
+  const TimingModel t(paper_inputs());
+  EXPECT_EQ(t.buffer_chips(),
+            static_cast<std::uint64_t>(std::llround(22e6 * t.buffer_time().seconds())));
+}
+
+TEST(Timing, MessageTimeScalesLinearly) {
+  const TimingModel t(paper_inputs());
+  EXPECT_NEAR(t.message_time(100).seconds(), 100.0 * 512.0 / 22e6, 1e-12);
+  EXPECT_NEAR(t.message_time(200).seconds(), 2.0 * t.message_time(100).seconds(), 1e-15);
+}
+
+TEST(Timing, DerivedFromParams) {
+  // Params::timing() must agree with the hand-built inputs.
+  const core::Params p = core::Params::defaults();
+  const TimingModel t(p.timing());
+  EXPECT_NEAR(t.hello_time().seconds(), p.l_h() * 512.0 / 22e6, 1e-12);
+}
+
+class TimingMSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TimingMSweep, LambdaGrowsLinearlyInM) {
+  TimingInputs in = paper_inputs();
+  in.codes_per_node = GetParam();
+  const TimingModel t(in);
+  EXPECT_NEAR(t.lambda(), 1e-11 * 512 * static_cast<double>(GetParam()) * 22e6, 1e-9);
+  EXPECT_GE(t.hello_rounds(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, TimingMSweep, ::testing::Values(20, 60, 100, 140, 200, 1000));
+
+}  // namespace
+}  // namespace jrsnd::dsss

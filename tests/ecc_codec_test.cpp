@@ -1,0 +1,181 @@
+#include "ecc/ecc_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace jrsnd::ecc {
+namespace {
+
+BitVector random_bits(Rng& rng, std::size_t n) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+TEST(EccCodec, RejectsNonPositiveMu) {
+  EXPECT_THROW(EccCodec(0.0), std::invalid_argument);
+  EXPECT_THROW(EccCodec(-1.0), std::invalid_argument);
+}
+
+TEST(EccCodec, RoundTripClean) {
+  const EccCodec codec(1.0);
+  Rng rng(1);
+  for (const std::size_t bits : {1u, 8u, 21u, 100u, 196u, 1000u, 3000u}) {
+    const BitVector payload = random_bits(rng, bits);
+    const BitVector coded = codec.encode(payload);
+    const auto decoded = codec.decode(coded, bits);
+    ASSERT_TRUE(decoded.has_value()) << bits << " bits";
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(EccCodec, CodedLengthNearNominal) {
+  const EccCodec codec(1.0);
+  // The actual coded length rounds to whole RS symbols; it must be at least
+  // the nominal (1+mu)L and within a couple of symbols above it.
+  for (const std::size_t bits : {21u, 196u, 512u, 2048u}) {
+    const std::size_t actual = codec.coded_length_bits(bits);
+    const std::size_t nominal = codec.nominal_coded_length_bits(bits);
+    EXPECT_GE(actual + 16, nominal) << bits;  // tolerance: rounding of k
+    EXPECT_LE(actual, nominal + 3 * 8 + 16) << bits;
+  }
+}
+
+TEST(EccCodec, EncodedSizeMatchesDeclared) {
+  const EccCodec codec(1.0);
+  Rng rng(2);
+  for (const std::size_t bits : {21u, 196u, 999u}) {
+    const BitVector payload = random_bits(rng, bits);
+    EXPECT_EQ(codec.encode(payload).size(), codec.coded_length_bits(bits));
+  }
+}
+
+TEST(EccCodec, ToleratesErasureFractionContiguous) {
+  // The paper's central claim: a contiguous jam of (slightly under)
+  // mu/(1+mu) of the coded message must be survivable when flagged erased.
+  const EccCodec codec(1.0);
+  Rng rng(3);
+  const std::size_t bits = 196;  // the auth-message payload size
+  const BitVector payload = random_bits(rng, bits);
+  BitVector coded = codec.encode(payload);
+
+  const auto burst = static_cast<std::size_t>(
+      static_cast<double>(coded.size()) * codec.erasure_tolerance() * 0.9);
+  std::vector<std::size_t> erased;
+  for (std::size_t i = 0; i < burst; ++i) {
+    coded.set(i, rng.bernoulli(0.5));  // jammer garbage
+    erased.push_back(i);
+  }
+  const auto decoded = codec.decode(coded, bits, erased);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(EccCodec, FailsWellBeyondTolerance) {
+  const EccCodec codec(1.0);
+  Rng rng(4);
+  const std::size_t bits = 196;
+  const BitVector payload = random_bits(rng, bits);
+  BitVector coded = codec.encode(payload);
+
+  // Erase 80% — far above the 50% tolerance.
+  const auto burst = static_cast<std::size_t>(static_cast<double>(coded.size()) * 0.8);
+  std::vector<std::size_t> erased;
+  for (std::size_t i = 0; i < burst; ++i) {
+    coded.flip(i);
+    erased.push_back(i);
+  }
+  EXPECT_FALSE(codec.decode(coded, bits, erased).has_value());
+}
+
+TEST(EccCodec, ToleratesScatteredBitErrorsWithinErrorCapacity) {
+  // Unflagged errors cost double: capacity is ~mu/(2(1+mu)) of the bits.
+  // Flip one bit in each of a few well-separated symbols.
+  const EccCodec codec(1.0);
+  Rng rng(5);
+  const std::size_t bits = 500;
+  const BitVector payload = random_bits(rng, bits);
+  BitVector coded = codec.encode(payload);
+  const std::size_t symbols = coded.size() / 8;
+  // Corrupt 10% of symbols (well under the ~25% error capacity).
+  for (std::size_t s = 0; s < symbols; s += 10) coded.flip(s * 8 + 3);
+  const auto decoded = codec.decode(coded, bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(EccCodec, InterleavingSpreadsBurstAcrossBlocks) {
+  // A multi-block payload (>127 data bytes at mu=1) hit by one contiguous
+  // burst of ~40% of the stream must still decode: interleaving splits the
+  // burst evenly so no single block exceeds its own capacity.
+  const EccCodec codec(1.0);
+  Rng rng(6);
+  const std::size_t bits = 300 * 8;  // 300 bytes -> 3 blocks
+  const BitVector payload = random_bits(rng, bits);
+  BitVector coded = codec.encode(payload);
+  const auto start = coded.size() / 4;
+  const auto len = static_cast<std::size_t>(static_cast<double>(coded.size()) * 0.4);
+  std::vector<std::size_t> erased;
+  for (std::size_t i = start; i < start + len && i < coded.size(); ++i) {
+    coded.set(i, rng.bernoulli(0.5));
+    erased.push_back(i);
+  }
+  const auto decoded = codec.decode(coded, bits, erased);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(EccCodec, WrongReceivedLengthRejected) {
+  const EccCodec codec(1.0);
+  Rng rng(7);
+  const BitVector payload = random_bits(rng, 21);
+  BitVector coded = codec.encode(payload);
+  coded.push_back(false);
+  EXPECT_FALSE(codec.decode(coded, 21).has_value());
+}
+
+TEST(EccCodec, ErasureIndexOutOfRangeRejected) {
+  const EccCodec codec(1.0);
+  Rng rng(8);
+  const BitVector payload = random_bits(rng, 21);
+  const BitVector coded = codec.encode(payload);
+  const std::vector<std::size_t> bad = {coded.size()};
+  EXPECT_FALSE(codec.decode(coded, 21, bad).has_value());
+}
+
+TEST(EccCodec, EmptyPayloadRejected) {
+  const EccCodec codec(1.0);
+  EXPECT_THROW((void)codec.encode(BitVector()), std::invalid_argument);
+  EXPECT_FALSE(codec.decode(BitVector(16), 0).has_value());
+}
+
+class EccMuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EccMuSweep, ToleranceScalesWithMu) {
+  const double mu = GetParam();
+  const EccCodec codec(mu);
+  Rng rng(static_cast<std::uint64_t>(mu * 1000));
+  const std::size_t bits = 200;
+  const BitVector payload = random_bits(rng, bits);
+  BitVector coded = codec.encode(payload);
+
+  // Erase slightly under the advertised tolerance — must decode.
+  const auto burst = static_cast<std::size_t>(
+      static_cast<double>(coded.size()) * codec.erasure_tolerance() * 0.85);
+  std::vector<std::size_t> erased;
+  for (std::size_t i = 0; i < burst; ++i) {
+    coded.set(i, rng.bernoulli(0.5));
+    erased.push_back(i);
+  }
+  const auto decoded = codec.decode(coded, bits, erased);
+  ASSERT_TRUE(decoded.has_value()) << "mu=" << mu;
+  EXPECT_EQ(*decoded, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, EccMuSweep, ::testing::Values(0.25, 0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace jrsnd::ecc

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "baselines/global_code.hpp"
+#include "baselines/pairwise_code.hpp"
+#include "baselines/public_code_set.hpp"
+#include "core/analysis.hpp"
+
+namespace jrsnd::baselines {
+namespace {
+
+TEST(GlobalCode, CollapsesOnFirstCompromise) {
+  const GlobalCodeScheme intact(2000, 0);
+  EXPECT_DOUBLE_EQ(intact.discovery_probability_reactive(), 1.0);
+  const GlobalCodeScheme broken(2000, 1);
+  EXPECT_DOUBLE_EQ(broken.discovery_probability_reactive(), 0.0);
+  EXPECT_DOUBLE_EQ(broken.discovery_probability_random(), 0.0);
+}
+
+TEST(GlobalCode, JrsndSurvivesWhereGlobalCollapses) {
+  // The paper's motivating contrast: at q = 20, JR-SND's analytic lower
+  // bound is far above zero while the global-code scheme is dead.
+  core::Params p = core::Params::defaults();
+  p.q = 20;
+  const auto t1 = core::theorem1(p);
+  EXPECT_GT(t1.p_lower, 0.5);
+  const GlobalCodeScheme global(p.n, p.q);
+  EXPECT_DOUBLE_EQ(global.discovery_probability_reactive(), 0.0);
+}
+
+TEST(PairwiseCode, SurvivalIsIdealButLatencyExplodes) {
+  core::Params p = core::Params::defaults();
+  const PairwiseCodeScheme pairwise(p);
+  EXPECT_EQ(pairwise.codes_per_node(), p.n - 1);
+
+  // Survival: only pairs touching a compromised endpoint break.
+  EXPECT_NEAR(pairwise.pair_code_survival(), (1980.0 * 1979.0) / (2000.0 * 1999.0), 1e-12);
+
+  // Latency: scanning n-1 = 1999 codes instead of m = 100 blows the
+  // quadratic identification term up by ~(1999/100)^2 ~ 400x.
+  const double jrsnd_latency = core::theorem2_dndp_latency(p);
+  EXPECT_GT(pairwise.discovery_latency_s(), 100.0 * jrsnd_latency);
+  // Concretely: several minutes — unusable for mobile encounters.
+  EXPECT_GT(pairwise.discovery_latency_s(), 300.0);
+}
+
+TEST(PairwiseCode, LambdaScalesWithN) {
+  core::Params p = core::Params::defaults();
+  const PairwiseCodeScheme pairwise(p);
+  EXPECT_NEAR(pairwise.lambda(), p.rho * 512.0 * 1999.0 * 22e6, 1e-6);
+}
+
+TEST(PairwiseCode, FullCompromiseKillsEverything) {
+  core::Params p = core::Params::defaults();
+  p.q = p.n;
+  const PairwiseCodeScheme pairwise(p);
+  EXPECT_DOUBLE_EQ(pairwise.pair_code_survival(), 0.0);
+}
+
+TEST(PublicCodeSet, SurvivalDependsOnSetSize) {
+  const PublicCodeSetScheme small_set(16, 8);
+  EXPECT_DOUBLE_EQ(small_set.message_survival_probability(), 0.5);
+  const PublicCodeSetScheme large_set(1024, 8);
+  EXPECT_NEAR(large_set.message_survival_probability(), 1.0 - 8.0 / 1024.0, 1e-12);
+  const PublicCodeSetScheme overwhelmed(8, 16);
+  EXPECT_DOUBLE_EQ(overwhelmed.message_survival_probability(), 0.0);
+}
+
+TEST(PublicCodeSet, SimulatedRateMatchesFormula) {
+  const PublicCodeSetScheme scheme(64, 8);
+  Rng rng(1);
+  int survived = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) survived += scheme.simulate_message(rng);
+  EXPECT_NEAR(static_cast<double>(survived) / kTrials,
+              scheme.message_survival_probability(), 0.01);
+}
+
+TEST(PublicCodeSet, DosCostIsLinearInAttackerBudget) {
+  EXPECT_EQ(PublicCodeSetScheme::dos_verifications(10, 5), 50u);
+  EXPECT_EQ(PublicCodeSetScheme::dos_verifications(1000000, 20), 20000000u);
+  // Doubling the attacker budget doubles the victims' work — no cap.
+  EXPECT_EQ(PublicCodeSetScheme::dos_verifications(2000000, 20),
+            2 * PublicCodeSetScheme::dos_verifications(1000000, 20));
+}
+
+}  // namespace
+}  // namespace jrsnd::baselines

@@ -1,0 +1,173 @@
+// End-to-end experiment-driver tests on a scaled-down world (n = 300 in a
+// 2 km field keeps the density — and therefore g — near the paper's).
+#include "core/discovery_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace jrsnd::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.params = Params::defaults();
+  cfg.params.n = 300;
+  cfg.params.m = 20;
+  cfg.params.l = 15;
+  cfg.params.q = 5;
+  cfg.params.field_width = 2000.0;
+  cfg.params.field_height = 2000.0;
+  cfg.params.runs = 3;
+  cfg.base_seed = 42;
+  return cfg;
+}
+
+TEST(DiscoverySim, RunOnceIsDeterministic) {
+  const DiscoverySimulator sim(small_config());
+  const RunResult r1 = sim.run_once(7);
+  const RunResult r2 = sim.run_once(7);
+  EXPECT_EQ(r1.physical_pairs, r2.physical_pairs);
+  EXPECT_EQ(r1.dndp_discovered, r2.dndp_discovered);
+  EXPECT_EQ(r1.mndp_recovered, r2.mndp_recovered);
+  EXPECT_EQ(r1.compromised_codes, r2.compromised_codes);
+  EXPECT_DOUBLE_EQ(r1.latency_dndp_s, r2.latency_dndp_s);
+}
+
+TEST(DiscoverySim, DifferentSeedsDiffer) {
+  const DiscoverySimulator sim(small_config());
+  const RunResult r1 = sim.run_once(1);
+  const RunResult r2 = sim.run_once(2);
+  EXPECT_NE(r1.dndp_discovered, r2.dndp_discovered);
+}
+
+TEST(DiscoverySim, NoAdversaryMatchesSharingProbability) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 0;
+  cfg.jammer = JammerKind::None;
+  cfg.params.runs = 5;
+  const DiscoverySimulator sim(cfg);
+  const PointResult point = sim.run_all();
+  const double expected = pr_share_at_least_one(cfg.params);
+  EXPECT_NEAR(point.p_dndp.mean(), expected, 0.03);
+  // JR-SND dominates D-NDP.
+  EXPECT_GE(point.p_jrsnd.mean(), point.p_dndp.mean());
+  EXPECT_GT(point.p_jrsnd.mean(), 0.95);
+}
+
+TEST(DiscoverySim, ReactiveJammingMatchesTheorem1LowerBound) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 20;
+  cfg.params.runs = 5;
+  cfg.jammer = JammerKind::Reactive;
+  const DiscoverySimulator sim(cfg);
+  const PointResult point = sim.run_all();
+  const Theorem1Result bounds = theorem1(cfg.params);
+  // Reactive jamming is exactly the P^- regime.
+  EXPECT_NEAR(point.p_dndp.mean(), bounds.p_lower, 0.05);
+}
+
+TEST(DiscoverySim, RandomJammerBetweenBounds) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 20;
+  cfg.params.runs = 5;
+  cfg.jammer = JammerKind::Random;
+  const DiscoverySimulator sim(cfg);
+  const PointResult point = sim.run_all();
+  const Theorem1Result bounds = theorem1(cfg.params);
+  EXPECT_GE(point.p_dndp.mean(), bounds.p_lower - 0.05);
+  EXPECT_LE(point.p_dndp.mean(), bounds.p_upper + 0.05);
+}
+
+TEST(DiscoverySim, ReactiveWorseThanRandomWorseThanClean) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 25;
+  cfg.params.runs = 4;
+
+  cfg.jammer = JammerKind::Reactive;
+  const double reactive = DiscoverySimulator(cfg).run_all().p_dndp.mean();
+  cfg.jammer = JammerKind::Random;
+  const double random_j = DiscoverySimulator(cfg).run_all().p_dndp.mean();
+  cfg.jammer = JammerKind::None;
+  const double clean = DiscoverySimulator(cfg).run_all().p_dndp.mean();
+
+  EXPECT_LE(reactive, random_j + 0.02);
+  EXPECT_LE(random_j, clean + 0.02);
+  EXPECT_LT(reactive, clean);
+}
+
+TEST(DiscoverySim, MndpRecoversFailedPairs) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 30;  // push D-NDP down so M-NDP has work
+  cfg.params.runs = 3;
+  const DiscoverySimulator sim(cfg);
+  const PointResult point = sim.run_all();
+  EXPECT_GT(point.p_mndp.mean(), 0.0);
+  EXPECT_GT(point.p_jrsnd.mean(), point.p_dndp.mean());
+}
+
+TEST(DiscoverySim, LargerNuRecoversMore) {
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 40;
+  cfg.params.runs = 3;
+  cfg.params.nu = 2;
+  const double p2 = DiscoverySimulator(cfg).run_all().p_mndp.mean();
+  cfg.params.nu = 6;
+  const double p6 = DiscoverySimulator(cfg).run_all().p_mndp.mean();
+  EXPECT_GE(p6, p2);
+}
+
+TEST(DiscoverySim, FullMndpEngineAgreesWithGraphClosure) {
+  // The protocol-level M-NDP and the graph-level evaluation must agree
+  // closely (same logical graph, same reachability semantics).
+  ExperimentConfig cfg = small_config();
+  cfg.params.n = 150;
+  cfg.params.q = 20;
+  cfg.params.runs = 2;
+  cfg.base_seed = 5;
+
+  cfg.full_mndp = false;
+  const PointResult graph = DiscoverySimulator(cfg).run_all();
+  cfg.full_mndp = true;
+  const PointResult full = DiscoverySimulator(cfg).run_all();
+
+  EXPECT_EQ(graph.p_dndp.count(), full.p_dndp.count());
+  EXPECT_NEAR(graph.p_dndp.mean(), full.p_dndp.mean(), 1e-9);  // same D-NDP phase
+  // The conditional recovery rate is the discriminating comparison: the
+  // graph closure predicts it, the engine executes it.
+  EXPECT_NEAR(graph.p_mndp_conditional.mean(), full.p_mndp_conditional.mean(), 0.10);
+}
+
+TEST(DiscoverySim, LatencyFieldsAreSane) {
+  const DiscoverySimulator sim(small_config());
+  const RunResult r = sim.run_once(3);
+  EXPECT_GT(r.latency_dndp_s, 0.0);
+  EXPECT_GT(r.latency_mndp_s, 0.0);
+  EXPECT_GE(r.latency_jrsnd_s, r.latency_dndp_s);
+  EXPECT_GE(r.latency_jrsnd_s, r.latency_mndp_s);
+  // m = 20 here: identification is fast; everything well under a second.
+  EXPECT_LT(r.latency_dndp_s, 1.0);
+}
+
+TEST(DiscoverySim, DegreeMatchesDensity) {
+  const DiscoverySimulator sim(small_config());
+  const RunResult r = sim.run_once(11);
+  const double expected = expected_degree(small_config().params);
+  EXPECT_NEAR(r.avg_degree, expected, expected * 0.25);
+}
+
+TEST(DiscoverySim, RedundancyAblationNeverHelpsTheAttacker) {
+  // Naive (no redundancy) D-NDP under random jamming is at most as good.
+  ExperimentConfig cfg = small_config();
+  cfg.params.q = 30;
+  cfg.params.runs = 4;
+  cfg.jammer = JammerKind::Random;
+  cfg.redundancy = true;
+  const double with = DiscoverySimulator(cfg).run_all().p_dndp.mean();
+  cfg.redundancy = false;
+  const double without = DiscoverySimulator(cfg).run_all().p_dndp.mean();
+  EXPECT_GE(with, without - 0.02);
+}
+
+}  // namespace
+}  // namespace jrsnd::core

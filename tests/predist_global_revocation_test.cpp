@@ -1,0 +1,89 @@
+#include "predist/global_revocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jrsnd::predist {
+namespace {
+
+struct Fixture {
+  crypto::IbcAuthority ibc{777};
+  RevocationIssuer issuer{ibc.issue(kAuthorityId)};
+  RevocationListener listener{ibc.oracle()};
+  RevocationState state{5, {code_id(1), code_id(2), code_id(3), code_id(4)}};
+};
+
+TEST(GlobalRevocation, ValidListPurgesHeldCodes) {
+  Fixture f;
+  const RevocationList list = f.issuer.issue({code_id(2), code_id(4), code_id(99)});
+  std::size_t purged = 0;
+  EXPECT_EQ(f.listener.apply(list, f.state, &purged), RevocationListener::Outcome::Applied);
+  EXPECT_EQ(purged, 2u);  // code 99 is not held
+  EXPECT_TRUE(f.state.is_revoked(code_id(2)));
+  EXPECT_TRUE(f.state.is_revoked(code_id(4)));
+  EXPECT_TRUE(f.state.is_usable(code_id(1)));
+  EXPECT_TRUE(f.state.is_usable(code_id(3)));
+}
+
+TEST(GlobalRevocation, ForgedListRejected) {
+  Fixture f;
+  // An attacker signs with a captured ordinary node's key.
+  RevocationIssuer forger(f.ibc.issue(node_id(5)));
+  const RevocationList forged = forger.issue({code_id(1)});
+  EXPECT_EQ(f.listener.apply(forged, f.state), RevocationListener::Outcome::BadSignature);
+  EXPECT_TRUE(f.state.is_usable(code_id(1)));
+}
+
+TEST(GlobalRevocation, TamperedListRejected) {
+  Fixture f;
+  RevocationList list = f.issuer.issue({code_id(1)});
+  list.revoked.push_back(code_id(2));  // attacker extends the list
+  EXPECT_EQ(f.listener.apply(list, f.state), RevocationListener::Outcome::BadSignature);
+  EXPECT_TRUE(f.state.is_usable(code_id(2)));
+}
+
+TEST(GlobalRevocation, ReplayedListRejected) {
+  Fixture f;
+  const RevocationList first = f.issuer.issue({code_id(1)});
+  ASSERT_EQ(f.listener.apply(first, f.state), RevocationListener::Outcome::Applied);
+  EXPECT_EQ(f.listener.apply(first, f.state), RevocationListener::Outcome::Stale);
+}
+
+TEST(GlobalRevocation, StaleSequenceRejected) {
+  Fixture f;
+  const RevocationList first = f.issuer.issue({code_id(1)});
+  const RevocationList second = f.issuer.issue({code_id(2)});
+  ASSERT_EQ(f.listener.apply(second, f.state), RevocationListener::Outcome::Applied);
+  // The older list arrives late: rejected, code 1 stays usable.
+  EXPECT_EQ(f.listener.apply(first, f.state), RevocationListener::Outcome::Stale);
+  EXPECT_TRUE(f.state.is_usable(code_id(1)));
+}
+
+TEST(GlobalRevocation, SequencesIncrease) {
+  Fixture f;
+  const RevocationList a = f.issuer.issue({});
+  const RevocationList b = f.issuer.issue({});
+  EXPECT_LT(a.sequence, b.sequence);
+}
+
+TEST(GlobalRevocation, RevokeIsIdempotentAcrossMechanisms) {
+  // Local counter-based revocation first, then a global list naming the
+  // same code: purged count reflects only fresh revocations.
+  Fixture f;
+  for (int i = 0; i <= 5; ++i) (void)f.state.report_invalid(code_id(1));
+  ASSERT_TRUE(f.state.is_revoked(code_id(1)));
+  const RevocationList list = f.issuer.issue({code_id(1), code_id(2)});
+  std::size_t purged = 0;
+  EXPECT_EQ(f.listener.apply(list, f.state, &purged), RevocationListener::Outcome::Applied);
+  EXPECT_EQ(purged, 1u);
+}
+
+TEST(GlobalRevocation, DifferentAuthorityOracleRejects) {
+  Fixture f;
+  crypto::IbcAuthority other(778);
+  RevocationIssuer other_issuer(other.issue(kAuthorityId));
+  const RevocationList list = other_issuer.issue({code_id(1)});
+  EXPECT_EQ(f.listener.apply(list, f.state), RevocationListener::Outcome::BadSignature);
+}
+
+}  // namespace
+}  // namespace jrsnd::predist

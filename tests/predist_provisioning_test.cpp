@@ -1,0 +1,97 @@
+#include "predist/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jrsnd::predist {
+namespace {
+
+CodePoolAuthority make_authority() {
+  PredistParams p;
+  p.node_count = 20;
+  p.codes_per_node = 5;
+  p.holders_per_code = 4;
+  p.code_length_chips = 100;  // deliberately not byte-aligned
+  return CodePoolAuthority(p, Rng(1));
+}
+
+TEST(Provisioning, BlobMatchesAuthorityState) {
+  const auto authority = make_authority();
+  const NodeProvisioning blob = provision_node(authority, node_id(3));
+  EXPECT_EQ(blob.id, node_id(3));
+  EXPECT_EQ(blob.code_length_chips, 100u);
+  EXPECT_EQ(blob.code_ids, authority.assignment().codes_of(node_id(3)));
+  ASSERT_EQ(blob.code_patterns.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(blob.code_patterns[i], authority.code(blob.code_ids[i]).bits());
+  }
+}
+
+TEST(Provisioning, SerializeParseRoundTrip) {
+  const auto authority = make_authority();
+  const NodeProvisioning blob = provision_node(authority, node_id(7));
+  const auto parsed = NodeProvisioning::parse(blob.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, blob);
+}
+
+TEST(Provisioning, EveryNodeRoundTrips) {
+  const auto authority = make_authority();
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const NodeProvisioning blob = provision_node(authority, node_id(i));
+    const auto parsed = NodeProvisioning::parse(blob.serialize());
+    ASSERT_TRUE(parsed.has_value()) << "node " << i;
+    EXPECT_EQ(*parsed, blob);
+  }
+}
+
+TEST(Provisioning, ChecksumCatchesCorruption) {
+  const auto authority = make_authority();
+  std::vector<std::uint8_t> bytes = provision_node(authority, node_id(0)).serialize();
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{5}, std::size_t{20}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> corrupted = bytes;
+    corrupted[pos] ^= 0x40;
+    EXPECT_FALSE(NodeProvisioning::parse(corrupted).has_value()) << "pos " << pos;
+  }
+}
+
+TEST(Provisioning, TruncationRejected) {
+  const auto authority = make_authority();
+  const std::vector<std::uint8_t> bytes = provision_node(authority, node_id(0)).serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 13) {
+    EXPECT_FALSE(NodeProvisioning::parse(
+                     std::span<const std::uint8_t>(bytes.data(), cut))
+                     .has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(Provisioning, TrailingGarbageRejected) {
+  const auto authority = make_authority();
+  std::vector<std::uint8_t> bytes = provision_node(authority, node_id(0)).serialize();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(NodeProvisioning::parse(bytes).has_value());
+}
+
+TEST(Provisioning, WrongMagicOrVersionRejected) {
+  const auto authority = make_authority();
+  const NodeProvisioning blob = provision_node(authority, node_id(0));
+  {
+    std::vector<std::uint8_t> bytes = blob.serialize();
+    bytes[0] = 'X';  // checksum will also fail, but even a fixed-up one must
+    EXPECT_FALSE(NodeProvisioning::parse(bytes).has_value());
+  }
+}
+
+TEST(Provisioning, ParsedPatternsDriveDsss) {
+  // A radio flashed from the blob can spread/despread like the original.
+  const auto authority = make_authority();
+  const NodeProvisioning blob = provision_node(authority, node_id(5));
+  const auto parsed = NodeProvisioning::parse(blob.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  const dsss::SpreadCode code(parsed->code_patterns[0], parsed->code_ids[0]);
+  EXPECT_DOUBLE_EQ(code.correlate(authority.code(parsed->code_ids[0]).bits()), 1.0);
+}
+
+}  // namespace
+}  // namespace jrsnd::predist

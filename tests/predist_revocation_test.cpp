@@ -1,0 +1,88 @@
+#include "predist/revocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jrsnd::predist {
+namespace {
+
+std::vector<CodeId> three_codes() { return {code_id(1), code_id(2), code_id(3)}; }
+
+TEST(Revocation, FreshStateIsAllUsable) {
+  const RevocationState state(5, three_codes());
+  EXPECT_TRUE(state.is_usable(code_id(1)));
+  EXPECT_FALSE(state.is_revoked(code_id(1)));
+  EXPECT_EQ(state.usable_codes().size(), 3u);
+  EXPECT_EQ(state.total_invalid_verifications(), 0u);
+}
+
+TEST(Revocation, UnknownCodeIsNotUsable) {
+  const RevocationState state(5, three_codes());
+  EXPECT_FALSE(state.is_usable(code_id(99)));
+  EXPECT_FALSE(state.is_revoked(code_id(99)));
+  EXPECT_EQ(state.invalid_count(code_id(99)), 0u);
+}
+
+TEST(Revocation, ThresholdCrossingRevokes) {
+  RevocationState state(3, three_codes());
+  EXPECT_FALSE(state.report_invalid(code_id(1)));  // 1
+  EXPECT_FALSE(state.report_invalid(code_id(1)));  // 2
+  EXPECT_FALSE(state.report_invalid(code_id(1)));  // 3 == gamma: not yet
+  EXPECT_TRUE(state.report_invalid(code_id(1)));   // 4 > gamma: revoked
+  EXPECT_TRUE(state.is_revoked(code_id(1)));
+  EXPECT_FALSE(state.is_usable(code_id(1)));
+  EXPECT_EQ(state.usable_codes().size(), 2u);
+}
+
+TEST(Revocation, RevokedCodeStopsCounting) {
+  RevocationState state(1, three_codes());
+  (void)state.report_invalid(code_id(2));
+  (void)state.report_invalid(code_id(2));  // revokes (2 > 1)
+  ASSERT_TRUE(state.is_revoked(code_id(2)));
+  const std::uint64_t before = state.total_invalid_verifications();
+  EXPECT_FALSE(state.report_invalid(code_id(2)));  // no longer de-spread
+  EXPECT_EQ(state.total_invalid_verifications(), before);
+}
+
+TEST(Revocation, PerCodeCountersAreIndependent) {
+  RevocationState state(2, three_codes());
+  (void)state.report_invalid(code_id(1));
+  (void)state.report_invalid(code_id(1));
+  (void)state.report_invalid(code_id(2));
+  EXPECT_EQ(state.invalid_count(code_id(1)), 2u);
+  EXPECT_EQ(state.invalid_count(code_id(2)), 1u);
+  EXPECT_EQ(state.invalid_count(code_id(3)), 0u);
+  EXPECT_FALSE(state.is_revoked(code_id(1)));
+}
+
+TEST(Revocation, GammaZeroRevokesOnFirstReport) {
+  RevocationState state(0, three_codes());
+  EXPECT_TRUE(state.report_invalid(code_id(3)));
+  EXPECT_TRUE(state.is_revoked(code_id(3)));
+  EXPECT_EQ(state.total_invalid_verifications(), 1u);
+}
+
+TEST(Revocation, ReportOnUnknownCodeThrows) {
+  RevocationState state(5, three_codes());
+  EXPECT_THROW((void)state.report_invalid(code_id(99)), std::invalid_argument);
+}
+
+TEST(Revocation, TotalCountsAcrossCodes) {
+  RevocationState state(10, three_codes());
+  for (int i = 0; i < 4; ++i) (void)state.report_invalid(code_id(1));
+  for (int i = 0; i < 6; ++i) (void)state.report_invalid(code_id(2));
+  EXPECT_EQ(state.total_invalid_verifications(), 10u);
+}
+
+TEST(Revocation, WorstCaseCostIsGammaPlusOnePerCode) {
+  // The defence bound: a node verifies at most gamma+1 bad requests per
+  // code before going deaf on it.
+  const std::uint32_t gamma = 7;
+  RevocationState state(gamma, three_codes());
+  for (int i = 0; i < 100; ++i) (void)state.report_invalid(code_id(1));
+  EXPECT_EQ(state.total_invalid_verifications(), gamma + 1u);
+}
+
+}  // namespace
+}  // namespace jrsnd::predist

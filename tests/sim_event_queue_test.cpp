@@ -1,0 +1,150 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace jrsnd::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 0.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(TimePoint(3.0), [&] { order.push_back(3); });
+  q.schedule_at(TimePoint(1.0), [&] { order.push_back(1); });
+  q.schedule_at(TimePoint(2.0), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(TimePoint(1.0), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(TimePoint(5.0), [&] {
+    q.schedule_after(seconds(2.0), [&] { fired_at = q.now().seconds(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(TimePoint(5.0), [] {});
+  q.run();
+  EXPECT_THROW((void)q.schedule_at(TimePoint(4.0), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto h = q.schedule_at(TimePoint(1.0), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(h));
+  q.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const auto h = q.schedule_at(TimePoint(1.0), [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandleFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelAfterExecutionFails) {
+  EventQueue q;
+  const auto h = q.schedule_at(TimePoint(1.0), [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(TimePoint(i), [&] { ++count; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(TimePoint(10.0)), 0u);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 10.0);
+}
+
+TEST(EventQueue, RunUntilExecutesOnlyDueEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(TimePoint(1.0), [&] { order.push_back(1); });
+  q.schedule_at(TimePoint(5.0), [&] { order.push_back(5); });
+  q.schedule_at(TimePoint(9.0), [&] { order.push_back(9); });
+  EXPECT_EQ(q.run_until(TimePoint(5.0)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) q.schedule_after(seconds(1.0), recur);
+  };
+  q.schedule_at(TimePoint(0.0), recur);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 4.0);
+}
+
+TEST(EventQueue, PendingTracksCancellations) {
+  EventQueue q;
+  const auto h1 = q.schedule_at(TimePoint(1.0), [] {});
+  q.schedule_at(TimePoint(2.0), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  int executed = 0;
+  std::vector<EventQueue::EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.schedule_at(TimePoint(i), [&] { ++executed; }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  q.run();
+  EXPECT_EQ(executed, 50);
+}
+
+}  // namespace
+}  // namespace jrsnd::sim

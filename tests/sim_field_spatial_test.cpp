@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sim/field.hpp"
+#include "sim/spatial_index.hpp"
+
+namespace jrsnd::sim {
+namespace {
+
+TEST(Field, BasicProperties) {
+  const Field f(5000.0, 4000.0);
+  EXPECT_DOUBLE_EQ(f.width(), 5000.0);
+  EXPECT_DOUBLE_EQ(f.height(), 4000.0);
+  EXPECT_DOUBLE_EQ(f.area(), 2e7);
+}
+
+TEST(Field, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Field(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(Field(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Field, ContainsAndClamp) {
+  const Field f(100.0, 50.0);
+  EXPECT_TRUE(f.contains({0.0, 0.0}));
+  EXPECT_TRUE(f.contains({100.0, 50.0}));
+  EXPECT_FALSE(f.contains({100.1, 10.0}));
+  EXPECT_FALSE(f.contains({-0.1, 10.0}));
+  const Position clamped = f.clamp({150.0, -20.0});
+  EXPECT_DOUBLE_EQ(clamped.x, 100.0);
+  EXPECT_DOUBLE_EQ(clamped.y, 0.0);
+}
+
+TEST(Field, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Field, OverlapAreaFormula) {
+  // (pi - 3 sqrt(3)/4) a^2 from the paper's Theorem 3.
+  const double a = 300.0;
+  EXPECT_NEAR(expected_overlap_area(a), (M_PI - 3.0 * std::sqrt(3.0) / 4.0) * a * a, 1e-6);
+}
+
+TEST(Field, CommonNeighborFraction) {
+  // 1 - 3 sqrt(3)/(4 pi) ~= 0.5865.
+  EXPECT_NEAR(common_neighbor_fraction(), 0.5865, 1e-3);
+}
+
+TEST(SpatialIndex, MatchesBruteForce) {
+  Rng rng(1);
+  const Field field(1000.0, 1000.0);
+  std::vector<Position> positions;
+  for (int i = 0; i < 300; ++i) {
+    positions.push_back({rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)});
+  }
+  const double radius = 120.0;
+  const SpatialIndex index(field, positions, radius);
+
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    const auto fast = index.within(positions[i], radius, node_id(i));
+    std::vector<NodeId> slow;
+    for (std::uint32_t j = 0; j < positions.size(); ++j) {
+      if (j != i && distance(positions[i], positions[j]) < radius) slow.push_back(node_id(j));
+    }
+    EXPECT_EQ(fast, slow) << "node " << i;
+  }
+}
+
+TEST(SpatialIndex, QueryAtFieldCorners) {
+  const Field field(100.0, 100.0);
+  const std::vector<Position> positions = {{0, 0}, {99, 99}, {0, 99}, {99, 0}, {50, 50}};
+  const SpatialIndex index(field, positions, 30.0);
+  EXPECT_TRUE(index.within({0, 0}, 30.0).size() == 1);  // itself (no exclude)
+  EXPECT_TRUE(index.within({0, 0}, 30.0, node_id(0)).empty());
+}
+
+TEST(SpatialIndex, StrictlyWithinRadius) {
+  const Field field(100.0, 100.0);
+  const std::vector<Position> positions = {{0, 0}, {10, 0}};
+  const SpatialIndex index(field, positions, 10.0);
+  // Distance exactly 10 is NOT < 10.
+  EXPECT_TRUE(index.within(positions[0], 10.0, node_id(0)).empty());
+  const SpatialIndex wider(field, positions, 10.001);
+  EXPECT_EQ(wider.within(positions[0], 10.001, node_id(0)).size(), 1u);
+}
+
+TEST(SpatialIndex, EmptyPositionsOk) {
+  const Field field(10.0, 10.0);
+  const std::vector<Position> none;
+  const SpatialIndex index(field, none, 5.0);
+  EXPECT_TRUE(index.within({5, 5}, 5.0).empty());
+}
+
+}  // namespace
+}  // namespace jrsnd::sim

@@ -1,0 +1,141 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jrsnd::sim {
+namespace {
+
+TEST(UniformPlacement, AllInsideField) {
+  Rng rng(1);
+  const Field field(5000.0, 5000.0);
+  const UniformPlacement placement(field, 500, rng);
+  EXPECT_EQ(placement.node_count(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(field.contains(placement.position(node_id(i), kSimStart)));
+  }
+}
+
+TEST(UniformPlacement, StaticOverTime) {
+  Rng rng(2);
+  const Field field(100.0, 100.0);
+  const UniformPlacement placement(field, 10, rng);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const Position p0 = placement.position(node_id(i), kSimStart);
+    const Position p1 = placement.position(node_id(i), TimePoint(1000.0));
+    EXPECT_EQ(p0, p1);
+  }
+}
+
+TEST(UniformPlacement, CoversTheField) {
+  Rng rng(3);
+  const Field field(1000.0, 1000.0);
+  const UniformPlacement placement(field, 2000, rng);
+  // Each quadrant should hold roughly a quarter of the nodes.
+  int q00 = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const Position p = placement.position(node_id(i), kSimStart);
+    if (p.x < 500 && p.y < 500) ++q00;
+  }
+  EXPECT_NEAR(q00 / 2000.0, 0.25, 0.05);
+}
+
+TEST(UniformPlacement, OutOfRangeThrows) {
+  Rng rng(4);
+  const Field field(10.0, 10.0);
+  const UniformPlacement placement(field, 3, rng);
+  EXPECT_THROW((void)placement.position(node_id(3), kSimStart), std::out_of_range);
+}
+
+TEST(UniformPlacement, SnapshotMatchesPositions) {
+  Rng rng(5);
+  const Field field(10.0, 10.0);
+  const UniformPlacement placement(field, 5, rng);
+  const auto snap = placement.snapshot(kSimStart);
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(snap[i], placement.position(node_id(i), kSimStart));
+  }
+}
+
+TEST(RandomWaypoint, RejectsBadSpeeds) {
+  Rng rng(6);
+  const Field field(100.0, 100.0);
+  EXPECT_THROW(RandomWaypoint(field, 1, {0.0, 1.0, 0.0}, rng), std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(field, 1, {5.0, 1.0, 0.0}, rng), std::invalid_argument);
+}
+
+TEST(RandomWaypoint, StaysInsideField) {
+  Rng rng(7);
+  const Field field(200.0, 200.0);
+  const RandomWaypoint rwp(field, 20, {1.0, 10.0, 2.0}, rng);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    for (double t = 0.0; t < 500.0; t += 13.7) {
+      const Position p = rwp.position(node_id(i), TimePoint(t));
+      EXPECT_TRUE(field.contains(p)) << "node " << i << " t " << t;
+    }
+  }
+}
+
+TEST(RandomWaypoint, PositionIsDeterministicAndConsistent) {
+  Rng rng1(8);
+  Rng rng2(8);
+  const Field field(300.0, 300.0);
+  const RandomWaypoint a(field, 5, {1.0, 5.0, 1.0}, rng1);
+  const RandomWaypoint b(field, 5, {1.0, 5.0, 1.0}, rng2);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (double t : {0.0, 12.5, 100.0, 450.0}) {
+      EXPECT_EQ(a.position(node_id(i), TimePoint(t)), b.position(node_id(i), TimePoint(t)));
+    }
+  }
+}
+
+TEST(RandomWaypoint, QueryingOutOfOrderIsConsistent) {
+  // Lazy trajectory extension must not depend on query order.
+  Rng rng1(9);
+  Rng rng2(9);
+  const Field field(300.0, 300.0);
+  const RandomWaypoint forward(field, 1, {1.0, 5.0, 1.0}, rng1);
+  const RandomWaypoint backward(field, 1, {1.0, 5.0, 1.0}, rng2);
+  // Query forward in order 0, 50, 100; backward in order 100, 50, 0.
+  const Position f0 = forward.position(node_id(0), TimePoint(0.0));
+  const Position f50 = forward.position(node_id(0), TimePoint(50.0));
+  const Position f100 = forward.position(node_id(0), TimePoint(100.0));
+  const Position b100 = backward.position(node_id(0), TimePoint(100.0));
+  const Position b50 = backward.position(node_id(0), TimePoint(50.0));
+  const Position b0 = backward.position(node_id(0), TimePoint(0.0));
+  EXPECT_EQ(f0, b0);
+  EXPECT_EQ(f50, b50);
+  EXPECT_EQ(f100, b100);
+}
+
+TEST(RandomWaypoint, MovesOverTime) {
+  Rng rng(10);
+  const Field field(1000.0, 1000.0);
+  const RandomWaypoint rwp(field, 10, {5.0, 10.0, 0.5}, rng);
+  int moved = 0;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const Position p0 = rwp.position(node_id(i), TimePoint(0.0));
+    const Position p1 = rwp.position(node_id(i), TimePoint(60.0));
+    if (distance(p0, p1) > 1.0) ++moved;
+  }
+  EXPECT_GE(moved, 8);  // nearly everyone travels in a minute
+}
+
+TEST(RandomWaypoint, SpeedIsBounded) {
+  Rng rng(11);
+  const Field field(1000.0, 1000.0);
+  const double vmax = 10.0;
+  const RandomWaypoint rwp(field, 5, {1.0, vmax, 1.0}, rng);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (double t = 0.0; t < 200.0; t += 1.0) {
+      const Position p0 = rwp.position(node_id(i), TimePoint(t));
+      const Position p1 = rwp.position(node_id(i), TimePoint(t + 1.0));
+      EXPECT_LE(distance(p0, p1), vmax + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jrsnd::sim

@@ -1,0 +1,121 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sim/mobility.hpp"
+
+namespace jrsnd::sim {
+namespace {
+
+TEST(Topology, LineOfThreeNodes) {
+  const Field field(100.0, 100.0);
+  // A -10- B -10- C with range 15: A-B and B-C adjacent, A-C not.
+  const std::vector<Position> positions = {{10, 50}, {20, 50}, {30, 50}};
+  const Topology topo(field, positions, 15.0);
+  EXPECT_TRUE(topo.are_neighbors(node_id(0), node_id(1)));
+  EXPECT_TRUE(topo.are_neighbors(node_id(1), node_id(2)));
+  EXPECT_FALSE(topo.are_neighbors(node_id(0), node_id(2)));
+  EXPECT_EQ(topo.pairs().size(), 2u);
+  EXPECT_NEAR(topo.average_degree(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Topology, PairsAreOrderedAndUnique) {
+  const Field field(100.0, 100.0);
+  const std::vector<Position> positions = {{0, 0}, {5, 0}, {10, 0}, {5, 5}};
+  const Topology topo(field, positions, 8.0);
+  for (const auto& [a, b] : topo.pairs()) {
+    EXPECT_LT(raw(a), raw(b));
+    EXPECT_TRUE(topo.are_neighbors(a, b));
+  }
+}
+
+TEST(Topology, RejectsNonPositiveRadius) {
+  const Field field(10.0, 10.0);
+  EXPECT_THROW(Topology(field, {{1, 1}}, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, AverageDegreeMatchesExpectation) {
+  // g ~= (n-1) pi a^2 / |field| for uniform placement (border effects small
+  // when a << field size).
+  Rng rng(1);
+  const Field field(5000.0, 5000.0);
+  const UniformPlacement placement(field, 2000, rng);
+  const Topology topo(field, placement.snapshot(kSimStart), 300.0);
+  const double expected = 1999.0 * M_PI * 300.0 * 300.0 / 25e6;
+  EXPECT_NEAR(topo.average_degree(), expected, expected * 0.15);
+}
+
+TEST(Topology, OutOfRangeNodeThrows) {
+  const Field field(10.0, 10.0);
+  const Topology topo(field, {{1, 1}}, 5.0);
+  EXPECT_THROW((void)topo.neighbors(node_id(1)), std::out_of_range);
+  EXPECT_THROW((void)topo.position(node_id(1)), std::out_of_range);
+}
+
+TEST(LogicalGraph, EdgesAreUndirectedAndDeduplicated) {
+  LogicalGraph g(5);
+  g.add_edge(node_id(0), node_id(1));
+  g.add_edge(node_id(1), node_id(0));  // duplicate
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(node_id(0), node_id(1)));
+  EXPECT_TRUE(g.has_edge(node_id(1), node_id(0)));
+  EXPECT_FALSE(g.has_edge(node_id(0), node_id(2)));
+}
+
+TEST(LogicalGraph, ReachabilityWithinHops) {
+  // Path 0-1-2-3-4.
+  LogicalGraph g(5);
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) g.add_edge(node_id(i), node_id(i + 1));
+  EXPECT_TRUE(g.reachable_within(node_id(0), node_id(1), 1));
+  EXPECT_FALSE(g.reachable_within(node_id(0), node_id(2), 1));
+  EXPECT_TRUE(g.reachable_within(node_id(0), node_id(2), 2));
+  EXPECT_TRUE(g.reachable_within(node_id(0), node_id(4), 4));
+  EXPECT_FALSE(g.reachable_within(node_id(0), node_id(4), 3));
+}
+
+TEST(LogicalGraph, SelfIsAlwaysReachable) {
+  LogicalGraph g(3);
+  EXPECT_TRUE(g.reachable_within(node_id(1), node_id(1), 0));
+}
+
+TEST(LogicalGraph, DisconnectedComponentsUnreachable) {
+  LogicalGraph g(4);
+  g.add_edge(node_id(0), node_id(1));
+  g.add_edge(node_id(2), node_id(3));
+  EXPECT_FALSE(g.reachable_within(node_id(0), node_id(2), 100));
+}
+
+TEST(LogicalGraph, BfsDistances) {
+  // Star: 0 at center, leaves 1-4; plus 5 isolated.
+  LogicalGraph g(6);
+  for (std::uint32_t leaf = 1; leaf <= 4; ++leaf) g.add_edge(node_id(0), node_id(leaf));
+  const auto dist = g.bfs_distances(node_id(1), 2);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[5], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(LogicalGraph, BfsRespectsHopLimit) {
+  LogicalGraph g(5);
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) g.add_edge(node_id(i), node_id(i + 1));
+  const auto dist = g.bfs_distances(node_id(0), 2);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(LogicalGraph, TriangleVsTwoHop) {
+  // The M-NDP nu = 2 scenario: A and B share common neighbor C.
+  LogicalGraph g(3);
+  g.add_edge(node_id(0), node_id(2));  // A - C
+  g.add_edge(node_id(1), node_id(2));  // B - C
+  EXPECT_TRUE(g.reachable_within(node_id(0), node_id(1), 2));
+  EXPECT_FALSE(g.reachable_within(node_id(0), node_id(1), 1));
+}
+
+}  // namespace
+}  // namespace jrsnd::sim

@@ -1,0 +1,197 @@
+// jrsnd — command-line driver for the library.
+//
+//   jrsnd analyze   [--n --m --l --q --z --mu --nu]   closed-form numbers
+//   jrsnd simulate  [--n --m --l --q --nu --runs --seed --jammer]
+//                                                      Monte-Carlo discovery
+//   jrsnd trace     [--seed]                           one D-NDP handshake,
+//                                                      message by message
+//   jrsnd provision --node <id> [--n --m --l --chips]  hex provisioning blob
+//
+// Every flag defaults to Table I. Exit code 0 on success, 2 on usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "jrsnd.hpp"
+
+namespace {
+
+using namespace jrsnd;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::uint32_t u32(const std::string& key, std::uint32_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : static_cast<std::uint32_t>(std::stoul(it->second));
+  }
+  [[nodiscard]] std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double real(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jrsnd <analyze|simulate|trace|provision> [--flag value]...\n"
+               "  analyze   --n --m --l --q --z --mu --nu       closed forms (Thms 1-4)\n"
+               "  simulate  --n --m --l --q --nu --runs --seed --jammer {none,random,\n"
+               "            reactive,intelligent}                Monte-Carlo discovery\n"
+               "  trace     --seed                               one traced D-NDP run\n"
+               "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n");
+  return 2;
+}
+
+core::Params params_from(const Args& args) {
+  core::Params p = core::Params::defaults();
+  p.n = args.u32("n", p.n);
+  p.m = args.u32("m", p.m);
+  p.l = args.u32("l", p.l);
+  p.q = args.u32("q", p.q);
+  p.z = args.u32("z", p.z);
+  p.nu = args.u32("nu", p.nu);
+  p.mu = args.real("mu", p.mu);
+  p.runs = args.u32("runs", 10);
+  return p;
+}
+
+int cmd_analyze(const Args& args) {
+  const core::Params p = params_from(args);
+  const core::Theorem1Result t1 = core::theorem1(p);
+  const double g = core::expected_degree(p);
+  std::printf("config: %s\n\n", p.summary().c_str());
+  std::printf("pool size s                 : %u\n", p.pool_size());
+  std::printf("P(share >= 1 code)          : %.4f\n", core::pr_share_at_least_one(p));
+  std::printf("alpha (Eq. 2)               : %.4f\n", t1.alpha);
+  std::printf("E[compromised codes] c      : %.1f\n", t1.c);
+  std::printf("Theorem 1: P^- <= P_D <= P^+: %.4f <= P_D <= %.4f\n", t1.p_lower, t1.p_upper);
+  std::printf("Theorem 2: T_dndp           : %.3f s\n", core::theorem2_dndp_latency(p));
+  std::printf("Theorem 3: P_M (nu = 2)     : %.4f (at P_D = P^-)\n",
+              core::theorem3_mndp_probability(t1.p_lower, g));
+  std::printf("recursion: P_M (nu = %u)     : %.4f\n", p.nu,
+              core::mndp_probability_recursive(t1.p_lower, g, p.nu));
+  std::printf("Theorem 4: T_mndp (nu = %u)  : %.3f s\n", p.nu,
+              core::theorem4_mndp_latency(p, g));
+  std::printf("JR-SND: P >= %.4f, T = %.3f s\n",
+              core::jrsnd_probability(t1.p_lower,
+                                      core::mndp_probability_recursive(t1.p_lower, g, p.nu)),
+              core::jrsnd_latency(core::theorem2_dndp_latency(p),
+                                  core::theorem4_mndp_latency(p, g)));
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  core::ExperimentConfig cfg;
+  cfg.params = params_from(args);
+  cfg.base_seed = args.u64("seed", 1);
+  const std::string jammer = args.str("jammer", "reactive");
+  if (jammer == "none") {
+    cfg.jammer = core::JammerKind::None;
+  } else if (jammer == "random") {
+    cfg.jammer = core::JammerKind::Random;
+  } else if (jammer == "reactive") {
+    cfg.jammer = core::JammerKind::Reactive;
+  } else if (jammer == "intelligent") {
+    cfg.jammer = core::JammerKind::Intelligent;
+  } else {
+    return usage();
+  }
+  std::printf("config: %s, jammer=%s, seed=%llu\n", cfg.params.summary().c_str(),
+              core::jammer_name(cfg.jammer),
+              static_cast<unsigned long long>(cfg.base_seed));
+  const core::PointResult r = core::DiscoverySimulator(cfg).run_all();
+  std::printf("P_dndp   : %.4f +- %.4f\n", r.p_dndp.mean(), r.p_dndp.ci95());
+  std::printf("P_mndp   : %.4f +- %.4f (standalone)\n", r.p_mndp.mean(), r.p_mndp.ci95());
+  std::printf("P_jrsnd  : %.4f +- %.4f\n", r.p_jrsnd.mean(), r.p_jrsnd.ci95());
+  std::printf("T_dndp   : %.3f s   T_mndp: %.3f s   T_jrsnd: %.3f s\n",
+              r.latency_dndp.mean(), r.latency_mndp.mean(), r.latency_jrsnd.mean());
+  std::printf("degree g : %.2f    compromised codes: %.0f\n", r.degree.mean(),
+              r.compromised_codes.mean());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::uint64_t seed = args.u64("seed", 1);
+  core::Params p = core::Params::defaults();
+  p.n = 2;
+  p.m = 4;
+  p.l = 2;
+  p.N = 64;
+  const predist::CodePoolAuthority authority(p.predist(), Rng(seed));
+  const crypto::IbcAuthority ibc(seed + 1);
+  const sim::Field field(100.0, 100.0);
+  const sim::Topology topology(field, {{10, 10}, {20, 10}}, 50.0);
+  adversary::NullJammer jammer;
+  Rng phy_rng(seed + 2);
+  core::AbstractPhy inner(topology, jammer, phy_rng);
+  core::TracingPhy phy(inner);
+  Rng node_rng(seed + 3);
+  std::vector<core::NodeState> nodes;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    nodes.emplace_back(node_id(i), ibc.issue(node_id(i)),
+                       authority.assignment().codes_of(node_id(i)), authority, p.gamma,
+                       node_rng.split());
+  }
+  core::DndpEngine engine(p, phy);
+  const core::DndpResult result = engine.run(nodes[0], nodes[1]);
+  std::printf("D-NDP between nodes 0 and 1 (%u shared codes):\n", result.shared_codes);
+  phy.print(std::cout);
+  std::printf("outcome: %s\n", result.discovered ? "discovered + authenticated" : "failed");
+  if (result.discovered) {
+    std::printf("session code: %s...\n",
+                nodes[0].neighbor(node_id(1))->session_code.slice(0, 48).to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_provision(const Args& args) {
+  if (!args.flags.contains("node")) return usage();
+  predist::PredistParams pp;
+  pp.node_count = args.u32("n", 100);
+  pp.codes_per_node = args.u32("m", 10);
+  pp.holders_per_code = args.u32("l", 8);
+  pp.code_length_chips = args.u32("chips", 128);
+  const std::uint32_t node = args.u32("node", 0);
+  if (node >= pp.node_count) {
+    std::fprintf(stderr, "error: node %u out of range [0, %u)\n", node, pp.node_count);
+    return 2;
+  }
+  const predist::CodePoolAuthority authority(pp, Rng(args.u64("seed", 1)));
+  const auto blob = predist::provision_node(authority, node_id(node));
+  const auto bytes = blob.serialize();
+  std::printf("node %u: %u codes x %u chips, blob %zu bytes\n", node, pp.codes_per_node,
+              static_cast<std::uint32_t>(pp.code_length_chips), bytes.size());
+  std::printf("%s\n", to_hex(bytes).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    if (std::strncmp(flag, "--", 2) != 0) return usage();
+    args.flags[flag + 2] = argv[i + 1];
+  }
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "provision") return cmd_provision(args);
+  return usage();
+}
