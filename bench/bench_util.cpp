@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/metrics_registry.hpp"
+
 namespace jrsnd::bench {
 
 std::uint32_t runs_from_env() {
@@ -15,6 +17,9 @@ std::uint32_t runs_from_env() {
 }
 
 core::ExperimentConfig default_config() {
+  // Figure benches are throughput-bound on the discovery engines, not the
+  // counters; keep metrics on so every CSV gets a sibling snapshot.
+  obs::set_metrics_enabled(true);
   core::ExperimentConfig cfg;
   cfg.params = core::Params::defaults();
   cfg.params.runs = runs_from_env();
@@ -52,6 +57,17 @@ void write_csv_if_requested(const std::string& name, const core::Table& table) {
   }
   table.print_csv(out);
   std::printf("(wrote %s)\n", path.c_str());
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  if (snap.empty()) return;
+  const std::string metrics_path = std::string(dir) + "/" + name + ".metrics.json";
+  std::ofstream metrics_out(metrics_path);
+  if (!metrics_out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
+    return;
+  }
+  snap.write_json(metrics_out);
+  std::printf("(wrote %s)\n", metrics_path.c_str());
 }
 
 }  // namespace jrsnd::bench

@@ -27,7 +27,8 @@ void print_banner(const std::string& experiment_id, const std::string& descripti
                   const core::Params& params);
 
 /// If the JRSND_CSV_DIR env var names a directory, writes `table` to
-/// <dir>/<name>.csv (for plotting); otherwise does nothing.
+/// <dir>/<name>.csv (for plotting) plus a <dir>/<name>.metrics.json snapshot
+/// of the obs metrics registry; otherwise does nothing.
 void write_csv_if_requested(const std::string& name, const core::Table& table);
 
 }  // namespace jrsnd::bench

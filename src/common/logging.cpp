@@ -2,14 +2,28 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <utility>
 
 namespace jrsnd {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+/// Reads JRSND_LOG_LEVEL once; unset or unparsable falls back to Warn.
+LogLevel initial_level() noexcept {
+  const char* env = std::getenv("JRSND_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env); parsed.has_value()) return *parsed;
+  }
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<bool> g_timestamps{false};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex; empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,16 +37,61 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = (a[i] >= 'A' && a[i] <= 'Z') ? static_cast<char>(a[i] - 'A' + 'a') : a[i];
+    if (ca != b[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (iequals(name, "trace")) return LogLevel::Trace;
+  if (iequals(name, "debug")) return LogLevel::Debug;
+  if (iequals(name, "info")) return LogLevel::Info;
+  if (iequals(name, "warn") || iequals(name, "warning")) return LogLevel::Warn;
+  if (iequals(name, "error")) return LogLevel::Error;
+  if (iequals(name, "off") || iequals(name, "none")) return LogLevel::Off;
+  return std::nullopt;
+}
+
+void set_log_timestamps(bool enabled) noexcept {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_timestamps() noexcept { return g_timestamps.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& tag, const std::string& message) {
   if (level < log_level()) return;
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag.c_str(), message.c_str());
+  if (g_sink) {
+    g_sink(level, tag, message);
+    return;
+  }
+  char stamp[32] = "";
+  if (log_timestamps()) {
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &now);
+#else
+    gmtime_r(&now, &utc);
+#endif
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ ", &utc);
+  }
+  std::fprintf(stderr, "%s[%s] %s: %s\n", stamp, level_name(level), tag.c_str(), message.c_str());
 }
 
 }  // namespace jrsnd

@@ -4,10 +4,15 @@
 // drivers may run seeds on several threads, so emission is serialized. Log
 // level is a process-wide setting; benches default to Warn so figure output
 // stays clean, while examples raise it to Info to narrate protocol steps.
+// The initial level honors the JRSND_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, case-insensitive) at first use.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace jrsnd {
 
@@ -17,8 +22,24 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits one line ("[LEVEL] tag: message") to stderr if `level` passes the
-/// threshold. Thread-safe.
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive). Returns nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+/// When enabled, each line is prefixed with an ISO-8601 UTC wall-clock
+/// timestamp ("2026-08-06T12:34:56Z"). Off by default to keep figure and
+/// test output byte-stable.
+void set_log_timestamps(bool enabled) noexcept;
+[[nodiscard]] bool log_timestamps() noexcept;
+
+/// Replaces the stderr writer. The sink receives the already-filtered level,
+/// tag, and message (no prefix/formatting applied); pass nullptr to restore
+/// the default stderr writer. Intended for tests and embedding.
+using LogSink = std::function<void(LogLevel, const std::string& tag, const std::string& message)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one line ("[LEVEL] tag: message") to stderr — or the installed
+/// sink — if `level` passes the threshold. Thread-safe.
 void log_line(LogLevel level, const std::string& tag, const std::string& message);
 
 namespace detail {

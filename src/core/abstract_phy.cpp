@@ -1,5 +1,7 @@
 #include "core/abstract_phy.hpp"
 
+#include "obs/metrics_registry.hpp"
+
 namespace jrsnd::core {
 
 AbstractPhy::AbstractPhy(const sim::Topology& topology, const adversary::Jammer& jammer,
@@ -14,8 +16,10 @@ void AbstractPhy::begin_subsession(NodeId /*a*/, NodeId /*b*/, CodeId code) {
 
 std::optional<BitVector> AbstractPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
                                                const BitVector& payload) {
+  JRSND_COUNT("phy.tx.total");
   if (!topology_.are_neighbors(from, to)) {
     ++out_of_range_;
+    JRSND_COUNT("phy.tx.out_of_range");
     return std::nullopt;
   }
 
@@ -45,9 +49,11 @@ std::optional<BitVector> AbstractPhy::transmit(NodeId from, NodeId to, TxCode co
 
   if (is_jammed) {
     ++jammed_;
+    JRSND_COUNT("phy.tx.jammed");
     return std::nullopt;
   }
   ++delivered_;
+  JRSND_COUNT("phy.tx.delivered");
   return payload;
 }
 

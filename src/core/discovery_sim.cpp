@@ -9,6 +9,9 @@
 #include "core/analysis.hpp"
 #include "core/dndp.hpp"
 #include "core/latency.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/scoped_timer.hpp"
 #include "sim/mobility.hpp"
 #include "sim/topology.hpp"
 
@@ -30,6 +33,19 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   const Params& p = config_.params;
   Rng root(seed);
   RunResult result;
+
+  JRSND_SCOPED_TIMER("sim.phase.run.seconds");
+  if (obs::tracing_enabled()) {
+    obs::event_log().emit(obs::TraceEvent("run.begin")
+                              .with("seed", seed)
+                              .with("n", std::uint64_t{p.n})
+                              .with("jammer", jammer_name(config_.jammer)));
+  }
+  // Phase timers: emplace() ends the previous phase (destructor records its
+  // elapsed time) before the next one starts.
+  std::optional<obs::ScopedTimer> phase{obs::metrics_enabled()
+                                            ? &obs::timer_histogram("sim.phase.world.seconds")
+                                            : nullptr};
 
   // --- world construction -------------------------------------------------
   predist::CodePoolAuthority authority(p.predist(), root.split());
@@ -73,6 +89,8 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   }
 
   // --- D-NDP over every physical-neighbor pair ----------------------------
+  phase.emplace(obs::metrics_enabled() ? &obs::timer_histogram("sim.phase.dndp.seconds")
+                                       : nullptr);
   Rng phy_rng = root.split();
   AbstractPhy phy(topology, *jammer, phy_rng);
   DndpEngine dndp(p, phy, config_.redundancy);
@@ -93,6 +111,8 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
     }
   }
 
+  phase.emplace(obs::metrics_enabled() ? &obs::timer_histogram("sim.phase.mndp.seconds")
+                                       : nullptr);
   // Standalone M-NDP (the series the paper plots): over ALL physical pairs,
   // does a <= nu-hop logical path exist that avoids the pair's own direct
   // link? Evaluated on the pure D-NDP logical graph, as in Theorem 3 —
@@ -136,6 +156,8 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   }
 
   // --- rates ----------------------------------------------------------------
+  phase.emplace(obs::metrics_enabled() ? &obs::timer_histogram("sim.phase.rates.seconds")
+                                       : nullptr);
   if (result.physical_pairs > 0) {
     const auto pairs = static_cast<double>(result.physical_pairs);
     result.p_dndp = static_cast<double>(result.dndp_discovered) / pairs;
@@ -162,13 +184,26 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   result.latency_mndp_s = latency.mndp(result.avg_degree, p.nu).seconds();
   result.latency_jrsnd_s =
       jrsnd_latency(result.latency_dndp_s, result.latency_mndp_s);
+  phase.reset();  // record the rates phase before run.end is emitted
 
+  if (obs::tracing_enabled()) {
+    obs::event_log().emit(obs::TraceEvent("run.end")
+                              .with("seed", seed)
+                              .with("pairs", std::uint64_t{result.physical_pairs})
+                              .with("dndp_discovered", std::uint64_t{result.dndp_discovered})
+                              .with("mndp_recovered", std::uint64_t{result.mndp_recovered})
+                              .with("p_dndp", result.p_dndp)
+                              .with("p_jrsnd", result.p_jrsnd));
+  }
   return result;
 }
 
 PointResult DiscoverySimulator::run_all() const {
   PointResult agg;
   for (std::uint32_t run = 0; run < config_.params.runs; ++run) {
+    // Monte-Carlo runs have no shared timeline; publish the run index so
+    // trace events still carry a monotone `t`.
+    if (obs::tracing_enabled()) obs::event_log().set_sim_time(static_cast<double>(run));
     const RunResult r = run_once(config_.base_seed + run);
     agg.p_dndp.add(r.p_dndp);
     agg.p_mndp.add(r.p_mndp);

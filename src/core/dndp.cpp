@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "crypto/session_code.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::core {
 
@@ -81,9 +83,14 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
 
 DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
   DndpResult result;
+  JRSND_COUNT("dndp.runs");
   std::vector<CodeId> shared = intersect_sorted(a.usable_codes(), b.usable_codes());
   result.shared_codes = static_cast<std::uint32_t>(shared.size());
-  if (shared.empty()) return result;
+  if (shared.empty()) {
+    JRSND_COUNT("dndp.no_shared_code");
+    JRSND_COUNT("dndp.failed");
+    return result;
+  }
 
   // Session nonces are drawn once; all sub-sessions establish the same
   // session code (paper's redundancy design).
@@ -96,7 +103,10 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
   if (!redundancy_) b.rng().shuffle(std::span<CodeId>(shared));
 
   std::optional<SubsessionOutcome> winner;
+  std::uint32_t attempted = 0;
   for (const CodeId code : shared) {
+    JRSND_COUNT("dndp.subsessions.started");
+    ++attempted;
     phy_.begin_subsession(a.id(), b.id(), code);
 
     // 1. A -> *: {HELLO, ID_A}_{C_i}. (The broadcast also uses A's other
@@ -129,6 +139,28 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
     LogicalNeighbor for_b{winner->key_ab, winner->session_code, false};
     a.add_logical_neighbor(b.id(), std::move(for_a));
     b.add_logical_neighbor(a.id(), std::move(for_b));
+  }
+
+  if (result.discovered) {
+    JRSND_COUNT("dndp.discovered");
+  } else {
+    JRSND_COUNT("dndp.failed");
+  }
+  JRSND_COUNT_N("dndp.hellos_delivered", result.hellos_delivered);
+  JRSND_COUNT_N("dndp.subsessions.completed", result.subsessions_completed);
+  JRSND_COUNT_N("dndp.subsessions.failed", attempted - result.subsessions_completed);
+  if (result.mac_failure) JRSND_COUNT("dndp.mac_failures");
+  if (obs::tracing_enabled()) {
+    obs::event_log().emit(
+        obs::TraceEvent("dndp.pair",
+                        result.discovered ? obs::Severity::Info : obs::Severity::Warn)
+            .with("a", std::uint64_t{raw(a.id())})
+            .with("b", std::uint64_t{raw(b.id())})
+            .with("shared", std::uint64_t{result.shared_codes})
+            .with("hellos", std::uint64_t{result.hellos_delivered})
+            .with("subsessions", std::uint64_t{result.subsessions_completed})
+            .with("discovered", result.discovered)
+            .with("mac_failure", result.mac_failure));
   }
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,14 @@ class Stat {
   [[nodiscard]] double mean() const noexcept;
   [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
   [[nodiscard]] double stddev() const noexcept;
-  [[nodiscard]] double min() const noexcept { return min_; }
-  [[nodiscard]] double max() const noexcept { return max_; }
+  /// NaN when no samples have been added — 0.0 would masquerade as a real
+  /// observation in latency tables.
+  [[nodiscard]] double min() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   /// Half-width of the 95% normal-approximation confidence interval.
   [[nodiscard]] double ci95() const noexcept;
 

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "crypto/session_code.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::core {
 
@@ -122,6 +124,26 @@ MndpStats MndpEngine::initiate(NodeState& initiator, std::span<NodeState> nodes)
     PendingRequest item = std::move(queue.front());
     queue.pop_front();
     process_request(std::move(item), nodes, queue, stats);
+  }
+
+  JRSND_COUNT("mndp.initiations");
+  JRSND_COUNT_N("mndp.requests_sent", stats.requests_sent);
+  JRSND_COUNT_N("mndp.responses_sent", stats.responses_sent);
+  JRSND_COUNT_N("mndp.sig_verifications", stats.signature_verifications);
+  JRSND_COUNT_N("mndp.sigs_created", stats.signatures_created);
+  JRSND_COUNT_N("mndp.requests_dropped", stats.requests_dropped);
+  JRSND_COUNT_N("mndp.discoveries", stats.discoveries);
+  JRSND_COUNT_N("mndp.false_positive_responses", stats.false_positive_responses);
+  if (obs::tracing_enabled()) {
+    obs::event_log().emit(
+        obs::TraceEvent("mndp.initiate")
+            .with("source", std::uint64_t{raw(initiator.id())})
+            .with("requests", stats.requests_sent)
+            .with("responses", stats.responses_sent)
+            .with("verifications", stats.signature_verifications)
+            .with("dropped", stats.requests_dropped)
+            .with("discoveries", stats.discoveries)
+            .with("max_hops", std::uint64_t{stats.max_hops_seen}));
   }
   return stats;
 }

@@ -2,6 +2,9 @@
 
 #include <ostream>
 
+#include "obs/event_log.hpp"
+#include "obs/sinks.hpp"
+
 namespace jrsnd::core {
 
 const char* tx_class_name(TxClass cls) noexcept {
@@ -19,7 +22,8 @@ const char* tx_class_name(TxClass cls) noexcept {
 std::optional<BitVector> TracingPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
                                               const BitVector& payload) {
   auto result = inner_.transmit(from, to, code, cls, payload);
-  records_.push_back(TxRecord{from, to, code.id, cls, payload.size(), result.has_value()});
+  records_.push_back(TxRecord{from, to, code.id, cls, payload.size(), result.has_value(),
+                              now_.seconds(), next_seq_++});
   return result;
 }
 
@@ -46,6 +50,24 @@ void TracingPhy::print(std::ostream& os) const {
       os << " (C_" << raw(r.code) << ")";
     }
     os << "  " << r.payload_bits << "b  " << (r.delivered ? "delivered" : "LOST") << "\n";
+  }
+}
+
+void TracingPhy::print_jsonl(std::ostream& os) const {
+  for (const TxRecord& r : records_) {
+    obs::TraceEvent ev("phy.tx", r.delivered ? obs::Severity::Info : obs::Severity::Warn);
+    ev.t = r.t;
+    ev.seq = r.seq;
+    ev.with("from", std::uint64_t{raw(r.from)})
+        .with("to", std::uint64_t{raw(r.to)})
+        .with("class", tx_class_name(r.cls));
+    if (r.code == kInvalidCode) {
+      ev.with("session_code", true);
+    } else {
+      ev.with("code", std::uint64_t{raw(r.code)});
+    }
+    ev.with("bits", std::uint64_t{r.payload_bits}).with("delivered", r.delivered);
+    obs::write_jsonl(os, ev);
   }
 }
 

@@ -5,10 +5,12 @@
 // sequences and examples print human-readable traces of the handshakes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
 #include "core/phy_model.hpp"
 
 namespace jrsnd::core {
@@ -20,6 +22,10 @@ struct TxRecord {
   TxClass cls = TxClass::Hello;
   std::size_t payload_bits = 0;
   bool delivered = false;
+  // Stamped by TracingPhy at capture; appended last so existing
+  // aggregate-initialized literals stay valid.
+  double t = 0.0;          ///< simulated seconds (set_time), 0 when untimed
+  std::uint64_t seq = 0;   ///< 1-based monotonic capture order
 };
 
 [[nodiscard]] const char* tx_class_name(TxClass cls) noexcept;
@@ -45,12 +51,24 @@ class TracingPhy final : public PhyModel {
   /// Delivered / total counts.
   [[nodiscard]] std::size_t delivered_count() const noexcept;
 
+  /// Sets the simulated time stamped onto subsequent records. Drivers with a
+  /// timeline (event-queue sims) call this as their clock advances.
+  void set_time(TimePoint now) noexcept { now_ = now; }
+  [[nodiscard]] TimePoint time() const noexcept { return now_; }
+
   /// Renders the trace as one line per transmission.
   void print(std::ostream& os) const;
+
+  /// Renders the trace as JSONL "phy.tx" events in the obs trace schema
+  /// (docs/observability.md): one flat object per line with reserved keys
+  /// t/seq/sev/event — the same format `jrsnd report` reads.
+  void print_jsonl(std::ostream& os) const;
 
  private:
   PhyModel& inner_;
   std::vector<TxRecord> records_;
+  TimePoint now_ = kSimStart;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace jrsnd::core

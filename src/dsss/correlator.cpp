@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsss/spread_code.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::dsss {
 
@@ -37,6 +38,7 @@ BitVector cyclic_shift(const BitVector& bits, std::size_t shift) {
 }  // namespace
 
 CorrelationProfile autocorrelation_profile(const SpreadCode& code) {
+  JRSND_COUNT("dsss.correlator.profile_evals");
   CorrelationProfile profile;
   const std::size_t n = code.length();
   double total = 0.0;
@@ -51,6 +53,7 @@ CorrelationProfile autocorrelation_profile(const SpreadCode& code) {
 
 double max_cross_correlation(const SpreadCode& a, const SpreadCode& b) {
   assert(a.length() == b.length());
+  JRSND_COUNT("dsss.correlator.cross_evals");
   double worst = 0.0;
   for (std::size_t shift = 0; shift < b.length(); ++shift) {
     worst = std::max(worst, std::abs(a.correlate(cyclic_shift(b.bits(), shift))));

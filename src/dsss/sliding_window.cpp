@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics_registry.hpp"
+
 namespace jrsnd::dsss {
 
 std::optional<SyncHit> find_first_message(const BitVector& buffer,
@@ -13,6 +15,10 @@ std::optional<SyncHit> find_first_message(const BitVector& buffer,
   const std::size_t needed = message_bits * n;
   if (buffer.size() < needed) return std::nullopt;
 
+  JRSND_COUNT("dsss.sync.scans");
+  // Accumulated locally and flushed once per scan: the window loop is the
+  // paper's t_p = rho*N*m*f hot path and must stay free of shared writes.
+  std::uint64_t below_tau = 0;
   for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
     for (std::size_t c = 0; c < codes.size(); ++c) {
       const BitVector window = buffer.slice(offset, n);
@@ -22,10 +28,15 @@ std::optional<SyncHit> find_first_message(const BitVector& buffer,
         hit.code_index = c;
         hit.chip_offset = offset;
         hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+        JRSND_COUNT("dsss.sync.hits");
+        JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
         return hit;
       }
+      ++below_tau;
     }
   }
+  JRSND_COUNT("dsss.sync.misses");
+  JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
   return std::nullopt;
 }
 

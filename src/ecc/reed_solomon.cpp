@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ecc/gf256.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::ecc {
 
@@ -97,6 +98,23 @@ void trim(Poly& p) {
   return out;
 }
 
+/// Counts the decode outcome on scope exit, whichever return path fires.
+class DecodeScope {
+ public:
+  DecodeScope() { JRSND_COUNT("ecc.rs.decode.calls"); }
+  ~DecodeScope() {
+    if (ok_) {
+      JRSND_COUNT("ecc.rs.decode.ok");
+    } else {
+      JRSND_COUNT("ecc.rs.decode.fail");
+    }
+  }
+  void success() noexcept { ok_ = true; }
+
+ private:
+  bool ok_ = false;
+};
+
 }  // namespace
 
 ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
@@ -120,6 +138,7 @@ ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
 
 std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
   assert(static_cast<int>(data.size()) == k_);
+  JRSND_COUNT("ecc.rs.encode.calls");
   const int parity_len = n_ - k_;
   // Long division of data(x) * x^{n-k} by g(x); remainder is the parity.
   std::vector<std::uint8_t> rem(data.begin(), data.end());
@@ -140,6 +159,7 @@ std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data
 
 std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     std::span<const std::uint8_t> received, std::span<const int> erasures) const {
+  DecodeScope scope;
   if (static_cast<int>(received.size()) != n_) return std::nullopt;
   const int two_t = n_ - k_;
 
@@ -150,6 +170,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     erasure_set.insert(pos);
   }
   const int f = static_cast<int>(erasure_set.size());
+  JRSND_COUNT_N("ecc.rs.decode.erasures", f);
   if (f > two_t) return std::nullopt;
 
   std::vector<std::uint8_t> cw(received.begin(), received.end());
@@ -169,6 +190,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
   }
   if (all_zero) {
     // Codeword is valid as-is (including the zeroed erasures).
+    scope.success();
     return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
   }
 
@@ -246,6 +268,8 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     if (acc != 0) return std::nullopt;
   }
 
+  scope.success();
+  JRSND_COUNT_N("ecc.rs.decode.errors_corrected", error_count);
   return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
 }
 

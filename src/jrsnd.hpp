@@ -1,9 +1,9 @@
 // Umbrella header: the full public API of the jrsnd library.
 //
 // Layering (each layer depends only on those above it):
-//   common    -> crypto, ecc, dsss
-//   predist   -> sim -> adversary
-//   core      -> baselines
+//   common, obs -> crypto, ecc, dsss
+//   predist     -> sim -> adversary
+//   core        -> baselines
 //
 // Typical consumers include just what they need; this header is a
 // convenience for examples and exploratory use.
@@ -16,6 +16,12 @@
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+
+// obs
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sinks.hpp"
 
 // crypto
 #include "crypto/hmac.hpp"

@@ -1,0 +1,110 @@
+#include "obs/event_log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+
+namespace jrsnd::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+}  // namespace
+
+const char* severity_name(Severity sev) noexcept {
+  switch (sev) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::optional<Severity> parse_severity(std::string_view name) noexcept {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return Severity::Debug;
+  if (lower == "info") return Severity::Info;
+  if (lower == "warn" || lower == "warning") return Severity::Warn;
+  if (lower == "error") return Severity::Error;
+  return std::nullopt;
+}
+
+const FieldValue* TraceEvent::field(std::string_view key) const noexcept {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool tracing_enabled() noexcept { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool enabled) noexcept {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+EventLog::EventLog(std::size_t ring_capacity) : ring_capacity_(ring_capacity) {}
+
+void EventLog::attach(std::shared_ptr<EventSink> sink) {
+  if (sink == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void EventLog::detach_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+  sinks_.clear();
+}
+
+void EventLog::set_sim_time(double t) noexcept {
+  sim_time_.store(t, std::memory_order_relaxed);
+}
+
+double EventLog::sim_time() const noexcept { return sim_time_.load(std::memory_order_relaxed); }
+
+void EventLog::emit(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_++;
+  if (event.t == 0.0) event.t = sim_time_.load(std::memory_order_relaxed);
+  for (const auto& sink : sinks_) sink->write(event);
+  if (ring_capacity_ == 0) return;
+  if (ring_.size() == ring_capacity_) ring_.pop_front();
+  ring_.push_back(std::move(event));
+}
+
+void EventLog::set_ring_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = capacity;
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+}
+
+std::vector<TraceEvent> EventLog::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t EventLog::emitted() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+void EventLog::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+void EventLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+EventLog& event_log() {
+  static EventLog instance;
+  return instance;
+}
+
+}  // namespace jrsnd::obs

@@ -1,0 +1,234 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// Design constraints (DESIGN.md §observability):
+//   * Hot-path cheap. Updates are relaxed atomics on pre-resolved handles;
+//     every instrumentation macro first checks one process-wide enabled flag,
+//     so a disabled build pays a single relaxed load per site. Defining
+//     JRSND_OBS_DISABLED compiles every macro to nothing.
+//   * Multi-seed friendly. A run snapshots the registry into plain data
+//     (MetricsSnapshot), which can be merged across seeds/processes:
+//     counters and histogram buckets add, gauges keep the high-water mark.
+//   * Stable handles. The registry hands out references that stay valid for
+//     the registry's lifetime, so call sites may cache them in static locals.
+//
+// Canonical metric names are documented in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jrsnd::obs {
+
+/// Process-wide collection switch; updates are dropped while false.
+/// Default: disabled (zero overhead for benches and figure runs).
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level with a high-water helper (queue depths etc.).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  /// Raises the gauge to `v` if `v` exceeds the current value.
+  void update_max(double v) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges; an
+/// implicit overflow bucket catches everything above the last edge. Also
+/// tracks count/sum/min/max so snapshots can report means and extremes.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double min() const noexcept;  ///< NaN when empty
+  [[nodiscard]] double max() const noexcept;  ///< NaN when empty
+  /// Bucket counts, one per bound plus the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Log-spaced latency edges in seconds: 1us .. 30s (the range a discovery
+/// phase or a whole multi-seed sweep can span).
+[[nodiscard]] const std::vector<double>& default_latency_bounds();
+
+// --- snapshots -------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< NaN when empty
+  double max = 0.0;  ///< NaN when empty
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Bucket-interpolated quantile, q in [0, 1]. NaN when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Plain-data view of a registry at one instant; mergeable across seeds.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Counters and histogram buckets add; gauges keep the maximum (high-water
+  /// semantics — the only cross-seed reduction that is always meaningful).
+  /// Histograms with mismatched bounds are kept side by side under the name
+  /// of the first occurrence (mismatch means a schema change; don't hide it).
+  void merge(const MetricsSnapshot& other);
+
+  /// Aligned human-readable table (counters, gauges, then histograms with
+  /// count/mean/p50/p95/max columns).
+  void print_table(std::ostream& os) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+};
+
+/// Named-metric registry. Thread-safe registration; returned references are
+/// stable for the registry's lifetime. Re-requesting a name returns the same
+/// object (histogram bounds from the first registration win).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every registered metric (names stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry all instrumentation macros feed.
+[[nodiscard]] MetricsRegistry& registry();
+
+/// Registers the canonical metric names (docs/observability.md) so snapshots
+/// report them as zero even on paths a given configuration never exercises
+/// (e.g. chip-layer counters under the abstract PHY).
+void preregister_core_metrics();
+
+}  // namespace jrsnd::obs
+
+// --- instrumentation macros -------------------------------------------------
+//
+// Each site pays one relaxed atomic load when metrics are disabled; the
+// registry lookup happens once (static local) on the first enabled pass.
+
+#define JRSND_OBS_CONCAT_INNER(a, b) a##b
+#define JRSND_OBS_CONCAT(a, b) JRSND_OBS_CONCAT_INNER(a, b)
+
+#if defined(JRSND_OBS_DISABLED)
+
+#define JRSND_COUNT_N(name, n) ((void)0)
+#define JRSND_GAUGE_SET(name, v) ((void)0)
+#define JRSND_GAUGE_MAX(name, v) ((void)0)
+#define JRSND_OBSERVE(name, v) ((void)0)
+
+#else
+
+#define JRSND_COUNT_N(name, n)                                                    \
+  do {                                                                            \
+    if (::jrsnd::obs::metrics_enabled()) {                                        \
+      static ::jrsnd::obs::Counter& jrsnd_obs_c =                                 \
+          ::jrsnd::obs::registry().counter(name);                                 \
+      jrsnd_obs_c.inc(static_cast<std::uint64_t>(n));                             \
+    }                                                                             \
+  } while (0)
+
+#define JRSND_GAUGE_SET(name, v)                                                  \
+  do {                                                                            \
+    if (::jrsnd::obs::metrics_enabled()) {                                        \
+      static ::jrsnd::obs::Gauge& jrsnd_obs_g = ::jrsnd::obs::registry().gauge(name); \
+      jrsnd_obs_g.set(static_cast<double>(v));                                    \
+    }                                                                             \
+  } while (0)
+
+#define JRSND_GAUGE_MAX(name, v)                                                  \
+  do {                                                                            \
+    if (::jrsnd::obs::metrics_enabled()) {                                        \
+      static ::jrsnd::obs::Gauge& jrsnd_obs_g = ::jrsnd::obs::registry().gauge(name); \
+      jrsnd_obs_g.update_max(static_cast<double>(v));                             \
+    }                                                                             \
+  } while (0)
+
+#define JRSND_OBSERVE(name, v)                                                    \
+  do {                                                                            \
+    if (::jrsnd::obs::metrics_enabled()) {                                        \
+      static ::jrsnd::obs::Histogram& jrsnd_obs_h =                               \
+          ::jrsnd::obs::registry().histogram(name);                               \
+      jrsnd_obs_h.observe(static_cast<double>(v));                                \
+    }                                                                             \
+  } while (0)
+
+#endif  // JRSND_OBS_DISABLED
+
+#define JRSND_COUNT(name) JRSND_COUNT_N(name, 1)

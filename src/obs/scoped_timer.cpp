@@ -1,0 +1,9 @@
+#include "obs/scoped_timer.hpp"
+
+namespace jrsnd::obs {
+
+Histogram& timer_histogram(std::string_view name) {
+  return registry().histogram(name, default_latency_bounds());
+}
+
+}  // namespace jrsnd::obs

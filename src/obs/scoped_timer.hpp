@@ -1,0 +1,59 @@
+// RAII wall-clock profiling (docs/observability.md).
+//
+// JRSND_SCOPED_TIMER("sim.phase.dndp.seconds") times the enclosing scope and
+// feeds the elapsed seconds into a latency histogram of that name. When
+// metrics are disabled the timer is constructed with a null sink: no clock
+// read, no histogram lookup, no destructor work — the disabled path costs
+// one relaxed atomic load (and compiles away entirely under
+// JRSND_OBS_DISABLED).
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jrsnd::obs {
+
+class ScopedTimer {
+ public:
+  /// Null sink = disarmed (no clock read at all).
+  explicit ScopedTimer(Histogram* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->observe(elapsed_seconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (0 when disarmed).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    if (sink_ == nullptr) return 0.0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return sink_ != nullptr; }
+
+  /// Detaches the sink so the destructor records nothing.
+  void cancel() noexcept { sink_ = nullptr; }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Latency histogram (default log-spaced bounds) for timer use.
+[[nodiscard]] Histogram& timer_histogram(std::string_view name);
+
+}  // namespace jrsnd::obs
+
+#if defined(JRSND_OBS_DISABLED)
+#define JRSND_SCOPED_TIMER(name) ((void)0)
+#else
+#define JRSND_SCOPED_TIMER(name)                                           \
+  ::jrsnd::obs::ScopedTimer JRSND_OBS_CONCAT(jrsnd_obs_timer_, __LINE__) { \
+    ::jrsnd::obs::metrics_enabled() ? &::jrsnd::obs::timer_histogram(name) : nullptr \
+  }
+#endif

@@ -1,0 +1,72 @@
+// Concrete event sinks + the JSONL trace format (docs/observability.md).
+//
+// One trace event = one flat JSON object per line. Reserved keys `t` (sim
+// time, number), `seq` (number), `sev` (string), `event` (string); every
+// other key is a user field. parse_jsonl_line() inverts write_jsonl()
+// exactly, so `jrsnd report` and the round-trip tests read what any sink
+// wrote — including TracingPhy's print_jsonl, which shares this schema.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/event_log.hpp"
+
+namespace jrsnd::obs {
+
+/// JSON string-escapes `s` (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Writes one event as a single JSONL line (with trailing newline).
+void write_jsonl(std::ostream& os, const TraceEvent& event);
+
+/// Parses one JSONL line back into an event. Returns nullopt on malformed
+/// input (the reserved keys may be absent; unknown keys become fields).
+[[nodiscard]] std::optional<TraceEvent> parse_jsonl_line(std::string_view line);
+
+/// Human-readable one-line-per-event sink:
+///   [t=12.000 info ] dndp.pair a=4 b=9 discovered=true
+class PrettyPrintSink final : public EventSink {
+ public:
+  /// Writes to `os`; the default is std::cerr (figure output stays on stdout).
+  explicit PrettyPrintSink(std::ostream& os);
+  PrettyPrintSink();
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// JSONL onto any ostream the caller keeps alive.
+class JsonlStreamSink final : public EventSink {
+ public:
+  explicit JsonlStreamSink(std::ostream& os) : os_(os) {}
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// JSONL into a file this sink owns.
+class JsonlFileSink final : public EventSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+
+  /// False when the file could not be opened (events are then dropped).
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(file_); }
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream file_;
+};
+
+}  // namespace jrsnd::obs

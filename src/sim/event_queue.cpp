@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+
 namespace jrsnd::sim {
 
 EventQueue::EventHandle EventQueue::schedule_at(TimePoint when, Callback callback) {
@@ -10,6 +13,7 @@ EventQueue::EventHandle EventQueue::schedule_at(TimePoint when, Callback callbac
   const EventHandle handle = next_handle_++;
   heap_.push(Entry{when, next_sequence_++, handle, std::move(callback)});
   ++live_count_;
+  JRSND_GAUGE_MAX("sim.queue.depth.highwater", live_count_);
   return handle;
 }
 
@@ -52,6 +56,9 @@ bool EventQueue::step() {
   --live_count_;
   assert(entry.when >= now_);
   now_ = entry.when;
+  JRSND_COUNT("sim.events.processed");
+  // Publish the queue clock so trace events carry simulated seconds.
+  if (obs::tracing_enabled()) obs::event_log().set_sim_time(now_.seconds());
   entry.callback();
   return true;
 }

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/hex.hpp"
 #include "common/logging.hpp"
@@ -49,6 +52,43 @@ TEST(Logging, SuppressedLevelsDoNotCrash) {
   JRSND_INFO("test") << "should be suppressed " << 42;
   JRSND_ERROR("test") << "also suppressed";
   set_log_level(before);
+}
+
+TEST(Logging, ParseLogLevelNamesAndCase) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("loud").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Logging, PluggableSinkReceivesFilteredLines) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Warn);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& tag, const std::string& msg) {
+    captured.emplace_back(level, tag + ": " + msg);
+  });
+  JRSND_INFO("tag") << "filtered out";
+  JRSND_WARN("tag") << "kept " << 7;
+  set_log_sink(nullptr);
+  set_log_level(before);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::Warn);
+  EXPECT_EQ(captured[0].second, "tag: kept 7");
+}
+
+TEST(Logging, TimestampToggleIsObservable) {
+  EXPECT_FALSE(log_timestamps());  // default off: byte-stable output
+  set_log_timestamps(true);
+  EXPECT_TRUE(log_timestamps());
+  set_log_timestamps(false);
+  EXPECT_FALSE(log_timestamps());
 }
 
 TEST(Types, DurationArithmetic) {

@@ -18,6 +18,18 @@ TEST(Stat, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
 }
 
+TEST(Stat, EmptyExtremesAreNaNNotZero) {
+  // Regression: min()/max() used to return 0.0 with no samples, which reads
+  // as a real (and impossibly good) observation in latency tables.
+  const Stat s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  Stat one;
+  one.add(-1.5);
+  EXPECT_DOUBLE_EQ(one.min(), -1.5);
+  EXPECT_DOUBLE_EQ(one.max(), -1.5);
+}
+
 TEST(Stat, SingleSample) {
   Stat s;
   s.add(4.2);

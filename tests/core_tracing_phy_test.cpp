@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <variant>
 
 #include "adversary/jammer.hpp"
 #include "core/abstract_phy.hpp"
 #include "core/dndp.hpp"
+#include "obs/sinks.hpp"
 #include "sim/topology.hpp"
 
 namespace jrsnd::core {
@@ -112,6 +114,49 @@ TEST(TracingPhy, MarksJammedTransmissionsAsLost) {
 TEST(TracingPhy, ClassNamesAreStable) {
   EXPECT_STREQ(tx_class_name(TxClass::Hello), "HELLO");
   EXPECT_STREQ(tx_class_name(TxClass::SessionUnicast), "MNDP-UNICAST");
+}
+
+TEST(TracingPhy, StampsMonotonicSequenceAndSimTime) {
+  TraceWorld w;
+  w.phy.set_time(TimePoint{1.5});
+  DndpEngine engine(w.params, w.phy);
+  ASSERT_TRUE(engine.run(w.nodes[0], w.nodes[1]).discovered);
+  ASSERT_FALSE(w.phy.records().empty());
+  std::uint64_t expected_seq = 1;
+  for (const auto& r : w.phy.records()) {
+    EXPECT_EQ(r.seq, expected_seq++);
+    EXPECT_DOUBLE_EQ(r.t, 1.5);
+  }
+  // clear() drops records but capture order keeps counting.
+  w.phy.clear();
+  w.phy.set_time(TimePoint{2.0});
+  (void)engine.run(w.nodes[0], w.nodes[1]);
+  ASSERT_FALSE(w.phy.records().empty());
+  EXPECT_EQ(w.phy.records().front().seq, expected_seq);
+  EXPECT_DOUBLE_EQ(w.phy.records().front().t, 2.0);
+}
+
+TEST(TracingPhy, PrintJsonlEmitsParseableObsEvents) {
+  TraceWorld w;
+  DndpEngine engine(w.params, w.phy);
+  ASSERT_TRUE(engine.run(w.nodes[0], w.nodes[1]).discovered);
+  std::ostringstream os;
+  w.phy.print_jsonl(os);
+
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t parsed_count = 0;
+  while (std::getline(in, line)) {
+    const auto ev = obs::parse_jsonl_line(line);
+    ASSERT_TRUE(ev.has_value()) << line;
+    EXPECT_EQ(ev->name, "phy.tx");
+    EXPECT_NE(ev->field("from"), nullptr);
+    EXPECT_NE(ev->field("class"), nullptr);
+    ASSERT_NE(ev->field("delivered"), nullptr);
+    EXPECT_TRUE(std::get<bool>(*ev->field("delivered")));
+    ++parsed_count;
+  }
+  EXPECT_EQ(parsed_count, w.phy.records().size());
 }
 
 }  // namespace

@@ -2,18 +2,24 @@
 //
 //   jrsnd analyze   [--n --m --l --q --z --mu --nu]   closed-form numbers
 //   jrsnd simulate  [--n --m --l --q --nu --runs --seed --jammer]
-//                                                      Monte-Carlo discovery
-//   jrsnd trace     [--seed]                           one D-NDP handshake,
+//                   [--trace-out FILE] [--metrics]     Monte-Carlo discovery
+//   jrsnd trace     [--seed] [--jsonl]                 one D-NDP handshake,
 //                                                      message by message
+//   jrsnd report    FILE                               summarize a JSONL trace
 //   jrsnd provision --node <id> [--n --m --l --chips]  hex provisioning blob
 //
-// Every flag defaults to Table I. Exit code 0 on success, 2 on usage error.
+// Every flag defaults to Table I. Flags without a value ("--metrics") are
+// booleans. Exit code 0 on success, 2 on usage error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "jrsnd.hpp"
 
@@ -24,7 +30,9 @@ using namespace jrsnd;
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positionals;
 
+  [[nodiscard]] bool has(const std::string& key) const { return flags.contains(key); }
   [[nodiscard]] std::uint32_t u32(const std::string& key, std::uint32_t fallback) const {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback
@@ -46,11 +54,14 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: jrsnd <analyze|simulate|trace|provision> [--flag value]...\n"
+               "usage: jrsnd <analyze|simulate|trace|report|provision> [--flag [value]]...\n"
                "  analyze   --n --m --l --q --z --mu --nu       closed forms (Thms 1-4)\n"
                "  simulate  --n --m --l --q --nu --runs --seed --jammer {none,random,\n"
                "            reactive,intelligent}                Monte-Carlo discovery\n"
-               "  trace     --seed                               one traced D-NDP run\n"
+               "            --trace-out FILE    write a JSONL event trace\n"
+               "            --metrics           print the metrics table afterwards\n"
+               "  trace     --seed [--jsonl]                     one traced D-NDP run\n"
+               "  report    FILE                                 summarize a JSONL trace\n"
                "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n");
   return 2;
 }
@@ -93,6 +104,40 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+/// One clean-channel D-NDP handshake over the chip-accurate PHY. The big
+/// Monte-Carlo sweep runs on AbstractPhy (Theorem 1 fates, no chips), so this
+/// small deterministic sample is what puts real numbers behind the
+/// dsss.sync.* / dsss.correlator.* / ecc.rs.* metrics in `--metrics` output.
+void run_chip_calibration(std::uint64_t seed) {
+  core::Params p = core::Params::defaults();
+  p.n = 2;
+  p.m = 4;
+  p.l = 2;
+  p.N = 128;
+  p.tau = 0.3;  // scaled for N = 128
+  const predist::CodePoolAuthority authority(p.predist(), Rng(seed));
+  const crypto::IbcAuthority ibc(seed + 1);
+  const sim::Field field(100.0, 100.0);
+  const sim::Topology topology(field, {{10, 10}, {20, 10}}, 50.0);
+  adversary::NullJammer jammer;
+  Rng phy_rng(seed + 2);
+  Rng node_rng(seed + 3);
+  std::vector<core::NodeState> nodes;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    nodes.emplace_back(node_id(i), ibc.issue(node_id(i)),
+                       authority.assignment().codes_of(node_id(i)), authority, p.gamma,
+                       node_rng.split());
+  }
+  const core::ChipPhy::Codebook codebook = [&](NodeId node) {
+    std::vector<dsss::SpreadCode> codes;
+    for (const CodeId c : nodes[raw(node)].usable_codes()) codes.push_back(authority.code(c));
+    return codes;
+  };
+  core::ChipPhy phy(p, topology, jammer, codebook, phy_rng);
+  core::DndpEngine engine(p, phy);
+  (void)engine.run(nodes[0], nodes[1]);
+}
+
 int cmd_simulate(const Args& args) {
   core::ExperimentConfig cfg;
   cfg.params = params_from(args);
@@ -109,6 +154,27 @@ int cmd_simulate(const Args& args) {
   } else {
     return usage();
   }
+
+  std::shared_ptr<obs::JsonlFileSink> trace_sink;
+  if (args.has("trace-out")) {
+    const std::string path = args.str("trace-out", "");
+    trace_sink = std::make_shared<obs::JsonlFileSink>(path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "error: cannot open trace file '%s'\n", path.c_str());
+      return 2;
+    }
+    obs::event_log().attach(trace_sink);
+    obs::set_tracing_enabled(true);
+  }
+  const bool want_metrics = args.has("metrics");
+  if (want_metrics) {
+    obs::set_metrics_enabled(true);
+    obs::preregister_core_metrics();
+    // Exercise the chip-level pipeline once so the dsss/ecc counters reflect
+    // a real sync + decode, not just preregistered zeros.
+    run_chip_calibration(cfg.base_seed);
+  }
+
   std::printf("config: %s, jammer=%s, seed=%llu\n", cfg.params.summary().c_str(),
               core::jammer_name(cfg.jammer),
               static_cast<unsigned long long>(cfg.base_seed));
@@ -120,6 +186,19 @@ int cmd_simulate(const Args& args) {
               r.latency_dndp.mean(), r.latency_mndp.mean(), r.latency_jrsnd.mean());
   std::printf("degree g : %.2f    compromised codes: %.0f\n", r.degree.mean(),
               r.compromised_codes.mean());
+
+  if (want_metrics) {
+    std::printf("\n");
+    obs::registry().snapshot().print_table(std::cout);
+  }
+  if (trace_sink) {
+    obs::event_log().flush();
+    obs::set_tracing_enabled(false);
+    obs::event_log().detach_all();
+    std::printf("\ntrace: %llu events -> %s\n",
+                static_cast<unsigned long long>(obs::event_log().emitted()),
+                args.str("trace-out", "").c_str());
+  }
   return 0;
 }
 
@@ -147,12 +226,101 @@ int cmd_trace(const Args& args) {
   }
   core::DndpEngine engine(p, phy);
   const core::DndpResult result = engine.run(nodes[0], nodes[1]);
+  if (args.has("jsonl")) {
+    phy.print_jsonl(std::cout);
+    return 0;
+  }
   std::printf("D-NDP between nodes 0 and 1 (%u shared codes):\n", result.shared_codes);
   phy.print(std::cout);
   std::printf("outcome: %s\n", result.discovered ? "discovered + authenticated" : "failed");
   if (result.discovered) {
     std::printf("session code: %s...\n",
                 nodes[0].neighbor(node_id(1))->session_code.slice(0, 48).to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positionals.empty()) {
+    std::fprintf(stderr, "error: report needs a trace file\n");
+    return usage();
+  }
+  const std::string& path = args.positionals.front();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+
+  std::map<std::string, std::uint64_t> by_event;
+  std::uint64_t by_severity[4] = {0, 0, 0, 0};
+  std::uint64_t total = 0;
+  std::uint64_t malformed = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  std::uint64_t dndp_pairs = 0;
+  std::uint64_t dndp_discovered = 0;
+  std::uint64_t phy_tx = 0;
+  std::uint64_t phy_delivered = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto ev = obs::parse_jsonl_line(line);
+    if (!ev.has_value()) {
+      ++malformed;
+      continue;
+    }
+    if (total == 0) {
+      t_min = ev->t;
+      t_max = ev->t;
+    } else {
+      t_min = std::min(t_min, ev->t);
+      t_max = std::max(t_max, ev->t);
+    }
+    ++total;
+    ++by_event[ev->name];
+    ++by_severity[static_cast<int>(ev->severity)];
+    const auto bool_field = [&ev](const char* key) {
+      const obs::FieldValue* f = ev->field(key);
+      const bool* b = f != nullptr ? std::get_if<bool>(f) : nullptr;
+      return b != nullptr && *b;
+    };
+    if (ev->name == "dndp.pair") {
+      ++dndp_pairs;
+      if (bool_field("discovered")) ++dndp_discovered;
+    } else if (ev->name == "phy.tx") {
+      ++phy_tx;
+      if (bool_field("delivered")) ++phy_delivered;
+    }
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("events   : %llu (%llu malformed line%s skipped)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(malformed), malformed == 1 ? "" : "s");
+  if (total == 0) return malformed > 0 ? 2 : 0;
+  std::printf("t range  : [%.3f, %.3f]\n", t_min, t_max);
+  std::printf("severity : debug=%llu info=%llu warn=%llu error=%llu\n",
+              static_cast<unsigned long long>(by_severity[0]),
+              static_cast<unsigned long long>(by_severity[1]),
+              static_cast<unsigned long long>(by_severity[2]),
+              static_cast<unsigned long long>(by_severity[3]));
+  std::printf("by event :\n");
+  for (const auto& [name, count] : by_event) {
+    std::printf("  %-24s %llu\n", name.c_str(), static_cast<unsigned long long>(count));
+  }
+  if (dndp_pairs > 0) {
+    std::printf("dndp.pair: %llu discovered / %llu total (%.1f%%)\n",
+                static_cast<unsigned long long>(dndp_discovered),
+                static_cast<unsigned long long>(dndp_pairs),
+                100.0 * static_cast<double>(dndp_discovered) / static_cast<double>(dndp_pairs));
+  }
+  if (phy_tx > 0) {
+    std::printf("phy.tx   : %llu delivered / %llu total (%.1f%%)\n",
+                static_cast<unsigned long long>(phy_delivered),
+                static_cast<unsigned long long>(phy_tx),
+                100.0 * static_cast<double>(phy_delivered) / static_cast<double>(phy_tx));
   }
   return 0;
 }
@@ -184,14 +352,24 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const char* flag = argv[i];
-    if (std::strncmp(flag, "--", 2) != 0) return usage();
-    args.flags[flag + 2] = argv[i + 1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) == 0) {
+      // "--flag value" when a non-flag token follows, else boolean "--flag".
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.flags[arg + 2] = argv[i + 1];
+        ++i;
+      } else {
+        args.flags[arg + 2] = "1";
+      }
+    } else {
+      args.positionals.emplace_back(arg);
+    }
   }
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "report") return cmd_report(args);
   if (args.command == "provision") return cmd_provision(args);
   return usage();
 }
