@@ -34,17 +34,18 @@ int main() {
       core::ExperimentConfig point = cfg;
       point.params.q = q;
 
+      const std::string q_label = "q=" + std::to_string(q);
       point.jammer = core::JammerKind::Intelligent;
       point.redundancy = true;
-      const double red_int = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double red_int = bench::run_point(point, q_label + " red/int").p_dndp.mean();
       point.redundancy = false;
-      const double naive_int = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double naive_int = bench::run_point(point, q_label + " naive/int").p_dndp.mean();
 
       point.jammer = core::JammerKind::Random;
       point.redundancy = true;
-      const double red_rnd = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double red_rnd = bench::run_point(point, q_label + " red/rnd").p_dndp.mean();
       point.redundancy = false;
-      const double naive_rnd = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double naive_rnd = bench::run_point(point, q_label + " naive/rnd").p_dndp.mean();
 
       core::Params bp = point.params;
       const baselines::GlobalCodeScheme global(bp.n, q);

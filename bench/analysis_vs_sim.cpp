@@ -28,9 +28,11 @@ int main() {
       core::ExperimentConfig point = cfg;
       point.params.q = q;
       point.jammer = core::JammerKind::Reactive;
-      const double reactive = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double reactive =
+          bench::run_point(point, "q=" + std::to_string(q) + " reactive").p_dndp.mean();
       point.jammer = core::JammerKind::Random;
-      const double random_j = core::DiscoverySimulator(point).run_all().p_dndp.mean();
+      const double random_j =
+          bench::run_point(point, "q=" + std::to_string(q) + " random").p_dndp.mean();
       const core::Theorem1Result t1 = core::theorem1(point.params);
       table.add_row({static_cast<double>(q), reactive, random_j, t1.p_lower, t1.p_upper});
     }
@@ -43,7 +45,7 @@ int main() {
     for (const std::uint32_t m : {20u, 60u, 100u, 140u, 200u}) {
       core::ExperimentConfig point = cfg;
       point.params.m = m;
-      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const core::PointResult r = bench::run_point(point, "m=" + std::to_string(m));
       const double t2 = core::theorem2_dndp_latency(point.params);
       table.add_row({static_cast<double>(m), r.latency_dndp.mean(), t2,
                      (r.latency_dndp.mean() - t2) / t2});
@@ -66,7 +68,7 @@ int main() {
 
       point.full_mndp = false;
       const double graph =
-          core::DiscoverySimulator(point).run_all().p_mndp_conditional.mean();
+          bench::run_point(point, "q=" + std::to_string(q) + " graph").p_mndp_conditional.mean();
       point.full_mndp = true;
       const core::DiscoverySimulator full_sim(point);
       core::Stat engine_p;

@@ -1,9 +1,11 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics_registry.hpp"
 
 namespace jrsnd::bench {
@@ -43,7 +45,20 @@ void print_banner(const std::string& experiment_id, const std::string& descripti
   std::printf("jammer: reactive (paper's reported worst case); runs/point: %u",
               params.runs);
   if (params.runs < 100) std::printf(" (paper: 100 — set JRSND_RUNS=100 for full fidelity)");
-  std::printf("\n================================================================\n");
+  std::printf("\nthreads: %zu (JRSND_THREADS to override; 1 = serial)\n",
+              ThreadPool::default_thread_count());
+  std::printf("================================================================\n");
+}
+
+core::PointResult run_point(const core::ExperimentConfig& config, const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+  core::PointResult result = core::DiscoverySimulator(config).run_all();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+  std::printf("  [%s] %.2f s\n", label.c_str(), wall.count());
+  std::fflush(stdout);
+  JRSND_OBSERVE("bench.point.seconds", wall.count());
+  if (obs::metrics_enabled()) obs::registry().gauge("bench.wall.seconds").add(wall.count());
+  return result;
 }
 
 void write_csv_if_requested(const std::string& name, const core::Table& table) {

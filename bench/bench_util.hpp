@@ -22,9 +22,17 @@ namespace jrsnd::bench {
 /// reported worst case) + the env-derived run count.
 [[nodiscard]] core::ExperimentConfig default_config();
 
-/// Prints the bench banner (figure id, what it reproduces, parameters).
+/// Prints the bench banner (figure id, what it reproduces, parameters,
+/// Monte-Carlo thread count).
 void print_banner(const std::string& experiment_id, const std::string& description,
                   const core::Params& params);
+
+/// Runs one sweep point (`DiscoverySimulator(config).run_all()`) and times
+/// it: prints "  [label] <wall> s", observes the wall time into the
+/// `bench.point.seconds` histogram, and accumulates `bench.wall.seconds` —
+/// both land in the .metrics.json snapshot next to each CSV.
+[[nodiscard]] core::PointResult run_point(const core::ExperimentConfig& config,
+                                          const std::string& label);
 
 /// If the JRSND_CSV_DIR env var names a directory, writes `table` to
 /// <dir>/<name>.csv (for plotting) plus a <dir>/<name>.metrics.json snapshot

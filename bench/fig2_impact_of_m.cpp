@@ -28,7 +28,7 @@ int main() {
   for (const std::uint32_t m : sweep) {
     core::ExperimentConfig point = cfg;
     point.params.m = m;
-    const core::PointResult r = core::DiscoverySimulator(point).run_all();
+    const core::PointResult r = bench::run_point(point, "m=" + std::to_string(m));
 
     const core::Theorem1Result t1 = core::theorem1(point.params);
     const double g = r.degree.mean();

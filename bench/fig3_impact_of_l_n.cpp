@@ -24,7 +24,7 @@ int main() {
     for (const std::uint32_t l : {5u, 10u, 20u, 40u, 60u, 80u, 100u, 120u, 160u}) {
       core::ExperimentConfig point = cfg;
       point.params.l = l;
-      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const core::PointResult r = bench::run_point(point, "l=" + std::to_string(l));
       const core::Theorem1Result t1 = core::theorem1(point.params);
       table.add_row({static_cast<double>(l), r.p_dndp.mean(), r.p_mndp.mean(),
                      r.p_jrsnd.mean(), t1.p_lower, t1.alpha});
@@ -39,7 +39,7 @@ int main() {
     for (const std::uint32_t n : {400u, 600u, 800u, 1000u, 1500u, 2000u, 2500u, 3000u, 4000u}) {
       core::ExperimentConfig point = cfg;
       point.params.n = n;
-      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const core::PointResult r = bench::run_point(point, "n=" + std::to_string(n));
       const core::Theorem1Result t1 = core::theorem1(point.params);
       table.add_row({static_cast<double>(n), r.p_dndp.mean(), r.p_mndp.mean(),
                      r.p_jrsnd.mean(), t1.p_lower, r.degree.mean()});

@@ -19,7 +19,8 @@ int main() {
       core::ExperimentConfig point = cfg;
       point.params.l = l;
       point.params.q = q;
-      const core::PointResult r = core::DiscoverySimulator(point).run_all();
+      const core::PointResult r = bench::run_point(
+          point, "l=" + std::to_string(l) + " q=" + std::to_string(q));
       const core::Theorem1Result t1 = core::theorem1(point.params);
       table.add_row({static_cast<double>(q), r.p_dndp.mean(), r.p_mndp.mean(),
                      r.p_jrsnd.mean(), t1.p_lower, t1.alpha, r.compromised_codes.mean()});

@@ -24,12 +24,13 @@ int main() {
   for (const std::uint32_t nu : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
     core::ExperimentConfig point = cfg;
     point.params.nu = nu;
-    const core::PointResult r = core::DiscoverySimulator(point).run_all();
+    const core::PointResult r = bench::run_point(point, "nu=" + std::to_string(nu));
     // Steady state: periodic re-initiation rides links earlier M-NDP rounds
     // established (§V-C) — one extra closure round captures it.
     core::ExperimentConfig steady = point;
     steady.mndp_rounds = 2;
-    const double jr_steady = core::DiscoverySimulator(steady).run_all().p_jrsnd.mean();
+    const double jr_steady =
+        bench::run_point(steady, "nu=" + std::to_string(nu) + " steady").p_jrsnd.mean();
     prob.add_row({static_cast<double>(nu), r.p_dndp.mean(), r.p_mndp.mean(),
                   r.p_jrsnd.mean(),
                   core::mndp_probability_recursive(r.p_dndp.mean(), r.degree.mean(), nu),

@@ -145,7 +145,14 @@ std::size_t BitVector::popcount() const noexcept {
 }
 
 std::size_t BitVector::hamming_distance(const BitVector& other) const {
-  return xor_with(other).popcount();
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::hamming_distance: size mismatch");
+  }
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return count;
 }
 
 bool BitVector::operator==(const BitVector& other) const noexcept {

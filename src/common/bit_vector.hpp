@@ -69,7 +69,13 @@ class BitVector {
   [[nodiscard]] std::size_t popcount() const noexcept;
 
   /// Hamming distance to `other`; both must have equal size.
+  /// Word-level XOR + popcount, no allocation.
   [[nodiscard]] std::size_t hamming_distance(const BitVector& other) const;
+
+  /// The packed 64-bit words, MSB-first within each word. Bits beyond
+  /// size() in the final word are guaranteed zero (class invariant) — the
+  /// dsss sync kernel relies on this to correlate against raw words.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
 
   bool operator==(const BitVector& other) const noexcept;
 

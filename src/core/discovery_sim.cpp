@@ -5,6 +5,7 @@
 
 #include "adversary/compromise.hpp"
 #include "adversary/jammer.hpp"
+#include "common/thread_pool.hpp"
 #include "core/abstract_phy.hpp"
 #include "core/analysis.hpp"
 #include "core/dndp.hpp"
@@ -198,23 +199,67 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   return result;
 }
 
+namespace {
+
+void accumulate(PointResult& agg, const RunResult& r) {
+  agg.p_dndp.add(r.p_dndp);
+  agg.p_mndp.add(r.p_mndp);
+  if (r.p_mndp_defined) agg.p_mndp_conditional.add(r.p_mndp_conditional);
+  agg.p_jrsnd.add(r.p_jrsnd);
+  agg.latency_dndp.add(r.latency_dndp_s);
+  agg.latency_mndp.add(r.latency_mndp_s);
+  agg.latency_jrsnd.add(r.latency_jrsnd_s);
+  agg.degree.add(r.avg_degree);
+  agg.compromised_codes.add(static_cast<double>(r.compromised_codes));
+}
+
+}  // namespace
+
 PointResult DiscoverySimulator::run_all() const {
+  const std::uint32_t runs = config_.params.runs;
+  const std::size_t threads = ThreadPool::default_thread_count();
   PointResult agg;
-  for (std::uint32_t run = 0; run < config_.params.runs; ++run) {
-    // Monte-Carlo runs have no shared timeline; publish the run index so
-    // trace events still carry a monotone `t`.
-    if (obs::tracing_enabled()) obs::event_log().set_sim_time(static_cast<double>(run));
-    const RunResult r = run_once(config_.base_seed + run);
-    agg.p_dndp.add(r.p_dndp);
-    agg.p_mndp.add(r.p_mndp);
-    if (r.p_mndp_defined) agg.p_mndp_conditional.add(r.p_mndp_conditional);
-    agg.p_jrsnd.add(r.p_jrsnd);
-    agg.latency_dndp.add(r.latency_dndp_s);
-    agg.latency_mndp.add(r.latency_mndp_s);
-    agg.latency_jrsnd.add(r.latency_jrsnd_s);
-    agg.degree.add(r.avg_degree);
-    agg.compromised_codes.add(static_cast<double>(r.compromised_codes));
+
+  // Tracing pins the serial path: the JSONL event stream is one ordered
+  // timeline (`t` = run index) and interleaving seeds would scramble it.
+  // JRSND_THREADS=1 restores the historical fully-serial behavior too.
+  if (threads <= 1 || runs <= 1 || obs::tracing_enabled()) {
+    for (std::uint32_t run = 0; run < runs; ++run) {
+      // Monte-Carlo runs have no shared timeline; publish the run index so
+      // trace events still carry a monotone `t`.
+      if (obs::tracing_enabled()) obs::event_log().set_sim_time(static_cast<double>(run));
+      accumulate(agg, run_once(config_.base_seed + run));
+    }
+    return agg;
   }
+
+  // Parallel path: seeds fan out across the pool. Each run is a fully
+  // deterministic function of its seed, so only two things need care:
+  //   * reduction order — results land in a seed-indexed vector and are
+  //     folded serially below, making the Stats bit-identical to serial;
+  //   * obs metrics — each worker records into its own scratch registry
+  //     (thread-local override), merged and absorbed into the process
+  //     registry afterwards so totals match the serial run.
+  const bool metrics = obs::metrics_enabled();
+  std::vector<RunResult> results(runs);
+  ThreadPool pool(threads);
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> scratch;
+  if (metrics) {
+    scratch.reserve(pool.size());
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      scratch.push_back(std::make_unique<obs::MetricsRegistry>());
+    }
+  }
+  pool.parallel_for(runs, [&](std::size_t run, std::size_t worker) {
+    const obs::ScopedMetricsRegistry guard(metrics ? scratch[worker].get() : nullptr);
+    results[run] = run_once(config_.base_seed + run);
+  });
+  if (metrics) {
+    obs::MetricsSnapshot merged;
+    for (const auto& reg : scratch) merged.merge(reg->snapshot());
+    obs::registry().absorb(merged);
+  }
+  for (const RunResult& r : results) accumulate(agg, r);
   return agg;
 }
 

@@ -1,33 +1,54 @@
 #include "dsss/sliding_window.hpp"
 
+#include <cassert>
 #include <cmath>
 
+#include "dsss/sync_kernel.hpp"
 #include "obs/metrics_registry.hpp"
 
 namespace jrsnd::dsss {
+
+namespace {
+
+/// The scan correlates every window against every candidate at a shared
+/// stride, so all candidates must agree on N. Callers that mix pool codes of
+/// different lengths have a configuration bug; surface it loudly in debug
+/// builds and fail the scan (no hit is better than a bogus one) in release.
+bool uniform_code_lengths(std::span<const SpreadCode> codes) noexcept {
+  for (const SpreadCode& code : codes) {
+    if (code.length() != codes[0].length()) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::optional<SyncHit> find_first_message(const BitVector& buffer,
                                           std::span<const SpreadCode> codes,
                                           std::size_t message_bits, double tau,
                                           std::size_t start_offset) {
   if (codes.empty() || message_bits == 0) return std::nullopt;
+  assert(uniform_code_lengths(codes) && "find_first_message: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return std::nullopt;
   const std::size_t n = codes[0].length();
   const std::size_t needed = message_bits * n;
   if (buffer.size() < needed) return std::nullopt;
 
   JRSND_COUNT("dsss.sync.scans");
-  // Accumulated locally and flushed once per scan: the window loop is the
-  // paper's t_p = rho*N*m*f hot path and must stay free of shared writes.
+  // One shift table per candidate, built once per scan and amortized over
+  // the ~f * m window correlations: the loop below is the paper's
+  // t_p = rho*N*m*f hot path and does zero allocation, zero bit-shifting,
+  // and no shared writes (metrics are accumulated locally, flushed once).
+  const std::vector<ShiftTable> tables = build_shift_tables(codes);
   std::uint64_t below_tau = 0;
   for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
-    for (std::size_t c = 0; c < codes.size(); ++c) {
-      const BitVector window = buffer.slice(offset, n);
-      const double corr = codes[c].correlate(window);
+    for (std::size_t c = 0; c < tables.size(); ++c) {
+      const double corr = tables[c].correlate(buffer, offset);
       if (std::abs(corr) >= tau) {
         SyncHit hit;
         hit.code_index = c;
         hit.chip_offset = offset;
-        hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+        hit.message = despread(buffer, offset, message_bits, tables[c], tau);
         JRSND_COUNT("dsss.sync.hits");
         JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
         return hit;
@@ -44,30 +65,92 @@ std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const 
                                        std::size_t message_bits, double tau) {
   std::vector<SyncHit> hits;
   if (codes.empty() || message_bits == 0) return hits;
+  assert(uniform_code_lengths(codes) && "find_all_messages: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return hits;
+  const std::size_t n = codes[0].length();
+  const std::size_t needed = message_bits * n;
+
+  const std::vector<ShiftTable> tables = build_shift_tables(codes);
+  std::size_t offset = 0;
+  while (offset + needed <= buffer.size()) {
+    bool found = false;
+    for (std::size_t c = 0; c < tables.size(); ++c) {
+      const double corr = tables[c].correlate(buffer, offset);
+      if (std::abs(corr) >= tau) {
+        SyncHit hit;
+        hit.code_index = c;
+        hit.chip_offset = offset;
+        hit.message = despread(buffer, offset, message_bits, tables[c], tau);
+        hits.push_back(std::move(hit));
+        offset += needed;  // resume after the recovered message
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++offset;
+  }
+  return hits;
+}
+
+std::optional<SyncHit> find_first_message_reference(const BitVector& buffer,
+                                                    std::span<const SpreadCode> codes,
+                                                    std::size_t message_bits, double tau,
+                                                    std::size_t start_offset) {
+  if (codes.empty() || message_bits == 0) return std::nullopt;
+  assert(uniform_code_lengths(codes) &&
+         "find_first_message_reference: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return std::nullopt;
+  const std::size_t n = codes[0].length();
+  const std::size_t needed = message_bits * n;
+  if (buffer.size() < needed) return std::nullopt;
+
+  for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
+    // One slice per window position, shared across the m candidates — the
+    // slice is offset-dependent, not code-dependent.
+    const BitVector window = buffer.slice(offset, n);
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      const double corr = codes[c].correlate(window);
+      if (std::abs(corr) >= tau) {
+        SyncHit hit;
+        hit.code_index = c;
+        hit.chip_offset = offset;
+        hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+        return hit;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SyncHit> find_all_messages_reference(const BitVector& buffer,
+                                                 std::span<const SpreadCode> codes,
+                                                 std::size_t message_bits, double tau) {
+  std::vector<SyncHit> hits;
+  if (codes.empty() || message_bits == 0) return hits;
+  assert(uniform_code_lengths(codes) &&
+         "find_all_messages_reference: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return hits;
   const std::size_t n = codes[0].length();
   const std::size_t needed = message_bits * n;
 
   std::size_t offset = 0;
   while (offset + needed <= buffer.size()) {
     bool found = false;
-    for (; offset + needed <= buffer.size() && !found; /* advanced below */) {
-      for (std::size_t c = 0; c < codes.size(); ++c) {
-        const BitVector window = buffer.slice(offset, n);
-        const double corr = codes[c].correlate(window);
-        if (std::abs(corr) >= tau) {
-          SyncHit hit;
-          hit.code_index = c;
-          hit.chip_offset = offset;
-          hit.message = despread(buffer, offset, message_bits, codes[c], tau);
-          hits.push_back(std::move(hit));
-          offset += needed;  // resume after the recovered message
-          found = true;
-          break;
-        }
+    const BitVector window = buffer.slice(offset, n);
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      const double corr = codes[c].correlate(window);
+      if (std::abs(corr) >= tau) {
+        SyncHit hit;
+        hit.code_index = c;
+        hit.chip_offset = offset;
+        hit.message = despread(buffer, offset, message_bits, codes[c], tau);
+        hits.push_back(std::move(hit));
+        offset += needed;  // resume after the recovered message
+        found = true;
+        break;
       }
-      if (!found) ++offset;
     }
-    if (!found) break;
+    if (!found) ++offset;
   }
   return hits;
 }

@@ -34,6 +34,15 @@ struct SyncHit {
 /// Noise can exceed tau at a random position (false lock, probability
 /// false_sync_probability() per position); callers resolve this by retrying
 /// from hit.chip_offset + 1 when the ECC decode rejects the recovered bits.
+///
+/// Precondition: every candidate shares codes[0].length() — the scan slides
+/// one window at one stride. Mixed lengths assert in debug builds and make
+/// the scan report no hit in release builds.
+///
+/// Implementation: the allocation-free word-aligned kernel
+/// (dsss/sync_kernel.hpp) — each candidate is precomputed at all 64 word
+/// alignments once per scan, then every window is XOR + popcount against the
+/// buffer's packed words.
 [[nodiscard]] std::optional<SyncHit> find_first_message(const BitVector& buffer,
                                                         std::span<const SpreadCode> codes,
                                                         std::size_t message_bits, double tau,
@@ -42,9 +51,24 @@ struct SyncHit {
 /// Scans the whole buffer and returns every non-overlapping message found
 /// (continues searching after each recovered message). Models the paper's
 /// note that a buffer may hold multiple HELLOs from concurrent initiators.
+/// Same mixed-length precondition as find_first_message.
 [[nodiscard]] std::vector<SyncHit> find_all_messages(const BitVector& buffer,
                                                      std::span<const SpreadCode> codes,
                                                      std::size_t message_bits, double tau);
+
+/// Reference oracle for find_first_message: the straightforward slice-based
+/// scan (one BitVector window per chip position, shared across candidates —
+/// not one per (position, code) pair). Byte-identical results to the kernel
+/// path by construction; kept for property tests and the micro benchmark,
+/// not for production scans.
+[[nodiscard]] std::optional<SyncHit> find_first_message_reference(
+    const BitVector& buffer, std::span<const SpreadCode> codes, std::size_t message_bits,
+    double tau, std::size_t start_offset = 0);
+
+/// Reference oracle for find_all_messages (see find_first_message_reference).
+[[nodiscard]] std::vector<SyncHit> find_all_messages_reference(
+    const BitVector& buffer, std::span<const SpreadCode> codes, std::size_t message_bits,
+    double tau);
 
 /// The number of code correlations the scan performs, the quantity the
 /// paper's processing-time model t_p = rho * N * m * f is built on.

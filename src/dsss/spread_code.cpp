@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dsss/sync_kernel.hpp"
+
 namespace jrsnd::dsss {
 
 SpreadCode::SpreadCode(BitVector chips, CodeId id) : chips_(std::move(chips)), id_(id) {
@@ -18,9 +20,7 @@ double SpreadCode::correlate(const BitVector& window) const {
   if (window.size() != chips_.size()) {
     throw std::invalid_argument("SpreadCode::correlate: window length mismatch");
   }
-  const std::size_t hamming = chips_.hamming_distance(window);
-  const auto n = static_cast<double>(chips_.size());
-  return (n - 2.0 * static_cast<double>(hamming)) / n;
+  return correlate_at(window, 0, chips_);
 }
 
 }  // namespace jrsnd::dsss

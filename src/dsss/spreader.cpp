@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "dsss/sync_kernel.hpp"
+
 namespace jrsnd::dsss {
 
 BitVector spread(const BitVector& message, const SpreadCode& code) {
@@ -17,11 +19,11 @@ BitVector spread(const BitVector& message, const SpreadCode& code) {
   return chips;
 }
 
-DespreadBit despread_bit(const BitVector& chips, std::size_t start, const SpreadCode& code,
-                         double tau) {
-  assert(start + code.length() <= chips.size());
-  const BitVector window = chips.slice(start, code.length());
-  const double corr = code.correlate(window);
+namespace {
+
+/// Threshold decision shared by every despread path: the correlation source
+/// differs (slice-free kernel vs. shift table), the decision does not.
+DespreadBit decide(double corr, double tau) noexcept {
   DespreadBit out;
   out.correlation = corr;
   if (corr >= tau) {
@@ -34,8 +36,25 @@ DespreadBit despread_bit(const BitVector& chips, std::size_t start, const Spread
   return out;
 }
 
-DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t bit_count,
-                        const SpreadCode& code, double tau) {
+}  // namespace
+
+DespreadBit despread_bit(const BitVector& chips, std::size_t start, const SpreadCode& code,
+                         double tau) {
+  assert(start + code.length() <= chips.size());
+  return decide(correlate_at(chips, start, code.bits()), tau);
+}
+
+DespreadBit despread_bit(const BitVector& chips, std::size_t start, const ShiftTable& code,
+                         double tau) {
+  assert(start + code.length() <= chips.size());
+  return decide(code.correlate(chips, start), tau);
+}
+
+namespace {
+
+template <typename CodeLike>
+DespreadResult despread_impl(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                             const CodeLike& code, double tau) {
   if (start + bit_count * code.length() > chips.size()) {
     throw std::invalid_argument("despread: window exceeds chip buffer");
   }
@@ -46,6 +65,18 @@ DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t b
     if (d.erased) result.erased_bits.push_back(bit);
   }
   return result;
+}
+
+}  // namespace
+
+DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                        const SpreadCode& code, double tau) {
+  return despread_impl(chips, start, bit_count, code, tau);
+}
+
+DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                        const ShiftTable& code, double tau) {
+  return despread_impl(chips, start, bit_count, code, tau);
 }
 
 }  // namespace jrsnd::dsss

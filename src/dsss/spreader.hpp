@@ -16,6 +16,8 @@
 
 namespace jrsnd::dsss {
 
+class ShiftTable;  // dsss/sync_kernel.hpp
+
 /// Spreads `message` with `code`: output has message.size() * N chips,
 /// packed as bits (bit 1 <-> chip +1).
 [[nodiscard]] BitVector spread(const BitVector& message, const SpreadCode& code);
@@ -42,5 +44,14 @@ struct DespreadResult {
 /// De-spreads a single bit (the N-chip window at `start`).
 [[nodiscard]] DespreadBit despread_bit(const BitVector& chips, std::size_t start,
                                        const SpreadCode& code, double tau);
+
+/// Kernel variants over a precomputed ShiftTable: same decisions and the
+/// bit-identical correlations of the SpreadCode overloads, but each window
+/// is correlated with zero allocation and zero bit-shifting — the path the
+/// sliding-window scan uses once it has built its per-scan tables.
+[[nodiscard]] DespreadResult despread(const BitVector& chips, std::size_t start,
+                                      std::size_t bit_count, const ShiftTable& code, double tau);
+[[nodiscard]] DespreadBit despread_bit(const BitVector& chips, std::size_t start,
+                                       const ShiftTable& code, double tau);
 
 }  // namespace jrsnd::dsss

@@ -1,0 +1,88 @@
+#include "dsss/sync_kernel.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "dsss/spread_code.hpp"
+
+namespace jrsnd::dsss {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+/// Zeroes the bits of `word` beyond the first `valid` (0 < valid <= 64).
+constexpr std::uint64_t keep_leading(std::uint64_t word, std::size_t valid) noexcept {
+  return valid == kWordBits ? word : word & (~std::uint64_t{0} << (kWordBits - valid));
+}
+
+/// words[k] of `src` treated as an infinite zero-padded stream.
+std::uint64_t padded_word(std::span<const std::uint64_t> src, std::size_t k) noexcept {
+  return k < src.size() ? src[k] : 0;
+}
+
+/// Writes `src` shifted right by `s` bits (MSB-first packing: the pattern
+/// now starts at bit `s`) into out[0, out_words).
+void shift_words(std::span<const std::uint64_t> src, std::size_t s, std::uint64_t* out,
+                 std::size_t out_words) noexcept {
+  for (std::size_t k = 0; k < out_words; ++k) {
+    const std::uint64_t lo = padded_word(src, k);
+    if (s == 0) {
+      out[k] = lo;
+    } else {
+      const std::uint64_t hi = k == 0 ? 0 : padded_word(src, k - 1);
+      out[k] = (lo >> s) | (hi << (kWordBits - s));
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t hamming_at(const BitVector& buffer, std::size_t bit_offset, const BitVector& code) {
+  const std::size_t n = code.size();
+  assert(n > 0);
+  assert(bit_offset + n <= buffer.size());
+  const std::span<const std::uint64_t> buf = buffer.words();
+  const std::span<const std::uint64_t> cw = code.words();
+  const std::size_t s = bit_offset % kWordBits;
+  const std::size_t w0 = bit_offset / kWordBits;
+  const std::size_t tail = n % kWordBits;
+
+  std::size_t h = 0;
+  for (std::size_t k = 0; k < cw.size(); ++k) {
+    // Align the buffer window to the code: two word reads + one shift.
+    std::uint64_t window = buf[w0 + k] << s;
+    if (s != 0 && w0 + k + 1 < buf.size()) {
+      window |= buf[w0 + k + 1] >> (kWordBits - s);
+    }
+    // The code's slack bits are zero (BitVector invariant); the window's
+    // final word may carry live buffer bits past the code, so mask them.
+    if (k + 1 == cw.size() && tail != 0) window = keep_leading(window, tail);
+    h += static_cast<std::size_t>(std::popcount(window ^ cw[k]));
+  }
+  return h;
+}
+
+double correlate_at(const BitVector& buffer, std::size_t bit_offset, const BitVector& code) {
+  const auto n = static_cast<double>(code.size());
+  const auto h = static_cast<double>(hamming_at(buffer, bit_offset, code));
+  return (n - 2.0 * h) / n;
+}
+
+ShiftTable::ShiftTable(const SpreadCode& code)
+    : length_(code.length()), stride_((kWordBits - 1 + length_ + kWordBits - 1) / kWordBits) {
+  rows_.resize(kWordBits * stride_);
+  const std::span<const std::uint64_t> cw = code.bits().words();
+  for (std::size_t s = 0; s < kWordBits; ++s) {
+    shift_words(cw, s, rows_.data() + s * stride_, stride_);
+  }
+}
+
+std::vector<ShiftTable> build_shift_tables(std::span<const SpreadCode> codes) {
+  std::vector<ShiftTable> tables;
+  tables.reserve(codes.size());
+  for (const SpreadCode& code : codes) tables.emplace_back(code);
+  return tables;
+}
+
+}  // namespace jrsnd::dsss

@@ -1,0 +1,110 @@
+// Word-aligned correlation kernel for the sliding-window scan (paper §V-B).
+//
+// The paper's processing-time model t_p = rho * N * m * f makes the chip-level
+// scan the dominant cost of JR-SND: every chip position of the f-chip buffer
+// is correlated against each of the receiver's m candidate N-chip codes. The
+// naive implementation materializes a heap-allocated window slice per
+// (position, code) pair; this kernel instead correlates *in place* against the
+// buffer's packed 64-bit words via XOR + popcount.
+//
+// Two entry points, by amortization regime:
+//
+//   * hamming_at / correlate_at — one-shot: aligns the buffer window to the
+//     code with two word reads and an inline shift per word. Zero allocation;
+//     right for de-spreading a handful of bits at a known offset.
+//
+//   * ShiftTable — precomputes the code's words at all 64 possible bit
+//     alignments once per scan, so the scan inner loop does zero allocation
+//     *and* zero per-window bit shifting: for chip offset i it picks row
+//     i % 64 and XOR/popcounts it directly against buffer words starting at
+//     i / 64. Only the row's first and last words carry buffer bits outside
+//     the window; their masks are two ALU ops from s, so no mask rows are
+//     stored and the whole table is 64 * ceil((63 + N) / 64) words
+//     (~4.7 KiB at N = 512) — small enough that a Table-I scan's working
+//     set stays L1-resident. Construction is amortized over the ~f * m
+//     correlations of a scan.
+//
+// Both paths compute the identical integer Hamming distance, so their
+// normalized correlations (N - 2h) / N are bit-identical doubles — the
+// sliding-window results do not depend on which path ran.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.hpp"
+
+namespace jrsnd::dsss {
+
+class SpreadCode;  // dsss/spread_code.hpp
+
+/// Hamming distance between `code` and the window buffer[bit_offset,
+/// bit_offset + code.size()), computed against packed words with no
+/// allocation. Precondition: bit_offset + code.size() <= buffer.size().
+[[nodiscard]] std::size_t hamming_at(const BitVector& buffer, std::size_t bit_offset,
+                                     const BitVector& code);
+
+/// Normalized correlation in [-1, +1] of `code` against the window at
+/// `bit_offset`: (N - 2 * hamming) / N. Same precondition as hamming_at.
+[[nodiscard]] double correlate_at(const BitVector& buffer, std::size_t bit_offset,
+                                  const BitVector& code);
+
+/// A candidate code precomputed at all 64 word alignments. Row s holds the
+/// code's chips shifted to start at bit s of a word boundary; correlating
+/// the window at chip offset i reduces to XOR + popcount of row i % 64
+/// against the buffer words from i / 64 on, with only the two edge words
+/// masked (their masks derive from s alone).
+class ShiftTable {
+ public:
+  explicit ShiftTable(const SpreadCode& code);
+
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+
+  /// Hamming distance to the window at `bit_offset`; allocation-free,
+  /// shift-free. Precondition: bit_offset + length() <= buffer.size().
+  /// Defined inline: this is the body of the scan's hot loop.
+  [[nodiscard]] std::size_t hamming(const BitVector& buffer, std::size_t bit_offset) const {
+    const std::size_t s = bit_offset % kWordBits;
+    const std::uint64_t* buf = buffer.words().data() + bit_offset / kWordBits;
+    const std::uint64_t* row = rows_.data() + s * stride_;
+    const std::size_t nw = (s + length_ + kWordBits - 1) / kWordBits;
+    // Bits of the first word before s and of the last word past the code are
+    // live buffer bits outside the window; the rows hold zeros there, so the
+    // two edge masks silence them. Interior words need no mask.
+    const std::uint64_t first = ~std::uint64_t{0} >> s;
+    const std::size_t valid = (s + length_ - 1) % kWordBits + 1;
+    const std::uint64_t last = ~std::uint64_t{0} << (kWordBits - valid);
+    if (nw == 1) {
+      return static_cast<std::size_t>(std::popcount((buf[0] ^ row[0]) & first & last));
+    }
+    std::size_t h = static_cast<std::size_t>(std::popcount((buf[0] ^ row[0]) & first));
+    for (std::size_t k = 1; k + 1 < nw; ++k) {
+      h += static_cast<std::size_t>(std::popcount(buf[k] ^ row[k]));
+    }
+    h += static_cast<std::size_t>(std::popcount((buf[nw - 1] ^ row[nw - 1]) & last));
+    return h;
+  }
+
+  /// (N - 2 * hamming) / N, identical to SpreadCode::correlate on a slice.
+  [[nodiscard]] double correlate(const BitVector& buffer, std::size_t bit_offset) const {
+    const auto n = static_cast<double>(length_);
+    const auto h = static_cast<double>(hamming(buffer, bit_offset));
+    return (n - 2.0 * h) / n;
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  std::size_t length_ = 0;
+  std::size_t stride_ = 0;  ///< words per alignment row (worst case, s = 63)
+  std::vector<std::uint64_t> rows_;  ///< 64 rows of stride_ words: code >> s
+};
+
+/// One ShiftTable per candidate code — the per-scan precomputation
+/// find_first_message / find_all_messages build before their window loops.
+[[nodiscard]] std::vector<ShiftTable> build_shift_tables(std::span<const SpreadCode> codes);
+
+}  // namespace jrsnd::dsss

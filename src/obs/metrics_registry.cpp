@@ -14,6 +14,10 @@ namespace {
 
 std::atomic<bool> g_metrics_enabled{false};
 
+// Generation 0 is reserved as the macros' "never resolved" sentinel.
+std::atomic<std::uint64_t> g_registry_generation{1};
+thread_local MetricsRegistry* t_registry_override = nullptr;
+
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 /// CAS update keeping the extremum; `first` seeds an empty slot (NaN).
@@ -75,6 +79,24 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+void Histogram::merge_from(const HistogramSample& sample) noexcept {
+  if (sample.count == 0) return;
+  if (sample.bounds != bounds_ || sample.buckets.size() != buckets_.size()) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(sample.buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(sample.count, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sample.sum, std::memory_order_relaxed)) {
+  }
+  if (!std::isnan(sample.min)) {
+    update_extremum(min_, sample.min, [](double a, double b) { return a < b; });
+  }
+  if (!std::isnan(sample.max)) {
+    update_extremum(max_, sample.max, [](double a, double b) { return a > b; });
+  }
 }
 
 void Histogram::reset() noexcept {
@@ -325,9 +347,40 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+void MetricsRegistry::absorb(const MetricsSnapshot& snapshot) {
+  for (const CounterSample& c : snapshot.counters) counter(c.name).inc(c.value);
+  for (const GaugeSample& g : snapshot.gauges) gauge(g.name).update_max(g.value);
+  for (const HistogramSample& h : snapshot.histograms) {
+    histogram(h.name, h.bounds).merge_from(h);
+  }
+}
+
 MetricsRegistry& registry() {
   static MetricsRegistry instance;
   return instance;
+}
+
+MetricsRegistry& active_registry() {
+  return t_registry_override != nullptr ? *t_registry_override : registry();
+}
+
+std::uint64_t registry_generation() noexcept {
+  return g_registry_generation.load(std::memory_order_relaxed);
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* scratch)
+    : previous_(t_registry_override), installed_(scratch != nullptr) {
+  if (installed_) {
+    t_registry_override = scratch;
+    g_registry_generation.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  if (installed_) {
+    t_registry_override = previous_;
+    g_registry_generation.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void preregister_core_metrics() {

@@ -62,6 +62,8 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+struct HistogramSample;
+
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges; an
 /// implicit overflow bucket catches everything above the last edge. Also
 /// tracks count/sum/min/max so snapshots can report means and extremes.
@@ -70,6 +72,11 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v) noexcept;
+
+  /// Adds a snapshot sample's buckets/count/sum and widens min/max — the
+  /// registry-absorption half of the cross-thread merge path. Samples whose
+  /// bounds do not match are dropped (a schema mismatch, not data).
+  void merge_from(const HistogramSample& sample) noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
   [[nodiscard]] std::uint64_t count() const noexcept {
@@ -158,6 +165,12 @@ class MetricsRegistry {
                                      std::span<const double> bounds = {});
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Adds a snapshot into this registry's live metrics: counters and
+  /// histograms accumulate, gauges keep the high-water mark (the same
+  /// reduction MetricsSnapshot::merge applies). This is how per-thread
+  /// scratch registries are folded back into the process registry after a
+  /// parallel Monte-Carlo run — totals end up identical to a serial run.
+  void absorb(const MetricsSnapshot& snapshot);
   /// Zeroes every registered metric (names stay registered).
   void reset();
 
@@ -171,6 +184,35 @@ class MetricsRegistry {
 /// The process-wide registry all instrumentation macros feed.
 [[nodiscard]] MetricsRegistry& registry();
 
+/// The registry instrumentation currently resolves against on this thread:
+/// the thread's ScopedMetricsRegistry override if one is installed, else the
+/// process-wide registry().
+[[nodiscard]] MetricsRegistry& active_registry();
+
+/// Bumped (process-wide) every time any thread installs or removes a
+/// registry override. Instrumentation macros cache resolved metric handles
+/// per thread and re-resolve only when this changes, so the steady-state
+/// hot-path cost stays one relaxed load + one compare per site.
+[[nodiscard]] std::uint64_t registry_generation() noexcept;
+
+/// RAII thread-local registry override. While alive, every instrumentation
+/// macro on this thread records into `scratch` instead of the global
+/// registry — the isolation the parallel Monte-Carlo engine uses to give
+/// each worker its own metrics, later folded back via snapshot()/absorb().
+/// A null `scratch` is a no-op (convenient when metrics are disabled).
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* scratch);
+  ~ScopedMetricsRegistry();
+
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_ = nullptr;
+  bool installed_ = false;
+};
+
 /// Registers the canonical metric names (docs/observability.md) so snapshots
 /// report them as zero even on paths a given configuration never exercises
 /// (e.g. chip-layer counters under the abstract PHY).
@@ -180,8 +222,12 @@ void preregister_core_metrics();
 
 // --- instrumentation macros -------------------------------------------------
 //
-// Each site pays one relaxed atomic load when metrics are disabled; the
-// registry lookup happens once (static local) on the first enabled pass.
+// Each site pays one relaxed atomic load when metrics are disabled. When
+// enabled, the resolved metric handle is cached per thread and revalidated
+// against registry_generation() with one relaxed load + compare, so a site
+// re-resolves only when a ScopedMetricsRegistry override is (un)installed —
+// the hook the parallel Monte-Carlo engine uses to give each worker thread
+// its own scratch registry.
 
 #define JRSND_OBS_CONCAT_INNER(a, b) a##b
 #define JRSND_OBS_CONCAT(a, b) JRSND_OBS_CONCAT_INNER(a, b)
@@ -195,37 +241,50 @@ void preregister_core_metrics();
 
 #else
 
+// Resolves `name` of metric kind Type (counter/gauge/histogram accessor
+// `getter`) against the active registry, caching per (site, thread) until
+// the registry generation moves. generation starts at 1, so 0 marks a
+// never-resolved cache.
+#define JRSND_OBS_RESOLVE(Type, getter, name, out)                                \
+  static thread_local ::jrsnd::obs::Type* out = nullptr;                          \
+  static thread_local std::uint64_t JRSND_OBS_CONCAT(out, _gen) = 0;              \
+  {                                                                               \
+    const std::uint64_t jrsnd_obs_now = ::jrsnd::obs::registry_generation();      \
+    if (JRSND_OBS_CONCAT(out, _gen) != jrsnd_obs_now) {                           \
+      out = &::jrsnd::obs::active_registry().getter(name);                        \
+      JRSND_OBS_CONCAT(out, _gen) = jrsnd_obs_now;                                \
+    }                                                                             \
+  }
+
 #define JRSND_COUNT_N(name, n)                                                    \
   do {                                                                            \
     if (::jrsnd::obs::metrics_enabled()) {                                        \
-      static ::jrsnd::obs::Counter& jrsnd_obs_c =                                 \
-          ::jrsnd::obs::registry().counter(name);                                 \
-      jrsnd_obs_c.inc(static_cast<std::uint64_t>(n));                             \
+      JRSND_OBS_RESOLVE(Counter, counter, name, jrsnd_obs_c)                      \
+      jrsnd_obs_c->inc(static_cast<std::uint64_t>(n));                            \
     }                                                                             \
   } while (0)
 
 #define JRSND_GAUGE_SET(name, v)                                                  \
   do {                                                                            \
     if (::jrsnd::obs::metrics_enabled()) {                                        \
-      static ::jrsnd::obs::Gauge& jrsnd_obs_g = ::jrsnd::obs::registry().gauge(name); \
-      jrsnd_obs_g.set(static_cast<double>(v));                                    \
+      JRSND_OBS_RESOLVE(Gauge, gauge, name, jrsnd_obs_g)                          \
+      jrsnd_obs_g->set(static_cast<double>(v));                                   \
     }                                                                             \
   } while (0)
 
 #define JRSND_GAUGE_MAX(name, v)                                                  \
   do {                                                                            \
     if (::jrsnd::obs::metrics_enabled()) {                                        \
-      static ::jrsnd::obs::Gauge& jrsnd_obs_g = ::jrsnd::obs::registry().gauge(name); \
-      jrsnd_obs_g.update_max(static_cast<double>(v));                             \
+      JRSND_OBS_RESOLVE(Gauge, gauge, name, jrsnd_obs_g)                          \
+      jrsnd_obs_g->update_max(static_cast<double>(v));                            \
     }                                                                             \
   } while (0)
 
 #define JRSND_OBSERVE(name, v)                                                    \
   do {                                                                            \
     if (::jrsnd::obs::metrics_enabled()) {                                        \
-      static ::jrsnd::obs::Histogram& jrsnd_obs_h =                               \
-          ::jrsnd::obs::registry().histogram(name);                               \
-      jrsnd_obs_h.observe(static_cast<double>(v));                                \
+      JRSND_OBS_RESOLVE(Histogram, histogram, name, jrsnd_obs_h)                  \
+      jrsnd_obs_h->observe(static_cast<double>(v));                               \
     }                                                                             \
   } while (0)
 

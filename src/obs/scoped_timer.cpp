@@ -3,7 +3,9 @@
 namespace jrsnd::obs {
 
 Histogram& timer_histogram(std::string_view name) {
-  return registry().histogram(name, default_latency_bounds());
+  // Resolved per timer construction (no per-site cache), so a thread-local
+  // ScopedMetricsRegistry override naturally captures phase timers too.
+  return active_registry().histogram(name, default_latency_bounds());
 }
 
 }  // namespace jrsnd::obs

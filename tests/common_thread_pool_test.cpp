@@ -1,0 +1,116 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace jrsnd {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsInlineAndInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(50, [&](std::size_t i) { order.push_back(i); });  // no mutex needed: inline
+  std::vector<std::size_t> expected(50);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, CountSmallerThanPoolCompletes) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  pool.parallel_for(3, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WorkerIdsAreStableAndBounded) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> per_worker(4);
+  pool.parallel_for(400, [&](std::size_t /*i*/, std::size_t worker) {
+    ASSERT_LT(worker, 4u);
+    per_worker[worker].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& w : per_worker) total += w.load();
+  EXPECT_EQ(total, 400);
+}
+
+TEST(ThreadPool, ReusableAcrossInvocations) {
+  ThreadPool pool(3);
+  for (std::size_t round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(round + 1, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    const std::size_t n = round + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 17) throw std::runtime_error("boom");
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // Remaining indices still ran (the failing index is the only casualty).
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ThreadPool, SerialPathPropagatesExceptionsToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(5, [](std::size_t i) { if (i == 2) throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  ASSERT_EQ(setenv("JRSND_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ASSERT_EQ(setenv("JRSND_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+  // Garbage and out-of-range values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("JRSND_THREADS", "banana", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ASSERT_EQ(setenv("JRSND_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ASSERT_EQ(setenv("JRSND_THREADS", "100000", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 256u);
+  ASSERT_EQ(unsetenv("JRSND_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace
+}  // namespace jrsnd
