@@ -52,7 +52,20 @@ void BitVector::push_back(bool bit) {
 
 void BitVector::append_uint(std::uint64_t value, std::size_t width) {
   assert(width <= 64);
-  for (std::size_t i = width; i-- > 0;) push_back(((value >> i) & 1) != 0);
+  if (width == 0) return;
+  if (width < kWordBits) value &= (std::uint64_t{1} << width) - 1;
+  // Word-level splice of the field, MSB-first: align the bits to the top of
+  // a word, then OR them across the (at most two) destination words.
+  const std::uint64_t top = value << (kWordBits - width);
+  const std::size_t offset = size_ % kWordBits;
+  const std::size_t new_size = size_ + width;
+  words_.resize((new_size + kWordBits - 1) / kWordBits, 0);
+  const std::size_t wi = size_ / kWordBits;
+  words_[wi] |= top >> offset;
+  if (offset != 0 && wi + 1 < words_.size()) {
+    words_[wi + 1] |= top << (kWordBits - offset);
+  }
+  size_ = new_size;
 }
 
 void BitVector::append(const BitVector& other) {
@@ -75,14 +88,30 @@ void BitVector::append(const BitVector& other) {
 }
 
 BitVector BitVector::inverted() const {
-  BitVector out = *this;
-  for (auto& word : out.words_) word = ~word;
+  BitVector out;
+  out.assign_inverted(*this);
+  return out;
+}
+
+void BitVector::assign_inverted(const BitVector& other) {
+  words_.resize(other.words_.size());
+  size_ = other.size_;
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] = ~other.words_[w];
   // Re-zero the slack beyond size_ to preserve the invariant.
   const std::size_t tail = size_ % kWordBits;
-  if (tail != 0 && !out.words_.empty()) {
-    out.words_.back() &= ~std::uint64_t{0} << (kWordBits - tail);
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= ~std::uint64_t{0} << (kWordBits - tail);
   }
-  return out;
+}
+
+void BitVector::truncate(std::size_t new_size) noexcept {
+  if (new_size >= size_) return;
+  size_ = new_size;
+  words_.resize((new_size + kWordBits - 1) / kWordBits);
+  const std::size_t tail = size_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= ~std::uint64_t{0} << (kWordBits - tail);
+  }
 }
 
 std::uint64_t BitVector::read_uint(std::size_t offset, std::size_t width) const {
@@ -124,11 +153,19 @@ BitVector BitVector::xor_with(const BitVector& other) const {
 }
 
 std::vector<std::uint8_t> BitVector::to_bytes() const {
-  std::vector<std::uint8_t> bytes((size_ + 7) / 8, 0);
-  for (std::size_t i = 0; i < size_; ++i) {
-    if (get(i)) bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
-  }
+  std::vector<std::uint8_t> bytes;
+  to_bytes_into(bytes);
   return bytes;
+}
+
+void BitVector::to_bytes_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.resize((size_ + 7) / 8, 0);
+  // Bytes never straddle words (8 divides 64), so each is one shift + mask.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t bit = i * 8;
+    out[i] = static_cast<std::uint8_t>(words_[bit / kWordBits] >> (56 - bit % kWordBits));
+  }
 }
 
 std::string BitVector::to_string() const {

@@ -31,6 +31,25 @@ class BitVector {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Drops every bit but keeps the allocated word storage — the reset half
+  /// of the reuse pattern the transmit scratch arena is built on.
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `bit_count` bits without changing contents, so a
+  /// later append/push_back run up to that size cannot allocate.
+  void reserve(std::size_t bit_count) { words_.reserve((bit_count + kWordBits - 1) / kWordBits); }
+
+  /// Shrinks to the first `new_size` bits (no-op when already shorter).
+  /// Re-zeroes the slack past the new end to preserve the invariant.
+  void truncate(std::size_t new_size) noexcept;
+
+  /// Replaces the contents with the bitwise complement of `other`, reusing
+  /// this vector's storage (no allocation once capacity suffices).
+  void assign_inverted(const BitVector& other);
+
   [[nodiscard]] bool get(std::size_t index) const;
   void set(std::size_t index, bool value);
   /// Flips the bit at `index` (models a channel bit error).
@@ -61,6 +80,10 @@ class BitVector {
 
   /// Packs into bytes, zero-padding the final partial byte.
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// to_bytes into a caller-owned buffer (cleared and refilled); allocation
+  /// free once the buffer's capacity covers (size() + 7) / 8 bytes.
+  void to_bytes_into(std::vector<std::uint8_t>& out) const;
 
   /// '0'/'1' string (debugging / tests).
   [[nodiscard]] std::string to_string() const;

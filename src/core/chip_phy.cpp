@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "dsss/chip_channel.hpp"
-#include "dsss/sliding_window.hpp"
 #include "dsss/spreader.hpp"
 
 namespace jrsnd::core {
@@ -24,21 +22,34 @@ void ChipPhy::begin_subsession(NodeId /*a*/, NodeId /*b*/, CodeId code) {
 
 std::optional<BitVector> ChipPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
                                            const BitVector& payload) {
-  if (code.pattern == nullptr) return std::nullopt;  // ChipPhy requires chips
-  if (!topology_.are_neighbors(from, to)) return std::nullopt;
+  BitVector out;
+  if (!transmit_into(from, to, code, cls, payload, out)) return std::nullopt;
+  return out;
+}
+
+bool ChipPhy::transmit_into(NodeId from, NodeId to, TxCode code, TxClass cls,
+                            const BitVector& payload, BitVector& out) {
+  if (code.pattern == nullptr) return false;  // ChipPhy requires chips
+  if (!topology_.are_neighbors(from, to)) return false;
   ++messages_;
 
   // --- sender: ECC expansion + spreading ---------------------------------
-  const BitVector coded = codec_.encode(payload);
-  const BitVector chips = dsss::spread(coded, *code.pattern);
+  codec_.encode_into(payload, scratch_.ecc, scratch_.coded);
+  const BitVector& coded = scratch_.coded;
+  dsss::spread_into(coded, *code.pattern, scratch_.flipped, scratch_.chips);
+  const BitVector& chips = scratch_.chips;
   const std::size_t n = code.pattern->length();
 
   // Place the message at a random offset inside the receiver's buffer
   // window (models the unsynchronized arrival the sliding window handles).
+  // Capacity is reserved at the maximum-pad duration so the random pad
+  // cannot force a late regrowth of the reused window.
   const std::size_t pad_before = static_cast<std::size_t>(rng_.uniform(2 * n));
   const std::size_t pad_after = n;
-  dsss::ChipChannel channel(pad_before + chips.size() + pad_after);
-  channel.add(dsss::Transmission{pad_before, chips});
+  const std::size_t max_duration = (2 * n - 1) + chips.size() + pad_after;
+  scratch_.channel.reserve(max_duration);
+  scratch_.channel.reset(pad_before + chips.size() + pad_after);
+  scratch_.channel.add(pad_before, chips);
 
   // --- jammer --------------------------------------------------------------
   bool strike = false;
@@ -63,39 +74,48 @@ std::optional<BitVector> ChipPhy::transmit(NodeId from, NodeId to, TxCode code, 
     ++jams_;
     // Two parallel signals on the compromised code: the jammer's chips
     // dominate the victim's and covered bits despread to attacker values.
+    // (Jam construction allocates — it is off the clean hot path.)
     for (const dsss::Transmission& tx :
          adversary::make_chip_jamming(*code.pattern, pad_before, coded.size(), jam_coverage_,
                                       /*parallel_signals=*/2, rng_, jam_start_)) {
-      channel.add(tx);
+      scratch_.channel.add(tx);
     }
   }
 
   // --- receiver -------------------------------------------------------------
-  const BitVector received = channel.receive(rng_);
+  scratch_.received.reserve(max_duration);
+  scratch_.channel.receive_into(rng_, scratch_.received);
+  const BitVector& received = scratch_.received;
 
-  // HELLOs arrive unannounced: scan with the whole codebook. Every other
-  // message is on a code the receiver is actively monitoring.
-  std::vector<dsss::SpreadCode> candidates;
+  // HELLOs arrive unannounced: scan with the whole codebook (prepared once
+  // by the receiver, ShiftTables cached across transmissions). Every other
+  // message is on a code the receiver is actively monitoring — a one-code
+  // candidate set refreshed only when the code changes.
+  const dsss::PreparedCodebook* candidates = nullptr;
   if (cls == TxClass::Hello) {
-    candidates = codebook_(to);
+    candidates = &codebook_(to);
   } else {
-    candidates.push_back(*code.pattern);
+    monitored_.assign_if_changed(std::span<const dsss::SpreadCode>(code.pattern, 1));
+    candidates = &monitored_;
   }
-  if (candidates.empty()) return std::nullopt;
+  if (candidates->empty()) return false;
 
   // A sync position can be a false lock (noise or jammer energy exceeding
   // tau); the ECC decode is the arbiter, and on rejection the receiver
   // resumes scanning one chip later — the standard recover-and-rescan loop.
+  // The cached tables make each rescan iteration pure scanning work.
   std::size_t offset = 0;
   while (true) {
-    const auto hit =
-        dsss::find_first_message(received, candidates, coded.size(), params_.tau, offset);
-    if (!hit.has_value()) return std::nullopt;
-    const auto decoded =
-        codec_.decode(hit->message.bits, payload.size(),
-                      std::span<const std::size_t>(hit->message.erased_bits));
-    if (decoded.has_value()) return decoded;
-    offset = hit->chip_offset + 1;
+    if (!dsss::find_first_message_into(received, *candidates, coded.size(), params_.tau, offset,
+                                       scratch_.hit)) {
+      return false;
+    }
+    if (codec_.decode_into(scratch_.hit.message.bits, payload.size(),
+                           std::span<const std::size_t>(scratch_.hit.message.erased_bits),
+                           scratch_.ecc, out)) {
+      return true;
+    }
+    offset = scratch_.hit.chip_offset + 1;
   }
 }
 

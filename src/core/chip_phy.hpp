@@ -14,8 +14,16 @@
 //
 // It exists to validate AbstractPhy: integration tests run the same D-NDP
 // handshake over both and check that outcomes agree (jam -> fail,
-// no jam -> success). It is O(window * codes * N) per message — use it for
-// small scenarios, not the 2000-node sweeps.
+// no jam -> success). It is O(window * codes * N) per message.
+//
+// Per-transmit precomputation is cached: the receiver's codebook arrives as
+// a PreparedCodebook (ShiftTables built once, reused across transmissions
+// and every recover-and-rescan iteration), the monitored-code scan keeps its
+// own single-code PreparedCodebook refreshed only when the code changes, and
+// all working buffers (coded bits, chips, channel window, received chips,
+// sync hit, ECC workspaces) live in a per-instance scratch arena — the
+// transmit_into() hot path performs zero heap allocations in the steady
+// state on a clean channel.
 #pragma once
 
 #include <functional>
@@ -25,6 +33,9 @@
 #include "common/rng.hpp"
 #include "core/params.hpp"
 #include "core/phy_model.hpp"
+#include "dsss/chip_channel.hpp"
+#include "dsss/prepared_codebook.hpp"
+#include "dsss/sliding_window.hpp"
 #include "ecc/ecc_codec.hpp"
 #include "sim/topology.hpp"
 
@@ -32,9 +43,12 @@ namespace jrsnd::core {
 
 class ChipPhy final : public PhyModel {
  public:
-  /// `receiver_codebook(node)` returns the spread codes the node scans
-  /// HELLO buffers with (its non-revoked pool codes).
-  using Codebook = std::function<std::vector<dsss::SpreadCode>(NodeId)>;
+  /// `receiver_codebook(node)` returns the prepared spread codes the node
+  /// scans HELLO buffers with (its non-revoked pool codes). Returning a
+  /// reference keeps the per-HELLO cost at a lookup — the prepared form owns
+  /// the cached ShiftTables, so the callback must return a reference that
+  /// outlives the transmit call (see dsss::NodeCodebookCache).
+  using Codebook = std::function<const dsss::PreparedCodebook&(NodeId)>;
 
   ChipPhy(const Params& params, const sim::Topology& topology, const adversary::Jammer& jammer,
           Codebook receiver_codebook, Rng& rng);
@@ -43,6 +57,13 @@ class ChipPhy final : public PhyModel {
 
   [[nodiscard]] std::optional<BitVector> transmit(NodeId from, NodeId to, TxCode code,
                                                   TxClass cls, const BitVector& payload) override;
+
+  /// transmit() into a caller-owned payload buffer: returns whether the
+  /// receiver recovered the message, writing the decoded payload into `out`
+  /// on success. Identical results and identical rng draws to transmit();
+  /// this is the allocation-free form (steady state, clean channel).
+  [[nodiscard]] bool transmit_into(NodeId from, NodeId to, TxCode code, TxClass cls,
+                                   const BitVector& payload, BitVector& out);
 
   /// Jam profile when the jammer strikes: it identifies the code during the
   /// first `start` fraction of the message (paper: 1/(1+mu)) and jams the
@@ -58,6 +79,20 @@ class ChipPhy final : public PhyModel {
   [[nodiscard]] std::uint64_t chip_jams() const noexcept { return jams_; }
 
  private:
+  /// The transmit scratch arena: every per-message working buffer, reused
+  /// across calls so steady-state transmissions stop heap-allocating. One
+  /// per ChipPhy — the instance is single-threaded by construction (it
+  /// mutates a shared Rng).
+  struct TransmitScratch {
+    BitVector coded;             ///< ECC-expanded payload
+    BitVector chips;             ///< spread chip sequence
+    BitVector flipped;           ///< inverted code pattern (spread_into)
+    dsss::ChipChannel channel;   ///< superposition window
+    BitVector received;          ///< receiver's hard-decision chips
+    dsss::SyncHit hit;           ///< sync result incl. despread buffers
+    ecc::EccCodec::Scratch ecc;  ///< RS block workspaces
+  };
+
   const Params& params_;
   const sim::Topology& topology_;
   const adversary::Jammer& jammer_;
@@ -66,6 +101,11 @@ class ChipPhy final : public PhyModel {
   ecc::EccCodec codec_;
   double jam_start_ = 0.25;
   double jam_coverage_ = 0.75;
+
+  // Single-code candidate set for monitored (non-HELLO) messages, refreshed
+  // only when the monitored code actually changes.
+  dsss::PreparedCodebook monitored_;
+  TransmitScratch scratch_;
 
   // Sub-session fates, mirroring AbstractPhy so the two planes agree on the
   // grouped follow-up jamming semantics of Theorem 1.

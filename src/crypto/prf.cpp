@@ -8,14 +8,27 @@ namespace jrsnd::crypto {
 
 std::vector<std::uint8_t> expand(const SymmetricKey& key, const std::string& info,
                                  std::size_t output_len) {
+  const HmacKey prepared(key);
+  return expand(prepared,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(info.data()), info.size()),
+                output_len);
+}
+
+std::vector<std::uint8_t> expand(const HmacKey& key, std::span<const std::uint8_t> info,
+                                 std::size_t output_len) {
   assert(output_len <= 255 * kSha256DigestSize);
   std::vector<std::uint8_t> out;
   out.reserve(output_len);
   std::uint8_t counter = 1;
   while (out.size() < output_len) {
-    std::vector<std::uint8_t> block_input(info.begin(), info.end());
-    block_input.push_back(counter++);
-    const Sha256Digest block = hmac_sha256(key, block_input);
+    // Stream info || counter into a copy of the cached inner midstate: no
+    // concatenation buffer and no per-block key schedule.
+    Sha256 ctx = key.inner_context();
+    ctx.update(info);
+    const std::uint8_t counter_byte = counter++;
+    ctx.update(std::span<const std::uint8_t>(&counter_byte, 1));
+    const Sha256Digest block = key.finish(ctx);
     const std::size_t take = std::min(block.size(), output_len - out.size());
     out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
   }

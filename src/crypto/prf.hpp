@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bit_vector.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
 namespace jrsnd::crypto {
@@ -22,6 +23,14 @@ using SymmetricKey = Sha256Digest;
 /// HKDF-expand style: out(i) = HMAC(key, info || counter_i), concatenated and
 /// truncated to `output_len` bytes. Precondition: output_len <= 255 * 32.
 [[nodiscard]] std::vector<std::uint8_t> expand(const SymmetricKey& key, const std::string& info,
+                                               std::size_t output_len);
+
+/// expand() over a prepared key: the HMAC midstates are reused across the
+/// output blocks (and across calls when the caller keeps the HmacKey), and
+/// the per-block counter is streamed after `info` instead of concatenated
+/// into a fresh buffer. Byte-identical output to the SymmetricKey overload.
+[[nodiscard]] std::vector<std::uint8_t> expand(const HmacKey& key,
+                                               std::span<const std::uint8_t> info,
                                                std::size_t output_len);
 
 /// Derives `bit_count` pseudorandom bits keyed by `key` over `info`.

@@ -14,23 +14,31 @@ void append_be64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-std::pair<SymmetricKey, SymmetricKey> derive_pair(const SymmetricKey& pair_key,
-                                                  const std::string& direction) {
-  return {derive_key(pair_key, "enc:" + direction), derive_key(pair_key, "mac:" + direction)};
+std::pair<HmacKey, HmacKey> derive_pair(const SymmetricKey& pair_key,
+                                        const std::string& direction) {
+  const SymmetricKey enc = derive_key(pair_key, "enc:" + direction);
+  const SymmetricKey mac = derive_key(pair_key, "mac:" + direction);
+  return {HmacKey(enc), HmacKey(mac)};
 }
 
-std::vector<std::uint8_t> keystream(const SymmetricKey& enc_key, std::uint64_t counter,
+void store_be64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+}
+
+std::vector<std::uint8_t> keystream(const HmacKey& enc_key, std::uint64_t counter,
                                     std::size_t length) {
   // expand() yields at most 255 blocks per info string; chain chunks for
-  // arbitrarily long payloads.
+  // arbitrarily long payloads. The info header is a fixed 21-byte layout
+  // ("ctr:" || be64 counter || ':' || be64 chunk — byte-identical to the
+  // historical string build) written in place per chunk.
   constexpr std::size_t kChunk = 255 * kSha256DigestSize;
+  std::array<std::uint8_t, 21> info{'c', 't', 'r', ':'};
+  info[12] = ':';
+  store_be64(info.data() + 4, counter);
   std::vector<std::uint8_t> out;
   out.reserve(length);
   for (std::uint64_t chunk = 0; out.size() < length; ++chunk) {
-    std::string info = "ctr:";
-    for (int i = 7; i >= 0; --i) info.push_back(static_cast<char>(counter >> (8 * i)));
-    info.push_back(':');
-    for (int i = 7; i >= 0; --i) info.push_back(static_cast<char>(chunk >> (8 * i)));
+    store_be64(info.data() + 13, chunk);
     const std::vector<std::uint8_t> part =
         expand(enc_key, info, std::min(kChunk, length - out.size()));
     out.insert(out.end(), part.begin(), part.end());
@@ -38,14 +46,17 @@ std::vector<std::uint8_t> keystream(const SymmetricKey& enc_key, std::uint64_t c
   return out;
 }
 
-std::array<std::uint8_t, kSealTagBytes> compute_tag(const SymmetricKey& mac_key,
+std::array<std::uint8_t, kSealTagBytes> compute_tag(const HmacKey& mac_key,
                                                     std::uint64_t counter,
                                                     std::span<const std::uint8_t> ciphertext) {
-  std::vector<std::uint8_t> input;
-  input.reserve(8 + ciphertext.size());
-  append_be64(input, counter);
-  input.insert(input.end(), ciphertext.begin(), ciphertext.end());
-  const Sha256Digest digest = hmac_sha256(mac_key, input);
+  // Stream counter || ciphertext through the cached midstate — no
+  // concatenation buffer, two compressions fewer than a raw hmac_sha256.
+  std::array<std::uint8_t, 8> counter_be{};
+  store_be64(counter_be.data(), counter);
+  Sha256 ctx = mac_key.inner_context();
+  ctx.update(counter_be);
+  ctx.update(ciphertext);
+  const Sha256Digest digest = mac_key.finish(ctx);
   std::array<std::uint8_t, kSealTagBytes> tag{};
   std::copy(digest.begin(), digest.begin() + kSealTagBytes, tag.begin());
   return tag;

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "crypto/hmac.hpp"
 #include "crypto/prf.hpp"
 
 namespace jrsnd::crypto {
@@ -49,8 +50,10 @@ class Sealer {
   [[nodiscard]] std::uint64_t next_counter() const noexcept { return counter_; }
 
  private:
-  SymmetricKey enc_key_;
-  SymmetricKey mac_key_;
+  // Prepared midstates of the derived keys: the per-seal keystream blocks
+  // and tag reuse them instead of re-absorbing the key pads every call.
+  HmacKey enc_key_;
+  HmacKey mac_key_;
   std::uint64_t counter_ = 1;
 };
 
@@ -65,8 +68,8 @@ class Unsealer {
   [[nodiscard]] std::uint64_t replay_floor() const noexcept { return highest_seen_; }
 
  private:
-  SymmetricKey enc_key_;
-  SymmetricKey mac_key_;
+  HmacKey enc_key_;
+  HmacKey mac_key_;
   std::uint64_t highest_seen_ = 0;
 };
 

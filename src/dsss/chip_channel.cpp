@@ -1,31 +1,176 @@
 #include "dsss/chip_channel.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace jrsnd::dsss {
 
-ChipChannel::ChipChannel(std::size_t duration_chips)
-    : soft_(duration_chips, 0), active_(duration_chips, false) {}
+namespace {
+constexpr std::size_t kWordBits = 64;
 
-void ChipChannel::add(const Transmission& tx) {
-  for (std::size_t i = 0; i < tx.chips.size(); ++i) {
-    const std::size_t pos = tx.start_chip + i;
-    if (pos >= soft_.size()) break;
-    soft_[pos] += tx.chips.get(i) ? +1 : -1;
-    active_[pos] = true;
+std::size_t word_count(std::size_t chips) { return (chips + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+void ChipChannel::reset(std::size_t duration_chips) {
+  duration_ = duration_chips;
+  packed_ = true;
+  materialized_ = false;
+  covered_.assign(word_count(duration_chips), 0);
+  up_.assign(word_count(duration_chips), 0);
+  soft_.clear();
+  active_.clear();
+}
+
+void ChipChannel::reserve(std::size_t duration_chips) {
+  covered_.reserve(word_count(duration_chips));
+  up_.reserve(word_count(duration_chips));
+}
+
+void ChipChannel::add(std::size_t start_chip, const BitVector& chips) {
+  if (start_chip >= duration_) return;
+  const std::size_t count = std::min(chips.size(), duration_ - start_chip);
+  if (count == 0) return;
+  materialized_ = false;
+  const std::span<const std::uint64_t> words = chips.words();
+
+  if (packed_) {
+    // Word-level splice of the pattern into the packed bitmaps, mirroring
+    // BitVector::append: each source word lands across at most two
+    // destination words at bit offset start_chip. Two passes — detect any
+    // overlap with already-covered chips first; only a fully fresh region
+    // commits in packed form. Overlap (a collision or jamming superposition)
+    // spills to the per-chip representation.
+    const std::size_t offset = start_chip % kWordBits;
+    const std::size_t src_words = word_count(count);
+    bool overlap = false;
+    for (std::size_t i = 0; i < src_words && !overlap; ++i) {
+      std::uint64_t src = words[i];
+      const std::size_t valid = std::min(kWordBits, count - i * kWordBits);
+      std::uint64_t mask = valid == kWordBits ? ~std::uint64_t{0}
+                                              : ~std::uint64_t{0} << (kWordBits - valid);
+      src &= mask;
+      const std::size_t wi = start_chip / kWordBits + i;
+      overlap = (covered_[wi] & (mask >> offset)) != 0;
+      if (!overlap && offset != 0 && wi + 1 < covered_.size()) {
+        overlap = (covered_[wi + 1] & (mask << (kWordBits - offset))) != 0;
+      }
+    }
+    if (!overlap) {
+      for (std::size_t i = 0; i < src_words; ++i) {
+        std::uint64_t src = words[i];
+        const std::size_t valid = std::min(kWordBits, count - i * kWordBits);
+        const std::uint64_t mask = valid == kWordBits
+                                       ? ~std::uint64_t{0}
+                                       : ~std::uint64_t{0} << (kWordBits - valid);
+        src &= mask;
+        const std::size_t wi = start_chip / kWordBits + i;
+        covered_[wi] |= mask >> offset;
+        up_[wi] |= src >> offset;
+        if (offset != 0 && wi + 1 < covered_.size()) {
+          covered_[wi + 1] |= mask << (kWordBits - offset);
+          up_[wi + 1] |= src << (kWordBits - offset);
+        }
+      }
+      return;
+    }
+    spill();
+  }
+
+  // Per-chip superposition (post-spill). Walk the pattern's packed words
+  // instead of calling get() per chip.
+  for (std::size_t i = 0; i < count; ++i) {
+    const int up = static_cast<int>((words[i / kWordBits] >> (kWordBits - 1 - i % kWordBits)) & 1u);
+    soft_[start_chip + i] += 2 * up - 1;
+    active_[start_chip + i] = 1;
   }
 }
 
-BitVector ChipChannel::receive(Rng& rng) const {
-  BitVector out(soft_.size());
-  for (std::size_t i = 0; i < soft_.size(); ++i) {
-    if (soft_[i] > 0) {
-      out.set(i, true);
-    } else if (soft_[i] < 0) {
-      out.set(i, false);
-    } else {
-      out.set(i, rng.bernoulli(0.5));
+void ChipChannel::spill() {
+  assert(packed_);
+  materialize();
+  packed_ = false;
+  materialized_ = false;
+}
+
+void ChipChannel::materialize() const {
+  soft_.assign(duration_, 0);
+  active_.assign(duration_, 0);
+  for (std::size_t i = 0; i < duration_; ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << (kWordBits - 1 - i % kWordBits);
+    if (covered_[i / kWordBits] & bit) {
+      active_[i] = 1;
+      soft_[i] = (up_[i / kWordBits] & bit) ? 1 : -1;
     }
   }
+  materialized_ = true;
+}
+
+const std::vector<int>& ChipChannel::soft() const {
+  if (packed_ && !materialized_) materialize();
+  return soft_;
+}
+
+const std::vector<std::uint8_t>& ChipChannel::active() const {
+  if (packed_ && !materialized_) materialize();
+  return active_;
+}
+
+BitVector ChipChannel::receive(Rng& rng) const {
+  BitVector out;
+  receive_into(rng, out);
   return out;
+}
+
+void ChipChannel::receive_into(Rng& rng, BitVector& out) const {
+  out.clear();
+  out.reserve(duration_);
+
+  if (packed_) {
+    // Word-parallel fast path: fully covered words are the transmitted chips
+    // verbatim; elsewhere, draw noise for the uncovered chips only — in chip
+    // order, exactly as the per-chip path would.
+    const std::size_t nwords = word_count(duration_);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t valid = std::min(kWordBits, duration_ - w * kWordBits);
+      const std::uint64_t mask =
+          valid == kWordBits ? ~std::uint64_t{0} : ~std::uint64_t{0} << (kWordBits - valid);
+      const std::uint64_t cov = covered_[w];
+      std::uint64_t word = up_[w];
+      if ((cov & mask) != mask) {
+        std::uint64_t noise = 0;
+        for (std::size_t j = 0; j < valid; ++j) {
+          const std::uint64_t bit = std::uint64_t{1} << (kWordBits - 1 - j);
+          if (!(cov & bit) && rng.bernoulli(0.5)) noise |= bit;
+        }
+        word = (word & cov) | noise;
+      }
+      out.append_uint(word >> (kWordBits - valid), valid);
+    }
+    return;
+  }
+
+  // Per-chip slow path (overlapping signals): hard sign decision on the soft
+  // sums, accumulated into a word-sized register and appended 64 chips at a
+  // time — BitVector::set per chip would dominate the whole receive path.
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < duration_; ++i) {
+    bool chip = false;
+    if (soft_[i] > 0) {
+      chip = true;
+    } else if (soft_[i] < 0) {
+      chip = false;
+    } else {
+      chip = rng.bernoulli(0.5);  // tie or silence: thermal noise
+    }
+    word = (word << 1) | static_cast<std::uint64_t>(chip);
+    if (++filled == kWordBits) {
+      out.append_uint(word, kWordBits);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) out.append_uint(word, filled);
 }
 
 }  // namespace jrsnd::dsss

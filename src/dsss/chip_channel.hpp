@@ -9,9 +9,20 @@
 // uncorrelated chips that shrink correlation magnitude by a factor the
 // despreader tolerates (the paper's negligible-interference assumption for
 // large N).
+//
+// Representation: the overwhelmingly common window holds non-overlapping
+// transmissions (one message, clean channel), where every covered chip's
+// hard decision equals the transmitted chip. That case is kept in packed
+// 64-chip words (`covered_` / `up_` bitmaps) so add() and receive() run
+// word-parallel instead of chip-by-chip. The first *overlapping* add — the
+// jamming/collision case — spills the window into the per-chip soft-sum
+// arrays and continues there. Both representations produce identical receive
+// bits and identical rng draw sequences (one bernoulli per undecided chip,
+// in chip order).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bit_vector.hpp"
@@ -27,27 +38,67 @@ struct Transmission {
 
 class ChipChannel {
  public:
-  /// A channel observation window of `duration_chips` chips.
-  explicit ChipChannel(std::size_t duration_chips);
+  /// An empty window; reset() before use.
+  ChipChannel() = default;
 
-  [[nodiscard]] std::size_t duration() const noexcept { return soft_.size(); }
+  /// A channel observation window of `duration_chips` chips.
+  explicit ChipChannel(std::size_t duration_chips) { reset(duration_chips); }
+
+  [[nodiscard]] std::size_t duration() const noexcept { return duration_; }
+
+  /// Returns the window to silence at a (possibly new) duration, reusing the
+  /// existing storage — the per-transmit reset of the scratch arena. Does not
+  /// allocate once capacity covers `duration_chips` (see reserve()).
+  void reset(std::size_t duration_chips);
+
+  /// Grows capacity so later reset() calls up to `duration_chips` are
+  /// allocation-free.
+  void reserve(std::size_t duration_chips);
 
   /// Superposes a transmission; parts outside the window are clipped.
-  void add(const Transmission& tx);
+  void add(const Transmission& tx) { add(tx.start_chip, tx.chips); }
+
+  /// Same, without requiring the chips to be wrapped (and copied) into a
+  /// Transmission. Reads the pattern's packed words directly.
+  void add(std::size_t start_chip, const BitVector& chips);
 
   /// Per-chip sums of all contributions (no receiver decision applied).
-  [[nodiscard]] const std::vector<int>& soft() const noexcept { return soft_; }
+  [[nodiscard]] const std::vector<int>& soft() const;
 
-  /// Chips that carry at least one transmission.
-  [[nodiscard]] const std::vector<bool>& active() const noexcept { return active_; }
+  /// Chips that carry at least one transmission (1) vs. silence (0).
+  [[nodiscard]] const std::vector<std::uint8_t>& active() const;
 
   /// Hard sign decision per chip: positive sum -> 1, negative -> 0, zero sum
   /// (tie or silence) -> random. Deterministic given the rng state.
   [[nodiscard]] BitVector receive(Rng& rng) const;
 
+  /// receive() into a caller-owned buffer (cleared and refilled). Identical
+  /// bits and identical rng draws; allocation-free once the buffer's
+  /// capacity covers duration().
+  void receive_into(Rng& rng, BitVector& out) const;
+
  private:
-  std::vector<int> soft_;
-  std::vector<bool> active_;
+  /// Switches from the packed to the per-chip representation (first
+  /// overlapping add — off the clean hot path).
+  void spill();
+
+  /// Fills soft_/active_ from the packed bitmaps for the observer accessors
+  /// without leaving packed mode.
+  void materialize() const;
+
+  std::size_t duration_ = 0;
+  bool packed_ = true;
+
+  // Packed mode: MSB-first 64-chip words, mirroring BitVector's layout.
+  // covered_ marks chips carrying a signal; up_ holds the chip value there.
+  std::vector<std::uint64_t> covered_;
+  std::vector<std::uint64_t> up_;
+
+  // Per-chip mode (after a spill) — and the lazily materialized observer
+  // view while still packed (mutable + materialized_ flag).
+  mutable std::vector<int> soft_;
+  mutable std::vector<std::uint8_t> active_;
+  mutable bool materialized_ = false;
 };
 
 }  // namespace jrsnd::dsss

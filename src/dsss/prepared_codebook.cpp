@@ -1,0 +1,70 @@
+#include "dsss/prepared_codebook.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jrsnd::dsss {
+
+namespace {
+
+bool all_uniform(std::span<const SpreadCode> codes) noexcept {
+  for (const SpreadCode& code : codes) {
+    if (code.length() != codes[0].length()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void PreparedCodebook::assign(std::vector<SpreadCode> codes) {
+  codes_ = std::move(codes);
+  uniform_ = all_uniform(codes_);
+  assert(uniform_ && "PreparedCodebook: mixed candidate code lengths");
+  tables_.clear();
+  built_.store(false, std::memory_order_release);
+}
+
+bool PreparedCodebook::assign_if_changed(std::span<const SpreadCode> codes) {
+  const bool same = codes.size() == codes_.size() &&
+                    std::equal(codes.begin(), codes.end(), codes_.begin());
+  if (same) {
+    JRSND_COUNT("dsss.prepared.codebook.hits");
+    return false;
+  }
+  JRSND_COUNT("dsss.prepared.codebook.rebuilds");
+  assign(std::vector<SpreadCode>(codes.begin(), codes.end()));
+  return true;
+}
+
+std::span<const ShiftTable> PreparedCodebook::tables() const {
+  // Double-checked: the acquire load pairs with the release store below, so
+  // a reader that sees built_ == true also sees the fully-built tables_.
+  if (built_.load(std::memory_order_acquire)) {
+    JRSND_COUNT("dsss.prepared.tables.hits");
+    return tables_;
+  }
+  const std::lock_guard<std::mutex> lock(build_mutex_);
+  if (!built_.load(std::memory_order_relaxed)) {
+    JRSND_COUNT("dsss.prepared.tables.builds");
+    tables_ = build_shift_tables(codes_);
+    built_.store(true, std::memory_order_release);
+  } else {
+    JRSND_COUNT("dsss.prepared.tables.hits");
+  }
+  return tables_;
+}
+
+const PreparedCodebook& NodeCodebookCache::prepare(NodeId id, std::span<const SpreadCode> codes) {
+  PreparedCodebook& cached = entry(id);
+  cached.assign_if_changed(codes);
+  return cached;
+}
+
+PreparedCodebook& NodeCodebookCache::entry(NodeId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[id];
+}
+
+}  // namespace jrsnd::dsss

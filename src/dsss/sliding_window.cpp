@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsss/prepared_codebook.hpp"
 #include "dsss/sync_kernel.hpp"
 #include "obs/metrics_registry.hpp"
 
@@ -21,56 +22,47 @@ bool uniform_code_lengths(std::span<const SpreadCode> codes) noexcept {
   return true;
 }
 
-}  // namespace
-
-std::optional<SyncHit> find_first_message(const BitVector& buffer,
-                                          std::span<const SpreadCode> codes,
-                                          std::size_t message_bits, double tau,
-                                          std::size_t start_offset) {
-  if (codes.empty() || message_bits == 0) return std::nullopt;
-  assert(uniform_code_lengths(codes) && "find_first_message: mixed candidate code lengths");
-  if (!uniform_code_lengths(codes)) return std::nullopt;
-  const std::size_t n = codes[0].length();
-  const std::size_t needed = message_bits * n;
-  if (buffer.size() < needed) return std::nullopt;
+/// The shared scan core: every find_first entry point — per-call tables,
+/// cached PreparedCodebook tables, optional-returning or into-a-hit — runs
+/// this loop, so their results are bit-identical by construction. The loop
+/// is the paper's t_p = rho*N*m*f hot path and does zero allocation, zero
+/// bit-shifting, and no shared writes (metrics are accumulated locally,
+/// flushed once); with a caller-reused `out` the whole call is
+/// allocation-free in the steady state.
+bool scan_first(const BitVector& buffer, std::span<const ShiftTable> tables,
+                std::size_t message_bits, double tau, std::size_t start_offset, SyncHit& out) {
+  if (tables.empty() || message_bits == 0) return false;
+  const std::size_t needed = message_bits * tables[0].length();
+  if (buffer.size() < needed) return false;
 
   JRSND_COUNT("dsss.sync.scans");
-  // One shift table per candidate, built once per scan and amortized over
-  // the ~f * m window correlations: the loop below is the paper's
-  // t_p = rho*N*m*f hot path and does zero allocation, zero bit-shifting,
-  // and no shared writes (metrics are accumulated locally, flushed once).
-  const std::vector<ShiftTable> tables = build_shift_tables(codes);
   std::uint64_t below_tau = 0;
   for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
     for (std::size_t c = 0; c < tables.size(); ++c) {
       const double corr = tables[c].correlate(buffer, offset);
       if (std::abs(corr) >= tau) {
-        SyncHit hit;
-        hit.code_index = c;
-        hit.chip_offset = offset;
-        hit.message = despread(buffer, offset, message_bits, tables[c], tau);
+        out.code_index = c;
+        out.chip_offset = offset;
+        despread_into(buffer, offset, message_bits, tables[c], tau, out.message);
         JRSND_COUNT("dsss.sync.hits");
         JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
-        return hit;
+        return true;
       }
       ++below_tau;
     }
   }
   JRSND_COUNT("dsss.sync.misses");
   JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
-  return std::nullopt;
+  return false;
 }
 
-std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const SpreadCode> codes,
-                                       std::size_t message_bits, double tau) {
+/// Shared find_all core over prebuilt tables (see scan_first).
+std::vector<SyncHit> scan_all(const BitVector& buffer, std::span<const ShiftTable> tables,
+                              std::size_t message_bits, double tau) {
   std::vector<SyncHit> hits;
-  if (codes.empty() || message_bits == 0) return hits;
-  assert(uniform_code_lengths(codes) && "find_all_messages: mixed candidate code lengths");
-  if (!uniform_code_lengths(codes)) return hits;
-  const std::size_t n = codes[0].length();
-  const std::size_t needed = message_bits * n;
+  if (tables.empty() || message_bits == 0) return hits;
+  const std::size_t needed = message_bits * tables[0].length();
 
-  const std::vector<ShiftTable> tables = build_shift_tables(codes);
   std::size_t offset = 0;
   while (offset + needed <= buffer.size()) {
     bool found = false;
@@ -90,6 +82,62 @@ std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const 
     if (!found) ++offset;
   }
   return hits;
+}
+
+}  // namespace
+
+std::optional<SyncHit> find_first_message(const BitVector& buffer,
+                                          std::span<const SpreadCode> codes,
+                                          std::size_t message_bits, double tau,
+                                          std::size_t start_offset) {
+  if (codes.empty()) return std::nullopt;
+  assert(uniform_code_lengths(codes) && "find_first_message: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return std::nullopt;
+
+  // One shift table per candidate, built once per scan and amortized over
+  // the ~f * m window correlations. Callers that scan the same codebook
+  // repeatedly should prefer the PreparedCodebook overload, which caches
+  // this step across calls.
+  const std::vector<ShiftTable> tables = build_shift_tables(codes);
+  SyncHit hit;
+  if (scan_first(buffer, tables, message_bits, tau, start_offset, hit)) return hit;
+  return std::nullopt;
+}
+
+std::optional<SyncHit> find_first_message(const BitVector& buffer,
+                                          const PreparedCodebook& codebook,
+                                          std::size_t message_bits, double tau,
+                                          std::size_t start_offset) {
+  SyncHit hit;
+  if (find_first_message_into(buffer, codebook, message_bits, tau, start_offset, hit)) {
+    return hit;
+  }
+  return std::nullopt;
+}
+
+bool find_first_message_into(const BitVector& buffer, const PreparedCodebook& codebook,
+                             std::size_t message_bits, double tau, std::size_t start_offset,
+                             SyncHit& out) {
+  assert(codebook.uniform_lengths() && "find_first_message: mixed candidate code lengths");
+  if (!codebook.uniform_lengths()) return false;
+  return scan_first(buffer, codebook.tables(), message_bits, tau, start_offset, out);
+}
+
+std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const SpreadCode> codes,
+                                       std::size_t message_bits, double tau) {
+  if (codes.empty()) return {};
+  assert(uniform_code_lengths(codes) && "find_all_messages: mixed candidate code lengths");
+  if (!uniform_code_lengths(codes)) return {};
+
+  const std::vector<ShiftTable> tables = build_shift_tables(codes);
+  return scan_all(buffer, tables, message_bits, tau);
+}
+
+std::vector<SyncHit> find_all_messages(const BitVector& buffer, const PreparedCodebook& codebook,
+                                       std::size_t message_bits, double tau) {
+  assert(codebook.uniform_lengths() && "find_all_messages: mixed candidate code lengths");
+  if (!codebook.uniform_lengths()) return {};
+  return scan_all(buffer, codebook.tables(), message_bits, tau);
 }
 
 std::optional<SyncHit> find_first_message_reference(const BitVector& buffer,

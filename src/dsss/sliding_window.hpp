@@ -20,6 +20,8 @@
 
 namespace jrsnd::dsss {
 
+class PreparedCodebook;  // dsss/prepared_codebook.hpp
+
 /// A message recovered from the chip buffer.
 struct SyncHit {
   std::size_t code_index = 0;   ///< index into the candidate-code span
@@ -48,12 +50,37 @@ struct SyncHit {
                                                         std::size_t message_bits, double tau,
                                                         std::size_t start_offset = 0);
 
+/// find_first_message over a PreparedCodebook: identical results, but the
+/// per-code ShiftTables come from the codebook's cache instead of being
+/// rebuilt per call — the form ChipPhy's transmit path and its
+/// recover-and-rescan loop use, where the same codebook is scanned at many
+/// resume offsets.
+[[nodiscard]] std::optional<SyncHit> find_first_message(const BitVector& buffer,
+                                                        const PreparedCodebook& codebook,
+                                                        std::size_t message_bits, double tau,
+                                                        std::size_t start_offset = 0);
+
+/// find_first_message into a caller-owned hit (overwritten on success, left
+/// unspecified on miss). Returns whether a message was found. Identical
+/// decisions to the optional-returning overloads; allocation-free once
+/// `out.message`'s buffers have steady-state capacity — the transmit scratch
+/// arena's scan entry point.
+[[nodiscard]] bool find_first_message_into(const BitVector& buffer,
+                                           const PreparedCodebook& codebook,
+                                           std::size_t message_bits, double tau,
+                                           std::size_t start_offset, SyncHit& out);
+
 /// Scans the whole buffer and returns every non-overlapping message found
 /// (continues searching after each recovered message). Models the paper's
 /// note that a buffer may hold multiple HELLOs from concurrent initiators.
 /// Same mixed-length precondition as find_first_message.
 [[nodiscard]] std::vector<SyncHit> find_all_messages(const BitVector& buffer,
                                                      std::span<const SpreadCode> codes,
+                                                     std::size_t message_bits, double tau);
+
+/// find_all_messages over a PreparedCodebook (cached ShiftTables).
+[[nodiscard]] std::vector<SyncHit> find_all_messages(const BitVector& buffer,
+                                                     const PreparedCodebook& codebook,
                                                      std::size_t message_bits, double tau);
 
 /// Reference oracle for find_first_message: the straightforward slice-based

@@ -8,15 +8,23 @@
 namespace jrsnd::dsss {
 
 BitVector spread(const BitVector& message, const SpreadCode& code) {
+  BitVector flipped;
+  BitVector chips;
+  spread_into(message, code, flipped, chips);
+  return chips;
+}
+
+void spread_into(const BitVector& message, const SpreadCode& code, BitVector& flipped_scratch,
+                 BitVector& out) {
   // NRZ product: message +1 keeps the chip pattern, -1 inverts it. Both
   // patterns are precomputed so each message bit is one word-level append.
   const BitVector& direct = code.bits();
-  const BitVector flipped = direct.inverted();
-  BitVector chips;
+  flipped_scratch.assign_inverted(direct);
+  out.clear();
+  out.reserve(message.size() * code.length());
   for (std::size_t bit = 0; bit < message.size(); ++bit) {
-    chips.append(message.get(bit) ? direct : flipped);
+    out.append(message.get(bit) ? direct : flipped_scratch);
   }
-  return chips;
 }
 
 namespace {
@@ -77,6 +85,21 @@ DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t b
 DespreadResult despread(const BitVector& chips, std::size_t start, std::size_t bit_count,
                         const ShiftTable& code, double tau) {
   return despread_impl(chips, start, bit_count, code, tau);
+}
+
+void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                   const ShiftTable& code, double tau, DespreadResult& out) {
+  if (start + bit_count * code.length() > chips.size()) {
+    throw std::invalid_argument("despread: window exceeds chip buffer");
+  }
+  out.bits.clear();
+  out.bits.reserve(bit_count);
+  out.erased_bits.clear();
+  for (std::size_t bit = 0; bit < bit_count; ++bit) {
+    const DespreadBit d = despread_bit(chips, start + bit * code.length(), code, tau);
+    out.bits.push_back(d.value);
+    if (d.erased) out.erased_bits.push_back(bit);
+  }
 }
 
 }  // namespace jrsnd::dsss

@@ -22,6 +22,13 @@ class ShiftTable;  // dsss/sync_kernel.hpp
 /// packed as bits (bit 1 <-> chip +1).
 [[nodiscard]] BitVector spread(const BitVector& message, const SpreadCode& code);
 
+/// spread() into caller-owned buffers (both cleared and refilled).
+/// `flipped_scratch` holds the inverted chip pattern between calls; once the
+/// buffers' capacity covers the output, the call is allocation-free — the
+/// form the transmit scratch arena uses.
+void spread_into(const BitVector& message, const SpreadCode& code, BitVector& flipped_scratch,
+                 BitVector& out);
+
 /// One decoded message bit plus its reliability flag.
 struct DespreadBit {
   bool value = false;   ///< decoded bit (meaningless when erased)
@@ -53,5 +60,11 @@ struct DespreadResult {
                                       std::size_t bit_count, const ShiftTable& code, double tau);
 [[nodiscard]] DespreadBit despread_bit(const BitVector& chips, std::size_t start,
                                        const ShiftTable& code, double tau);
+
+/// despread() into a caller-owned result (cleared and refilled). Identical
+/// decisions; allocation-free once `out`'s buffers have steady-state
+/// capacity. Used by the sliding-window scan's _into entry point.
+void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                   const ShiftTable& code, double tau, DespreadResult& out);
 
 }  // namespace jrsnd::dsss

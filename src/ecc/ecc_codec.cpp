@@ -2,8 +2,9 @@
 
 #include <cassert>
 #include <cmath>
-#include <set>
 #include <stdexcept>
+
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::ecc {
 
@@ -57,8 +58,40 @@ EccCodec::Layout EccCodec::layout_for(std::size_t payload_bits) const {
   return layout;
 }
 
+const EccCodec::Layout& EccCodec::cached_layout(std::size_t payload_bits) const {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = layouts_.find(payload_bits);
+    if (it != layouts_.end()) {
+      JRSND_COUNT("ecc.codec.layout.hits");
+      return it->second;
+    }
+  }
+  // Build outside the lock (layout_for is pure); insert-or-reuse under it.
+  JRSND_COUNT("ecc.codec.layout.builds");
+  Layout built = layout_for(payload_bits);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return layouts_.try_emplace(payload_bits, std::move(built)).first->second;
+}
+
+const ReedSolomon& EccCodec::cached_rs(int n, int k) const {
+  const std::pair<int, int> key{n, k};
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = coders_.find(key);
+    if (it != coders_.end()) {
+      JRSND_COUNT("ecc.codec.rs.hits");
+      return it->second;
+    }
+  }
+  JRSND_COUNT("ecc.codec.rs.builds");
+  ReedSolomon built(n, k);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return coders_.try_emplace(key, std::move(built)).first->second;
+}
+
 std::size_t EccCodec::coded_length_bits(std::size_t payload_bits) const {
-  return layout_for(payload_bits).total_symbols * 8;
+  return cached_layout(payload_bits).total_symbols * 8;
 }
 
 std::size_t EccCodec::nominal_coded_length_bits(std::size_t payload_bits) const {
@@ -67,73 +100,102 @@ std::size_t EccCodec::nominal_coded_length_bits(std::size_t payload_bits) const 
 }
 
 BitVector EccCodec::encode(const BitVector& payload) const {
-  if (payload.empty()) throw std::invalid_argument("EccCodec::encode: empty payload");
-  const Layout layout = layout_for(payload.size());
-  const std::vector<std::uint8_t> data = payload.to_bytes();
+  Scratch scratch;
+  BitVector out;
+  encode_into(payload, scratch, out);
+  return out;
+}
 
-  // Encode each block.
-  std::vector<std::vector<std::uint8_t>> codewords;
-  codewords.reserve(layout.block_nk.size());
+void EccCodec::encode_into(const BitVector& payload, Scratch& scratch, BitVector& out) const {
+  if (payload.empty()) throw std::invalid_argument("EccCodec::encode: empty payload");
+  const Layout& layout = cached_layout(payload.size());
+  payload.to_bytes_into(scratch.data);
+
+  // Encode each block into the scratch codeword buffers (grown once, then
+  // reused; never shrunk, so steady-state calls do not allocate).
+  if (scratch.codewords.size() < layout.block_nk.size()) {
+    scratch.codewords.resize(layout.block_nk.size());
+  }
   std::size_t data_offset = 0;
-  for (const auto& [n, k] : layout.block_nk) {
-    const ReedSolomon rs(n, k);
-    const std::span<const std::uint8_t> block(data.data() + data_offset,
+  for (std::size_t b = 0; b < layout.block_nk.size(); ++b) {
+    const auto [n, k] = layout.block_nk[b];
+    const ReedSolomon& rs = cached_rs(n, k);
+    const std::span<const std::uint8_t> block(scratch.data.data() + data_offset,
                                               static_cast<std::size_t>(k));
-    codewords.push_back(rs.encode(block));
+    rs.encode_into(block, scratch.codewords[b]);
     data_offset += static_cast<std::size_t>(k);
   }
-  assert(data_offset == data.size());
+  assert(data_offset == scratch.data.size());
 
   // Emit symbols in interleaved order.
-  BitVector out;
+  out.clear();
+  out.reserve(layout.total_symbols * 8);
   for (const auto& [b, sym] : layout.order) {
-    out.append_uint(codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)], 8);
+    out.append_uint(scratch.codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)],
+                    8);
   }
-  return out;
 }
 
 std::optional<BitVector> EccCodec::decode(const BitVector& received, std::size_t payload_bits,
                                           std::span<const std::size_t> erased_bits) const {
-  if (payload_bits == 0) return std::nullopt;
-  const Layout layout = layout_for(payload_bits);
-  if (received.size() != layout.total_symbols * 8) return std::nullopt;
+  Scratch scratch;
+  BitVector out;
+  if (!decode_into(received, payload_bits, erased_bits, scratch, out)) return std::nullopt;
+  return out;
+}
 
-  // Mark erased symbols: a symbol is erased iff any of its 8 bits is erased.
-  std::set<std::size_t> erased_symbols;
+bool EccCodec::decode_into(const BitVector& received, std::size_t payload_bits,
+                           std::span<const std::size_t> erased_bits, Scratch& scratch,
+                           BitVector& out) const {
+  if (payload_bits == 0) return false;
+  const Layout& layout = cached_layout(payload_bits);
+  if (received.size() != layout.total_symbols * 8) return false;
+
+  // Mark erased symbols with per-symbol flags (a symbol is erased iff any of
+  // its 8 bits is erased) — no set allocation on the hot path.
+  scratch.symbol_erased.assign(layout.total_symbols, 0);
   for (const std::size_t bit : erased_bits) {
-    if (bit >= received.size()) return std::nullopt;
-    erased_symbols.insert(bit / 8);
+    if (bit >= received.size()) return false;
+    scratch.symbol_erased[bit / 8] = 1;
   }
 
   // De-interleave symbols back into per-block codewords + erasure lists.
-  std::vector<std::vector<std::uint8_t>> codewords;
-  std::vector<std::vector<int>> erasures(layout.block_nk.size());
-  codewords.reserve(layout.block_nk.size());
-  for (const auto& [n, k] : layout.block_nk) {
-    (void)k;
-    codewords.emplace_back(static_cast<std::size_t>(n), 0);
+  if (scratch.codewords.size() < layout.block_nk.size()) {
+    scratch.codewords.resize(layout.block_nk.size());
+  }
+  if (scratch.erasures.size() < layout.block_nk.size()) {
+    scratch.erasures.resize(layout.block_nk.size());
+  }
+  for (std::size_t b = 0; b < layout.block_nk.size(); ++b) {
+    scratch.codewords[b].assign(static_cast<std::size_t>(layout.block_nk[b].first), 0);
+    scratch.erasures[b].clear();
   }
   for (std::size_t tx_idx = 0; tx_idx < layout.order.size(); ++tx_idx) {
     const auto [b, sym] = layout.order[tx_idx];
-    codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)] =
+    scratch.codewords[static_cast<std::size_t>(b)][static_cast<std::size_t>(sym)] =
         static_cast<std::uint8_t>(received.read_uint(tx_idx * 8, 8));
-    if (erased_symbols.contains(tx_idx)) {
-      erasures[static_cast<std::size_t>(b)].push_back(sym);
+    if (scratch.symbol_erased[tx_idx] != 0) {
+      scratch.erasures[static_cast<std::size_t>(b)].push_back(sym);
     }
   }
 
   // Decode each block; all must succeed.
-  std::vector<std::uint8_t> data;
+  scratch.data.clear();
   for (std::size_t b = 0; b < layout.block_nk.size(); ++b) {
     const auto [n, k] = layout.block_nk[b];
-    const ReedSolomon rs(n, k);
-    auto block = rs.decode(codewords[b], erasures[b]);
-    if (!block.has_value()) return std::nullopt;
-    data.insert(data.end(), block->begin(), block->end());
+    const ReedSolomon& rs = cached_rs(n, k);
+    if (!rs.decode_into(scratch.codewords[b], scratch.erasures[b], scratch.block_out,
+                        scratch.rs)) {
+      return false;
+    }
+    scratch.data.insert(scratch.data.end(), scratch.block_out.begin(), scratch.block_out.end());
   }
 
-  BitVector bits = BitVector::from_bytes(data);
-  return bits.slice(0, payload_bits);
+  out.clear();
+  out.reserve(scratch.data.size() * 8);
+  for (const std::uint8_t byte : scratch.data) out.append_uint(byte, 8);
+  out.truncate(payload_bits);
+  return true;
 }
 
 }  // namespace jrsnd::ecc

@@ -13,11 +13,24 @@
 //   * de-spreading marks unreliable bits (|correlation| < tau) as erasures;
 //     a symbol is erased iff any of its bits is erased, and RS errata
 //     decoding then tolerates an n_i - k_i erasure fraction = mu/(1+mu).
+//
+// Both the block layout (a pure function of the payload length) and the
+// ReedSolomon coders (pure functions of (n, k), including their generator
+// and LFSR encode table) are cached inside the codec after first use:
+// message lengths in a run come from a handful of message types, so every
+// encode/decode after the first reuses the precomputation. The caches are
+// mutex-guarded and pointer-stable, so a codec shared across PR-2 thread-pool
+// workers stays safe; per-call working buffers live in a caller-owned
+// Scratch, making the *_into entry points allocation-free in the steady
+// state (on the clean decode path — see reed_solomon.hpp).
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/bit_vector.hpp"
@@ -27,6 +40,17 @@ namespace jrsnd::ecc {
 
 class EccCodec {
  public:
+  /// Reusable per-caller workspace for encode_into / decode_into. One
+  /// scratch per thread (it is not internally synchronized).
+  struct Scratch {
+    std::vector<std::uint8_t> data;                     ///< packed payload / decoded bytes
+    std::vector<std::vector<std::uint8_t>> codewords;   ///< per-block codewords
+    std::vector<std::vector<int>> erasures;             ///< per-block erasure positions
+    std::vector<std::uint8_t> symbol_erased;            ///< per-tx-symbol erasure flags
+    std::vector<std::uint8_t> block_out;                ///< one decoded block
+    ReedSolomon::DecodeScratch rs;
+  };
+
   /// mu > 0 is the paper's redundancy parameter (Table I: mu = 1).
   explicit EccCodec(double mu);
 
@@ -43,6 +67,10 @@ class EccCodec {
   /// Encodes `payload` into the interleaved RS codeword bit stream.
   [[nodiscard]] BitVector encode(const BitVector& payload) const;
 
+  /// encode() into a caller-owned output (cleared and refilled), reusing
+  /// `scratch`; identical bits, allocation-free in the steady state.
+  void encode_into(const BitVector& payload, Scratch& scratch, BitVector& out) const;
+
   /// Decodes a received bit stream. `payload_bits` is the original payload
   /// length (known from the message type); `erased_bits` lists coded-bit
   /// positions flagged unreliable by the de-spreader. Bits may additionally
@@ -51,6 +79,12 @@ class EccCodec {
   [[nodiscard]] std::optional<BitVector> decode(const BitVector& received,
                                                 std::size_t payload_bits,
                                                 std::span<const std::size_t> erased_bits = {}) const;
+
+  /// decode() into a caller-owned output, reusing `scratch`. Returns whether
+  /// decoding succeeded; identical bits to decode().
+  [[nodiscard]] bool decode_into(const BitVector& received, std::size_t payload_bits,
+                                 std::span<const std::size_t> erased_bits, Scratch& scratch,
+                                 BitVector& out) const;
 
   /// Guaranteed-tolerable erased-bit fraction (the paper's mu/(1+mu)).
   [[nodiscard]] double erasure_tolerance() const noexcept { return mu_ / (1.0 + mu_); }
@@ -66,7 +100,18 @@ class EccCodec {
 
   [[nodiscard]] Layout layout_for(std::size_t payload_bits) const;
 
+  /// The cached layout for `payload_bits`, built on first use. The returned
+  /// reference is stable for the codec's lifetime (node-based map).
+  [[nodiscard]] const Layout& cached_layout(std::size_t payload_bits) const;
+
+  /// The cached RS(n, k) coder, built (generator + encode table) on first
+  /// use. Stable reference, same as cached_layout.
+  [[nodiscard]] const ReedSolomon& cached_rs(int n, int k) const;
+
   double mu_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::size_t, Layout> layouts_;
+  mutable std::map<std::pair<int, int>, ReedSolomon> coders_;
 };
 
 }  // namespace jrsnd::ecc

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <stdexcept>
 
 #include "ecc/gf256.hpp"
@@ -134,69 +133,111 @@ ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
     next[generator_.size()] = GF256::mul(root, generator_.back());
     generator_ = std::move(next);
   }
+  // LFSR table: row v holds v * (g_1 .. g_{n-k}) — the parity-register XOR
+  // contribution of a data symbol whose feedback byte is v.
+  const std::size_t parity_len = static_cast<std::size_t>(n_ - k_);
+  encode_table_.assign(256 * parity_len, 0);
+  for (std::size_t v = 0; v < 256; ++v) {
+    for (std::size_t j = 0; j < parity_len; ++j) {
+      encode_table_[v * parity_len + j] =
+          GF256::mul(static_cast<std::uint8_t>(v), generator_[j + 1]);
+    }
+  }
 }
 
 std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> codeword;
+  encode_into(data, codeword);
+  return codeword;
+}
+
+void ReedSolomon::encode_into(std::span<const std::uint8_t> data,
+                              std::vector<std::uint8_t>& out) const {
   assert(static_cast<int>(data.size()) == k_);
   JRSND_COUNT("ecc.rs.encode.calls");
-  const int parity_len = n_ - k_;
-  // Long division of data(x) * x^{n-k} by g(x); remainder is the parity.
-  std::vector<std::uint8_t> rem(data.begin(), data.end());
-  rem.resize(static_cast<std::size_t>(n_), 0);
-  for (int i = 0; i < k_; ++i) {
-    const std::uint8_t coef = rem[static_cast<std::size_t>(i)];
-    if (coef == 0) continue;
-    for (int j = 0; j <= parity_len; ++j) {
-      rem[static_cast<std::size_t>(i + j)] =
-          GF256::add(rem[static_cast<std::size_t>(i + j)],
-                     GF256::mul(coef, generator_[static_cast<std::size_t>(j)]));
+  const std::size_t parity_len = static_cast<std::size_t>(n_ - k_);
+  out.clear();
+  out.resize(static_cast<std::size_t>(n_), 0);
+  std::copy(data.begin(), data.end(), out.begin());
+  // Table-driven LFSR form of the long division of data(x) * x^{n-k} by
+  // g(x): the parity register lives in out's tail; each data symbol shifts
+  // it left and XORs in one precomputed row. Same remainder as the schoolbook
+  // division, one table row instead of a per-coefficient GF multiply.
+  std::uint8_t* reg = out.data() + k_;
+  for (const std::uint8_t byte : data) {
+    const std::uint8_t feedback = static_cast<std::uint8_t>(byte ^ reg[0]);
+    const std::uint8_t* row = encode_table_.data() + std::size_t{feedback} * parity_len;
+    for (std::size_t j = 0; j + 1 < parity_len; ++j) {
+      reg[j] = static_cast<std::uint8_t>(reg[j + 1] ^ row[j]);
     }
+    reg[parity_len - 1] = row[parity_len - 1];
   }
-  std::vector<std::uint8_t> codeword(data.begin(), data.end());
-  codeword.insert(codeword.end(), rem.begin() + k_, rem.end());
-  return codeword;
 }
 
 std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     std::span<const std::uint8_t> received, std::span<const int> erasures) const {
+  DecodeScratch scratch;
+  std::vector<std::uint8_t> out;
+  if (!decode_into(received, erasures, out, scratch)) return std::nullopt;
+  return out;
+}
+
+bool ReedSolomon::decode_into(std::span<const std::uint8_t> received,
+                              std::span<const int> erasures, std::vector<std::uint8_t>& out,
+                              DecodeScratch& scratch, DecodeMode mode) const {
   DecodeScope scope;
-  if (static_cast<int>(received.size()) != n_) return std::nullopt;
+  if (static_cast<int>(received.size()) != n_) return false;
   const int two_t = n_ - k_;
 
-  // Deduplicate and validate erasure positions.
-  std::set<int> erasure_set;
+  // Deduplicate and validate erasure positions via per-position flags in the
+  // scratch (no node-based set allocation on the hot path).
+  scratch.erased.assign(static_cast<std::size_t>(n_), 0);
+  int f = 0;
   for (const int pos : erasures) {
-    if (pos < 0 || pos >= n_) return std::nullopt;
-    erasure_set.insert(pos);
+    if (pos < 0 || pos >= n_) return false;
+    if (scratch.erased[static_cast<std::size_t>(pos)] == 0) {
+      scratch.erased[static_cast<std::size_t>(pos)] = 1;
+      ++f;
+    }
   }
-  const int f = static_cast<int>(erasure_set.size());
   JRSND_COUNT_N("ecc.rs.decode.erasures", f);
-  if (f > two_t) return std::nullopt;
+  if (f > two_t) return false;
 
-  std::vector<std::uint8_t> cw(received.begin(), received.end());
+  scratch.cw.assign(received.begin(), received.end());
+  std::vector<std::uint8_t>& cw = scratch.cw;
   // Erased symbols carry no information; zero them so their "error" value is
   // simply the transmitted symbol.
-  for (const int pos : erasure_set) cw[static_cast<std::size_t>(pos)] = 0;
+  for (int pos = 0; pos < n_; ++pos) {
+    if (scratch.erased[static_cast<std::size_t>(pos)] != 0) cw[static_cast<std::size_t>(pos)] = 0;
+  }
 
   // Syndromes S_j = c(alpha^j), j = 0..2t-1 (Horner over descending coeffs).
-  Poly syndromes(static_cast<std::size_t>(two_t), 0);
+  scratch.syndromes.assign(static_cast<std::size_t>(two_t), 0);
   bool all_zero = true;
   for (int j = 0; j < two_t; ++j) {
     const std::uint8_t x = GF256::exp(j);
     std::uint8_t acc = 0;
     for (int i = 0; i < n_; ++i) acc = GF256::add(GF256::mul(acc, x), cw[static_cast<std::size_t>(i)]);
-    syndromes[static_cast<std::size_t>(j)] = acc;
+    scratch.syndromes[static_cast<std::size_t>(j)] = acc;
     if (acc != 0) all_zero = false;
   }
-  if (all_zero) {
-    // Codeword is valid as-is (including the zeroed erasures).
+  if (all_zero && mode == DecodeMode::kAuto) {
+    // Codeword is valid as-is (including the zeroed erasures) — the clean
+    // channel fast path: no locator algebra, no allocation.
+    JRSND_COUNT("ecc.rs.decode.clean");
+    out.assign(cw.begin(), cw.begin() + k_);
     scope.success();
-    return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
+    return true;
   }
+
+  // Full errata pipeline (cold path: jammed or corrupted words; allocates
+  // its polynomial workspaces).
+  const Poly syndromes(scratch.syndromes.begin(), scratch.syndromes.end());
 
   // Erasure locator Gamma(x) = prod (1 + X_i x), X_i = alpha^{n-1-pos}.
   Poly gamma = {1};
-  for (const int pos : erasure_set) {
+  for (int pos = 0; pos < n_; ++pos) {
+    if (scratch.erased[static_cast<std::size_t>(pos)] == 0) continue;
     const std::uint8_t X = GF256::exp(n_ - 1 - pos);
     gamma = poly_mul(gamma, Poly{1, X});
   }
@@ -223,7 +264,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
   Poly omega = r_cur;    // errata evaluator (same scalar)
   trim(lambda);
   trim(omega);
-  if (lambda.empty() || lambda[0] == 0) return std::nullopt;
+  if (lambda.empty() || lambda[0] == 0) return false;
   const std::uint8_t norm = GF256::inv(lambda[0]);
   lambda = poly_scale(lambda, norm);
   omega = poly_scale(omega, norm);
@@ -232,7 +273,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
   const Poly psi = poly_mul(lambda, gamma);
   const int errata_count = degree(psi);
   const int error_count = degree(lambda);
-  if (error_count < 0 || 2 * error_count + f > two_t) return std::nullopt;
+  if (error_count < 0 || 2 * error_count + f > two_t) return false;
 
   // Chien search: position power p corresponds to codeword index n-1-p.
   std::vector<int> errata_indices;
@@ -244,7 +285,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
       errata_locators.push_back(GF256::exp(p));
     }
   }
-  if (static_cast<int>(errata_indices.size()) != errata_count) return std::nullopt;
+  if (static_cast<int>(errata_indices.size()) != errata_count) return false;
 
   // Forney magnitudes (roots start at alpha^0, so b = 0):
   //   e = X * Omega(X^{-1}) / Psi'(X^{-1}).
@@ -253,7 +294,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     const std::uint8_t X = errata_locators[idx];
     const std::uint8_t x_inv = GF256::inv(X);
     const std::uint8_t denom = poly_eval(psi_deriv, x_inv);
-    if (denom == 0) return std::nullopt;
+    if (denom == 0) return false;
     const std::uint8_t num = GF256::mul(X, poly_eval(omega, x_inv));
     const std::uint8_t magnitude = GF256::div(num, denom);
     cw[static_cast<std::size_t>(errata_indices[idx])] =
@@ -265,12 +306,13 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
     const std::uint8_t x = GF256::exp(j);
     std::uint8_t acc = 0;
     for (int i = 0; i < n_; ++i) acc = GF256::add(GF256::mul(acc, x), cw[static_cast<std::size_t>(i)]);
-    if (acc != 0) return std::nullopt;
+    if (acc != 0) return false;
   }
 
   scope.success();
   JRSND_COUNT_N("ecc.rs.decode.errors_corrected", error_count);
-  return std::vector<std::uint8_t>(cw.begin(), cw.begin() + k_);
+  out.assign(cw.begin(), cw.begin() + k_);
+  return true;
 }
 
 }  // namespace jrsnd::ecc

@@ -11,6 +11,15 @@
 // Decoder pipeline: syndromes -> erasure locator -> Forney syndromes ->
 // Berlekamp-Massey (errors) -> combined errata locator -> Chien search ->
 // Forney magnitude algorithm.
+//
+// Fast paths for the transmit hot loop:
+//   * the encoder is a table-driven LFSR — each leading byte's contribution
+//     to the parity register (byte * generator tail) is precomputed at
+//     construction, so encode is one XOR-row per data symbol;
+//   * the decoder exits right after the syndrome pass when every syndrome is
+//     zero (the overwhelmingly common clean-channel case), skipping
+//     Sugiyama/Chien/Forney entirely; with a caller-reused DecodeScratch the
+//     clean path allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,21 @@ namespace jrsnd::ecc {
 
 class ReedSolomon {
  public:
+  /// Reusable decode workspace. The clean (all-zero-syndrome) path touches
+  /// only these buffers, so reusing one scratch across calls makes that path
+  /// allocation-free in the steady state. The errata path still allocates
+  /// its polynomial workspaces — it only runs on jammed/corrupted words.
+  struct DecodeScratch {
+    std::vector<std::uint8_t> cw;         ///< working codeword copy
+    std::vector<std::uint8_t> erased;     ///< per-position erasure flags (dedupe)
+    std::vector<std::uint8_t> syndromes;  ///< S_j, j = 0..2t-1
+  };
+
+  /// Decode strategy: kAuto takes the all-zero-syndrome early exit; kForceFull
+  /// always runs the full errata pipeline (equivalence tests only — both
+  /// modes return identical results by construction).
+  enum class DecodeMode { kAuto, kForceFull };
+
   /// Constructs RS(n, k): n total symbols, k data symbols, n - k parity.
   /// Preconditions: 0 < k < n <= 255.
   ReedSolomon(int n, int k);
@@ -34,6 +58,10 @@ class ReedSolomon {
   /// parity appended). Precondition: data.size() == k.
   [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
 
+  /// encode() into a caller-owned buffer (cleared and refilled to n
+  /// symbols); allocation-free once `out`'s capacity covers n.
+  void encode_into(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out) const;
+
   /// Decodes a received word of n symbols. `erasures` lists symbol positions
   /// known to be unreliable (each in [0, n), duplicates ignored). Returns the
   /// k data symbols, or nullopt if the errata are beyond the code's
@@ -41,10 +69,21 @@ class ReedSolomon {
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
       std::span<const std::uint8_t> received, std::span<const int> erasures = {}) const;
 
+  /// decode() into a caller-owned buffer, reusing `scratch` across calls.
+  /// Returns whether decoding succeeded; on success `out` holds the k data
+  /// symbols. Identical results to decode() in every mode.
+  [[nodiscard]] bool decode_into(std::span<const std::uint8_t> received,
+                                 std::span<const int> erasures, std::vector<std::uint8_t>& out,
+                                 DecodeScratch& scratch,
+                                 DecodeMode mode = DecodeMode::kAuto) const;
+
  private:
   int n_;
   int k_;
   std::vector<std::uint8_t> generator_;  // generator polynomial, ascending powers
+  // LFSR encode table: row v (256 rows of parity() bytes) holds
+  // v * generator tail, so absorbing one data symbol is one row XOR.
+  std::vector<std::uint8_t> encode_table_;
 };
 
 }  // namespace jrsnd::ecc

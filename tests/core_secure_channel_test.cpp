@@ -199,13 +199,14 @@ TEST(SecureChannel, WorksOverChipLevelPhy) {
   ChannelWorld w;
   w.discover(0, 1);
   Rng chip_rng(11);
+  dsss::NodeCodebookCache code_cache;
   ChipPhy chip_phy(w.params, w.topology, w.jammer,
-                   [&w](NodeId node) {
+                   [&w, &code_cache](NodeId node) -> const dsss::PreparedCodebook& {
                      std::vector<dsss::SpreadCode> codes;
                      for (const CodeId c : w.nodes[raw(node)].usable_codes()) {
                        codes.push_back(w.authority.code(c));
                      }
-                     return codes;
+                     return code_cache.prepare(node, codes);
                    },
                    chip_rng);
   SecureChannel channel(w.nodes[0], w.nodes[1], chip_phy);

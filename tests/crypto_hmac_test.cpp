@@ -59,6 +59,81 @@ TEST(Hmac, MessageSensitivity) {
   EXPECT_NE(hmac_sha256(key, std::string("msg1")), hmac_sha256(key, std::string("msg2")));
 }
 
+// The midstate-cached HmacKey must be byte-identical to hmac_sha256 — the
+// RFC 4231 vectors again, this time through the cached path.
+TEST(HmacKey, Rfc4231Vectors) {
+  {
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    EXPECT_EQ(digest_hex(HmacKey(key).mac(std::string("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  }
+  {
+    const std::string key_str = "Jefe";
+    const std::vector<std::uint8_t> key(key_str.begin(), key_str.end());
+    EXPECT_EQ(digest_hex(HmacKey(key).mac(std::string("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  }
+  {
+    const std::vector<std::uint8_t> key(20, 0xaa);
+    const std::vector<std::uint8_t> msg(50, 0xdd);
+    EXPECT_EQ(digest_hex(HmacKey(key).mac(msg)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+  }
+  {
+    // Key longer than the block size must be hashed first.
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    EXPECT_EQ(digest_hex(HmacKey(key).mac(
+                  std::string("Test Using Larger Than Block-Size Key - Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+  }
+}
+
+TEST(HmacKey, MatchesFreeFunctionAcrossKeyAndMessageSizes) {
+  // Sweep key lengths around the 64-byte block boundary and message lengths
+  // around the SHA-256 padding boundaries.
+  for (const std::size_t key_len : {0u, 1u, 32u, 63u, 64u, 65u, 131u}) {
+    std::vector<std::uint8_t> key(key_len);
+    for (std::size_t i = 0; i < key_len; ++i) key[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const HmacKey prepared(key);
+    for (const std::size_t msg_len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 200u}) {
+      std::vector<std::uint8_t> msg(msg_len);
+      for (std::size_t i = 0; i < msg_len; ++i) msg[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+      EXPECT_EQ(prepared.mac(msg), hmac_sha256(key, msg))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+    }
+  }
+}
+
+TEST(HmacKey, StreamingFormMatchesOneShot) {
+  const std::vector<std::uint8_t> key = {1, 2, 3, 4, 5};
+  const HmacKey prepared(key);
+  const std::vector<std::uint8_t> part1 = {0x10, 0x20, 0x30};
+  const std::vector<std::uint8_t> part2 = {0x40};
+  const std::vector<std::uint8_t> part3 = {0x50, 0x60, 0x70, 0x80, 0x90};
+
+  Sha256 ctx = prepared.inner_context();
+  ctx.update(part1);
+  ctx.update(part2);
+  ctx.update(part3);
+  const Sha256Digest streamed = prepared.finish(ctx);
+
+  std::vector<std::uint8_t> whole;
+  whole.insert(whole.end(), part1.begin(), part1.end());
+  whole.insert(whole.end(), part2.begin(), part2.end());
+  whole.insert(whole.end(), part3.begin(), part3.end());
+  EXPECT_EQ(streamed, hmac_sha256(key, whole));
+}
+
+TEST(HmacKey, ReusableAcrossManyMessages) {
+  // One key object, many MACs: the cached midstates must not be consumed.
+  const std::vector<std::uint8_t> key(32, 0xc3);
+  const HmacKey prepared(key);
+  for (int i = 0; i < 10; ++i) {
+    const std::string msg = "message " + std::to_string(i);
+    EXPECT_EQ(prepared.mac(msg), hmac_sha256(key, msg));
+  }
+}
+
 TEST(DigestEqual, ExactComparison) {
   Sha256Digest a{};
   Sha256Digest b{};

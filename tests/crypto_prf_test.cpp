@@ -61,6 +61,24 @@ TEST(Prf, DerivedBitsLookBalanced) {
   EXPECT_LT(ones, 0.55);
 }
 
+TEST(Prf, HmacKeyOverloadMatchesSymmetricKeyOverload) {
+  // The midstate-cached expand must be byte-identical to the string-building
+  // reference for every output length (block boundaries included).
+  const SymmetricKey key = test_key(0x6d);
+  const HmacKey prepared(key);
+  const std::string info_str = "session:code";
+  const std::vector<std::uint8_t> info(info_str.begin(), info_str.end());
+  for (const std::size_t len : {1u, 31u, 32u, 33u, 64u, 100u, 512u}) {
+    EXPECT_EQ(expand(prepared, info, len), expand(key, info_str, len)) << "len=" << len;
+  }
+}
+
+TEST(Prf, HmacKeyOverloadWithEmptyInfo) {
+  const SymmetricKey key = test_key(0x2f);
+  EXPECT_EQ(expand(HmacKey(key), std::span<const std::uint8_t>{}, 96),
+            expand(key, std::string{}, 96));
+}
+
 TEST(Prf, DeriveKeyDiffersFromParentAndSiblings) {
   const SymmetricKey parent = test_key(0x9a);
   const SymmetricKey child1 = derive_key(parent, "one");

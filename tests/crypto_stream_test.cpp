@@ -120,5 +120,85 @@ TEST(Stream, FromBytesRejectsShortInput) {
   EXPECT_FALSE(SealedMessage::from_bytes(short_input).has_value());
 }
 
+// --- equivalence with an uncached reference implementation -----------------
+//
+// The production Sealer caches HMAC midstates and writes the keystream info
+// header into a fixed binary buffer. This reference rebuilds every frame the
+// slow way — fresh key schedules, per-field string concatenation — and the
+// two must produce byte-identical wire frames.
+
+namespace reference {
+
+std::string be64_string(std::uint64_t v) {
+  std::string s;
+  for (int i = 7; i >= 0; --i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  return s;
+}
+
+std::vector<std::uint8_t> keystream(const SymmetricKey& enc_key, std::uint64_t counter,
+                                    std::size_t length) {
+  constexpr std::size_t kChunk = 255 * kSha256DigestSize;
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t chunk = 0; out.size() < length; ++chunk) {
+    const std::string info =
+        "ctr:" + be64_string(counter) + ":" + be64_string(chunk);
+    const auto part = expand(enc_key, info, std::min(kChunk, length - out.size()));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+SealedMessage seal(const SymmetricKey& pair_key, const std::string& direction,
+                   std::uint64_t counter, std::span<const std::uint8_t> plaintext) {
+  const SymmetricKey enc = derive_key(pair_key, "enc:" + direction);
+  const SymmetricKey mac = derive_key(pair_key, "mac:" + direction);
+  SealedMessage msg;
+  msg.counter = counter;
+  const auto ks = keystream(enc, counter, plaintext.size());
+  msg.ciphertext.resize(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    msg.ciphertext[i] = static_cast<std::uint8_t>(plaintext[i] ^ ks[i]);
+  }
+  std::vector<std::uint8_t> mac_input;
+  for (int i = 7; i >= 0; --i) {
+    mac_input.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+  }
+  mac_input.insert(mac_input.end(), msg.ciphertext.begin(), msg.ciphertext.end());
+  const Sha256Digest digest = hmac_sha256(mac, mac_input);
+  std::copy(digest.begin(), digest.begin() + kSealTagBytes, msg.tag.begin());
+  return msg;
+}
+
+}  // namespace reference
+
+TEST(Stream, SealedFramesMatchUncachedReference) {
+  const SymmetricKey pair_key = key_of(0x5e);
+  Sealer sealer(pair_key, "a->b");
+  Rng rng(42);
+  // Payload sizes straddle the SHA-256 block and expand() chunk boundaries.
+  for (const std::size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 300u, 9000u}) {
+    std::vector<std::uint8_t> plaintext(len);
+    for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.uniform(256));
+    const SealedMessage fast = sealer.seal(plaintext);
+    const SealedMessage slow = reference::seal(pair_key, "a->b", fast.counter, plaintext);
+    EXPECT_EQ(fast.ciphertext, slow.ciphertext) << "len=" << len;
+    EXPECT_EQ(fast.tag, slow.tag) << "len=" << len;
+  }
+}
+
+TEST(Stream, UnsealerOpensReferenceFrames) {
+  // Frames produced by the uncached reference must open through the cached
+  // Unsealer — interop in the other direction.
+  const SymmetricKey pair_key = key_of(0x71);
+  Unsealer unsealer(pair_key, "d");
+  for (std::uint64_t counter = 1; counter <= 4; ++counter) {
+    const auto plaintext = bytes_of("frame " + std::to_string(counter));
+    const SealedMessage frame = reference::seal(pair_key, "d", counter, plaintext);
+    const auto opened = unsealer.open(frame);
+    ASSERT_TRUE(opened.has_value()) << counter;
+    EXPECT_EQ(*opened, plaintext);
+  }
+}
+
 }  // namespace
 }  // namespace jrsnd::crypto

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "dsss/prepared_codebook.hpp"
 
 namespace jrsnd::dsss {
 namespace {
@@ -93,7 +94,8 @@ TEST(SlidingWindow, BufferTooShortReturnsNullopt) {
 
 TEST(SlidingWindow, EmptyCandidatesReturnsNullopt) {
   const BitVector buffer(1000);
-  EXPECT_FALSE(find_first_message(buffer, {}, 4, 0.3).has_value());
+  EXPECT_FALSE(find_first_message(buffer, std::span<const SpreadCode>{}, 4, 0.3).has_value());
+  EXPECT_FALSE(find_first_message(buffer, PreparedCodebook{}, 4, 0.3).has_value());
 }
 
 TEST(SlidingWindow, StartOffsetSkipsEarlierHit) {

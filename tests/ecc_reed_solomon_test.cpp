@@ -228,6 +228,75 @@ TEST(ReedSolomon, EveryCodewordHasZeroSyndromes) {
   }
 }
 
+TEST(ReedSolomon, EncodeIntoMatchesEncode) {
+  const ReedSolomon rs(40, 20);
+  Rng rng(30);
+  std::vector<std::uint8_t> out;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto data = random_data(rng, 20);
+    rs.encode_into(data, out);
+    EXPECT_EQ(out, rs.encode(data));
+  }
+}
+
+TEST(ReedSolomon, FuzzEarlyExitEqualsFullDecode) {
+  // The all-zero-syndrome early exit must be an exact shortcut: on every
+  // random word — clean, corrupted, or erasure-marked — kAuto, kForceFull
+  // and the allocating decode() must agree on both success and payload.
+  Rng rng(31);
+  const std::vector<std::pair<int, int>> shapes = {{15, 9}, {20, 12}, {64, 32}};
+  for (const auto& [n, k] : shapes) {
+    const ReedSolomon rs(n, k);
+    ReedSolomon::DecodeScratch scratch;
+    std::vector<std::uint8_t> auto_out;
+    std::vector<std::uint8_t> full_out;
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto data = random_data(rng, k);
+      auto cw = rs.encode(data);
+
+      // 0..n-k+2 random errors (sometimes beyond capacity — failure must
+      // agree too) plus 0..3 erasure marks, sometimes on clean positions.
+      std::vector<int> erasures;
+      const auto errors = static_cast<std::uint32_t>(rng.uniform(
+          static_cast<std::uint64_t>(n - k + 3)));
+      if (errors > 0) {
+        for (const auto pos :
+             rng.sample_without_replacement(static_cast<std::uint32_t>(n), errors)) {
+          cw[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+          if (rng.bernoulli(0.5)) erasures.push_back(static_cast<int>(pos));
+        }
+      }
+      for (std::uint64_t extra = rng.uniform(4); extra > 0; --extra) {
+        erasures.push_back(static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n))));
+      }
+
+      const bool ok_auto = rs.decode_into(cw, erasures, auto_out, scratch);
+      const bool ok_full = rs.decode_into(cw, erasures, full_out, scratch,
+                                          ReedSolomon::DecodeMode::kForceFull);
+      const auto reference = rs.decode(cw, erasures);
+      ASSERT_EQ(ok_auto, reference.has_value()) << "n=" << n << " trial=" << trial;
+      ASSERT_EQ(ok_full, reference.has_value()) << "n=" << n << " trial=" << trial;
+      if (reference.has_value()) {
+        EXPECT_EQ(auto_out, *reference);
+        EXPECT_EQ(full_out, *reference);
+      }
+    }
+  }
+}
+
+TEST(ReedSolomon, ForceFullOnCleanCodewordDecodes) {
+  // A clean word through the full Sugiyama/Chien/Forney pipeline: the error
+  // locator degenerates to lambda = {1} and the decoder must still succeed.
+  const ReedSolomon rs(20, 12);
+  Rng rng(32);
+  ReedSolomon::DecodeScratch scratch;
+  std::vector<std::uint8_t> out;
+  const auto data = random_data(rng, 12);
+  ASSERT_TRUE(rs.decode_into(rs.encode(data), {}, out, scratch,
+                             ReedSolomon::DecodeMode::kForceFull));
+  EXPECT_EQ(out, data);
+}
+
 struct RsParams {
   int n;
   int k;

@@ -23,6 +23,7 @@ struct ChipWorld {
   sim::Topology topology;
   Rng phy_rng;
   std::vector<NodeState> nodes;
+  dsss::NodeCodebookCache code_cache;
 
   explicit ChipWorld(std::uint64_t seed)
       : params(make_params()),
@@ -54,12 +55,14 @@ struct ChipWorld {
   }
 
   [[nodiscard]] ChipPhy::Codebook codebook() {
-    return [this](NodeId node) {
+    // Recomputes the usable-code list per call (revocations may shrink it
+    // mid-test); the cache rebuilds its ShiftTables only when it changed.
+    return [this](NodeId node) -> const dsss::PreparedCodebook& {
       std::vector<dsss::SpreadCode> codes;
       for (const CodeId c : nodes[raw(node)].usable_codes()) {
         codes.push_back(authority.code(c));
       }
-      return codes;
+      return code_cache.prepare(node, codes);
     };
   }
 

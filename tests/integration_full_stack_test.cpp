@@ -20,6 +20,7 @@ struct FullStack {
   sim::Topology topology;
   adversary::NullJammer clean;
   Rng phy_rng{11};
+  dsss::NodeCodebookCache code_cache;
   core::ChipPhy phy;
   std::vector<core::NodeState> nodes;
 
@@ -53,12 +54,14 @@ struct FullStack {
   }
 
   core::ChipPhy::Codebook codebook() {
-    return [this](NodeId node) {
+    // Called lazily per transmit (nodes are populated after phy's ctor);
+    // the cache rebuilds a node's ShiftTables only when its codes change.
+    return [this](NodeId node) -> const dsss::PreparedCodebook& {
       std::vector<dsss::SpreadCode> codes;
       for (const CodeId c : nodes[raw(node)].usable_codes()) {
         codes.push_back(authority.code(c));
       }
-      return codes;
+      return code_cache.prepare(node, codes);
     };
   }
 };

@@ -1,0 +1,107 @@
+// Steady-state allocation audit for the transmit hot path.
+//
+// The whole point of the scratch-arena refactor is that ChipPhy::transmit_into
+// stops touching the heap once its buffers have grown to their working sizes.
+// This test replaces the global allocator with a counting one (which is why it
+// lives in its own binary) and asserts the count stays flat across repeated
+// clean-channel transmissions — both the HELLO codebook-scan path and the
+// monitored-code path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "adversary/jammer.hpp"
+#include "common/rng.hpp"
+#include "core/chip_phy.hpp"
+#include "dsss/prepared_codebook.hpp"
+#include "dsss/spread_code.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void* operator new[](std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace jrsnd {
+namespace {
+
+BitVector fixed_payload(std::size_t bits) {
+  Rng rng(5);
+  BitVector v;
+  for (std::size_t i = 0; i < bits; ++i) v.push_back(rng.bernoulli(0.5));
+  return v;
+}
+
+TEST(TransmitHotPath, ZeroSteadyStateAllocations) {
+  core::Params params = core::Params::defaults();
+  params.N = 256;   // long code: no false sync locks on the noise padding
+  params.tau = 0.35;
+
+  const sim::Field field{100.0, 100.0};
+  const sim::Topology topology(field, {{10, 10}, {20, 10}}, 50.0);
+  const adversary::NullJammer clean;
+  Rng rng(1234);
+
+  const dsss::SpreadCode code = dsss::SpreadCode::random(rng, params.N, code_id(0));
+  dsss::PreparedCodebook prepared(std::vector<dsss::SpreadCode>{code});
+  (void)prepared.tables();  // build the ShiftTables outside the counted region
+
+  core::ChipPhy phy(
+      params, topology, clean,
+      [&prepared](NodeId) -> const dsss::PreparedCodebook& { return prepared; }, rng);
+
+  const BitVector payload = fixed_payload(96);
+  const core::TxCode tx{code_id(0), &code};
+  BitVector out;
+
+  // Warm-up: grow every scratch buffer (channel window at max pad, ECC block
+  // workspaces, sync-hit buffers, monitored single-code codebook) to its
+  // steady-state capacity on both candidate-selection paths.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(phy.transmit_into(node_id(0), node_id(1), tx, core::TxClass::Hello, payload, out));
+    EXPECT_EQ(out, payload);
+    ASSERT_TRUE(phy.transmit_into(node_id(0), node_id(1), tx, core::TxClass::SessionUnicast,
+                                  payload, out));
+    EXPECT_EQ(out, payload);
+  }
+
+  // Counted region: no gtest assertions inside (their failure paths
+  // allocate); accumulate and check after.
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  int delivered = 0;
+  bool payload_intact = true;
+  for (int i = 0; i < 100; ++i) {
+    const core::TxClass cls = (i % 2 == 0) ? core::TxClass::Hello : core::TxClass::SessionUnicast;
+    if (phy.transmit_into(node_id(0), node_id(1), tx, cls, payload, out)) {
+      ++delivered;
+      payload_intact = payload_intact && out == payload;
+    }
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(delivered, 100);
+  EXPECT_TRUE(payload_intact);
+  EXPECT_EQ(after - before, 0u) << "transmit_into allocated on the steady-state hot path";
+}
+
+}  // namespace
+}  // namespace jrsnd

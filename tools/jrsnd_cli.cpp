@@ -128,10 +128,11 @@ void run_chip_calibration(std::uint64_t seed) {
                        authority.assignment().codes_of(node_id(i)), authority, p.gamma,
                        node_rng.split());
   }
-  const core::ChipPhy::Codebook codebook = [&](NodeId node) {
+  dsss::NodeCodebookCache code_cache;
+  const core::ChipPhy::Codebook codebook = [&](NodeId node) -> const dsss::PreparedCodebook& {
     std::vector<dsss::SpreadCode> codes;
     for (const CodeId c : nodes[raw(node)].usable_codes()) codes.push_back(authority.code(c));
-    return codes;
+    return code_cache.prepare(node, codes);
   };
   core::ChipPhy phy(p, topology, jammer, codebook, phy_rng);
   core::DndpEngine engine(p, phy);
