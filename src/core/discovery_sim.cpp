@@ -10,6 +10,7 @@
 #include "core/analysis.hpp"
 #include "core/dndp.hpp"
 #include "core/latency.hpp"
+#include "fault/faulty_phy.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/scoped_timer.hpp"
@@ -94,7 +95,20 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
                                        : nullptr);
   Rng phy_rng = root.split();
   AbstractPhy phy(topology, *jammer, phy_rng);
-  DndpEngine dndp(p, phy, config_.redundancy);
+
+  // Optional fault layer: wraps the PHY without perturbing the root Rng
+  // chain (its draws come from the plan seed salted with the run seed), so
+  // an absent or inactive plan leaves the run bit-identical.
+  std::optional<fault::FaultyPhy> faulty;
+  PhyModel* active_phy = &phy;
+  const HandshakeClock* hs_clock = nullptr;
+  if (config_.faults.has_value()) {
+    faulty.emplace(phy, *config_.faults, seed);
+    active_phy = &*faulty;
+    hs_clock = &faulty->clocks();
+  }
+
+  DndpEngine dndp(p, *active_phy, config_.redundancy, seed, hs_clock);
 
   sim::LogicalGraph logical(p.n);
   std::vector<std::pair<NodeId, NodeId>> failed_pairs;
@@ -104,6 +118,8 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
     NodeState& initiator = nodes[raw(a_first ? a : b)];
     NodeState& responder = nodes[raw(a_first ? b : a)];
     const DndpResult r = dndp.run(initiator, responder);
+    result.dndp_retransmissions += r.retransmissions;
+    result.dndp_timeouts += r.timeouts;
     if (r.discovered) {
       ++result.dndp_discovered;
       logical.add_edge(a, b);
@@ -125,7 +141,7 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
 
   // --- M-NDP ---------------------------------------------------------------
   if (config_.full_mndp) {
-    MndpEngine mndp(p, phy, topology, ibc.oracle(), config_.gps_filter);
+    MndpEngine mndp(p, *active_phy, topology, ibc.oracle(), config_.gps_filter, seed);
     Rng round_rng = root.split();
     result.mndp_stats = mndp.run_round(std::span<NodeState>(nodes), round_rng);
     for (const auto& [a, b] : failed_pairs) {
@@ -185,6 +201,11 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   result.latency_mndp_s = latency.mndp(result.avg_degree, p.nu).seconds();
   result.latency_jrsnd_s =
       jrsnd_latency(result.latency_dndp_s, result.latency_mndp_s);
+  if (faulty.has_value()) {
+    const auto& t = faulty->totals();
+    result.faults_injected = t.dropped + t.duplicated + t.reordered + t.corrupted +
+                             t.truncated + t.crash_blocked;
+  }
   phase.reset();  // record the rates phase before run.end is emitted
 
   if (obs::tracing_enabled()) {

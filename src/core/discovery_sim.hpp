@@ -20,6 +20,7 @@
 #include "core/metrics.hpp"
 #include "core/mndp.hpp"
 #include "core/params.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace jrsnd::core {
 
@@ -35,6 +36,10 @@ struct ExperimentConfig {
   bool full_mndp = false;      ///< run the complete M-NDP engine (slower)
   bool gps_filter = false;     ///< M-NDP false-positive suppression
   std::uint32_t mndp_rounds = 1;  ///< logical-graph closure iterations
+  /// When set, every run wraps its PHY in a FaultyPhy applying this plan
+  /// (salted with the run seed, so faults decorrelate across runs but stay
+  /// exactly reproducible). Unset — the historical fault-free pipeline.
+  std::optional<fault::FaultPlan> faults;
 };
 
 struct RunResult {
@@ -59,6 +64,10 @@ struct RunResult {
   double latency_jrsnd_s = 0.0;  ///< max of the two (paper §VI-A3)
 
   MndpStats mndp_stats;  ///< populated in full_mndp mode
+
+  std::uint64_t dndp_retransmissions = 0;  ///< retries the hardened D-NDP spent
+  std::uint64_t dndp_timeouts = 0;         ///< attempt timeouts that expired
+  std::uint64_t faults_injected = 0;       ///< total faults the plan landed
 };
 
 struct PointResult {

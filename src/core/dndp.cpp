@@ -18,8 +18,13 @@ std::vector<CodeId> intersect_sorted(const std::vector<CodeId>& a, const std::ve
 
 }  // namespace
 
-DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy)
-    : params_(params), phy_(phy), redundancy_(redundancy) {
+DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy,
+                       std::uint64_t retry_seed, const HandshakeClock* clock)
+    : params_(params),
+      phy_(phy),
+      redundancy_(redundancy),
+      retry_rng_(retry_seed ^ 0xD1B54A32D192ED03ULL),
+      clock_(clock) {
   wire_.l_t = params.l_t;
   wire_.l_id = params.l_id;
   wire_.l_n = params.l_n;
@@ -28,16 +33,48 @@ DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy)
   wire_.l_sig = params.l_sig;
 }
 
+std::optional<BitVector> DndpEngine::transmit_with_retry(
+    HandshakeStateMachine& hs, NodeId a, NodeId b, CodeId code, NodeId from,
+    NodeId to, const TxCode& tx, TxClass cls, const BitVector& payload) {
+  hs.on_send();
+  auto rx = phy_.transmit(from, to, tx, cls, payload);
+  if (rx) {
+    hs.on_delivered();
+    return rx;
+  }
+  if (!params_.retry.enabled()) return std::nullopt;
+  while (true) {
+    JRSND_COUNT("dndp.timeout.expired");
+    const auto backoff = hs.on_timeout();
+    if (!backoff) {
+      JRSND_COUNT("dndp.timeout.exhausted");
+      return std::nullopt;
+    }
+    JRSND_COUNT("dndp.retx.attempts");
+    // Re-arm the sub-session's jamming fate: a retransmission after backoff
+    // is a fresh radio event, not a replay of the already-drawn loss.
+    phy_.begin_subsession(a, b, code);
+    hs.on_send();
+    rx = phy_.transmit(from, to, tx, cls, payload);
+    if (rx) {
+      JRSND_COUNT("dndp.retx.recovered");
+      hs.on_delivered();
+      return rx;
+    }
+  }
+}
+
 std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
     NodeState& a, NodeState& b, CodeId code, const BitVector& nonce_a,
-    const BitVector& nonce_b, DndpResult& result) {
+    const BitVector& nonce_b, HandshakeStateMachine& hs, DndpResult& result) {
   const TxCode tx{code, &a.code_pattern(code)};
   SubsessionOutcome outcome;
 
   // 2. B -> A: {CONFIRM, ID_B}_{C_i}.
   const ConfirmMessage confirm{b.id()};
-  const auto confirm_rx = phy_.transmit(b.id(), a.id(), tx, TxClass::Confirm,
-                                        confirm.encode(wire_));
+  const auto confirm_rx = transmit_with_retry(hs, a.id(), b.id(), code, b.id(),
+                                              a.id(), tx, TxClass::Confirm,
+                                              confirm.encode(wire_));
   if (!confirm_rx) return std::nullopt;
   const auto confirm_decoded = ConfirmMessage::decode(*confirm_rx, wire_);
   if (!confirm_decoded) {
@@ -49,7 +86,9 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
   // 3. A -> B: {ID_A, n_A, f_{K_AB}(ID_A | n_A)}_{C_i}.
   const crypto::SymmetricKey key_ab = a.key().shared_key(id_b);
   const AuthMessage auth1 = AuthMessage::make(a.id(), nonce_a, key_ab, wire_);
-  const auto auth1_rx = phy_.transmit(a.id(), b.id(), tx, TxClass::Auth, auth1.encode(wire_));
+  const auto auth1_rx = transmit_with_retry(hs, a.id(), b.id(), code, a.id(),
+                                            b.id(), tx, TxClass::Auth,
+                                            auth1.encode(wire_));
   if (!auth1_rx) return std::nullopt;
   const auto auth1_decoded = AuthMessage::decode(*auth1_rx, wire_);
   if (!auth1_decoded) return std::nullopt;
@@ -64,7 +103,9 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
 
   // 4. B -> A: {ID_B, n_B, f_{K_BA}(ID_B | n_B)}_{C_i}.
   const AuthMessage auth2 = AuthMessage::make(b.id(), nonce_b, key_ba, wire_);
-  const auto auth2_rx = phy_.transmit(b.id(), a.id(), tx, TxClass::Auth, auth2.encode(wire_));
+  const auto auth2_rx = transmit_with_retry(hs, a.id(), b.id(), code, b.id(),
+                                            a.id(), tx, TxClass::Auth,
+                                            auth2.encode(wire_));
   if (!auth2_rx) return std::nullopt;
   const auto auth2_decoded = AuthMessage::decode(*auth2_rx, wire_);
   if (!auth2_decoded) return std::nullopt;
@@ -102,35 +143,43 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
   // first delivered HELLO selects uniformly among them.
   if (!redundancy_) b.rng().shuffle(std::span<CodeId>(shared));
 
+  // The retry discipline measures timeouts on the initiator's local clock;
+  // with no fault layer attached every clock runs at the nominal rate.
+  const double clock_rate = clock_ ? clock_->rate(a.id()) : 1.0;
+
   std::optional<SubsessionOutcome> winner;
   std::uint32_t attempted = 0;
   for (const CodeId code : shared) {
     JRSND_COUNT("dndp.subsessions.started");
     ++attempted;
     phy_.begin_subsession(a.id(), b.id(), code);
+    HandshakeStateMachine hs(params_.retry, retry_rng_, clock_rate);
 
     // 1. A -> *: {HELLO, ID_A}_{C_i}. (The broadcast also uses A's other
     // codes; only shared ones can reach B, so we model those.)
     const HelloMessage hello{a.id()};
     const TxCode tx{code, &a.code_pattern(code)};
-    const auto hello_rx = phy_.transmit(a.id(), b.id(), tx, TxClass::Hello,
-                                        hello.encode(wire_));
-    if (!hello_rx) continue;  // B never saw this HELLO; try the next code
-    const auto hello_decoded = HelloMessage::decode(*hello_rx, wire_);
-    if (!hello_decoded) continue;
-    ++result.hellos_delivered;
-
-    const auto outcome = run_subsession(a, b, code, nonce_a, nonce_b, result);
-    if (outcome.has_value()) {
-      ++result.subsessions_completed;
-      if (!winner.has_value()) {
-        winner = outcome;
-        result.winning_code = code;
+    const auto hello_rx = transmit_with_retry(hs, a.id(), b.id(), code, a.id(),
+                                              b.id(), tx, TxClass::Hello,
+                                              hello.encode(wire_));
+    std::optional<HelloMessage> hello_decoded;
+    if (hello_rx) hello_decoded = HelloMessage::decode(*hello_rx, wire_);
+    if (hello_decoded) {
+      ++result.hellos_delivered;
+      const auto outcome = run_subsession(a, b, code, nonce_a, nonce_b, hs, result);
+      if (outcome.has_value()) {
+        ++result.subsessions_completed;
+        if (!winner.has_value()) {
+          winner = outcome;
+          result.winning_code = code;
+        }
       }
     }
+    result.retransmissions += hs.retransmissions();
+    result.timeouts += hs.timeouts();
     // The naive variant commits to the first delivered HELLO's code,
     // succeed or fail — exactly what the "intelligent attack" exploits.
-    if (!redundancy_) break;
+    if (hello_decoded && !redundancy_) break;
   }
 
   if (winner.has_value()) {
@@ -151,7 +200,7 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
   JRSND_COUNT_N("dndp.subsessions.failed", attempted - result.subsessions_completed);
   if (result.mac_failure) JRSND_COUNT("dndp.mac_failures");
   if (obs::tracing_enabled()) {
-    obs::event_log().emit(
+    auto event =
         obs::TraceEvent("dndp.pair",
                         result.discovered ? obs::Severity::Info : obs::Severity::Warn)
             .with("a", std::uint64_t{raw(a.id())})
@@ -160,7 +209,14 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
             .with("hellos", std::uint64_t{result.hellos_delivered})
             .with("subsessions", std::uint64_t{result.subsessions_completed})
             .with("discovered", result.discovered)
-            .with("mac_failure", result.mac_failure));
+            .with("mac_failure", result.mac_failure);
+    // Only present when the retry discipline actually fired, so traces from
+    // the default one-shot configuration are byte-identical to before.
+    if (result.retransmissions > 0 || result.timeouts > 0) {
+      event.with("retx", std::uint64_t{result.retransmissions})
+          .with("timeouts", std::uint64_t{result.timeouts});
+    }
+    obs::event_log().emit(std::move(event));
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/handshake.hpp"
 #include "core/jrsnd_node.hpp"
 #include "core/messages.hpp"
 #include "core/params.hpp"
@@ -37,6 +38,8 @@ struct DndpResult {
   std::uint32_t hellos_delivered = 0;  ///< copies of the HELLO B recovered
   std::uint32_t subsessions_completed = 0;
   bool mac_failure = false;  ///< a MAC failed verification (tampering)
+  std::uint32_t retransmissions = 0;  ///< retries spent across all sub-sessions
+  std::uint32_t timeouts = 0;         ///< attempt timeouts that expired
 };
 
 class DndpEngine {
@@ -44,7 +47,13 @@ class DndpEngine {
   /// `redundancy` mirrors the paper's x-fold sub-session design; disabling
   /// it reproduces the naive pick-one-code variant the "intelligent attack"
   /// of §V-B defeats (ablated in bench/ablation_redundancy).
-  DndpEngine(const Params& params, PhyModel& phy, bool redundancy = true);
+  ///
+  /// `retry_seed` seeds the backoff-jitter Rng (used only when
+  /// `params.retry` is enabled — the default policy makes the engine
+  /// bit-identical to the unhardened one). `clock`, when given, scales the
+  /// initiator's perceived timeouts by its local clock rate (fault layer).
+  DndpEngine(const Params& params, PhyModel& phy, bool redundancy = true,
+             std::uint64_t retry_seed = 0, const HandshakeClock* clock = nullptr);
 
   /// Runs the handshake with `a` as initiator. Updates both nodes' logical
   /// neighbor tables (and nothing else) on success.
@@ -59,12 +68,23 @@ class DndpEngine {
   };
   [[nodiscard]] std::optional<SubsessionOutcome> run_subsession(
       NodeState& a, NodeState& b, CodeId code, const BitVector& nonce_a,
-      const BitVector& nonce_b, DndpResult& result);
+      const BitVector& nonce_b, HandshakeStateMachine& hs, DndpResult& result);
+
+  /// One handshake message with the retry discipline: on transmission loss,
+  /// waits out the stage timeout, re-arms the sub-session's jamming fate
+  /// (each retransmission is a fresh radio event), and retransmits until
+  /// delivery or budget exhaustion. With retries disabled this is exactly
+  /// one `phy_.transmit` — no extra draws, no extra counters.
+  [[nodiscard]] std::optional<BitVector> transmit_with_retry(
+      HandshakeStateMachine& hs, NodeId a, NodeId b, CodeId code, NodeId from,
+      NodeId to, const TxCode& tx, TxClass cls, const BitVector& payload);
 
   const Params& params_;
   WireConfig wire_;
   PhyModel& phy_;
   bool redundancy_;
+  Rng retry_rng_;
+  const HandshakeClock* clock_;
 };
 
 }  // namespace jrsnd::core

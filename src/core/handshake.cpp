@@ -1,0 +1,94 @@
+#include "core/handshake.hpp"
+
+#include <algorithm>
+
+namespace jrsnd::core {
+
+double RetryPolicy::nominal_backoff_s(std::uint32_t retx) const noexcept {
+  if (retx == 0) return 0.0;
+  double backoff = backoff_base_s;
+  for (std::uint32_t i = 1; i < retx; ++i) {
+    backoff *= backoff_factor;
+    if (backoff >= backoff_max_s) break;
+  }
+  return std::min(backoff, backoff_max_s);
+}
+
+void RetryState::on_send() noexcept {
+  if (completed_ || exhausted_) return;
+  ++attempts_;
+}
+
+std::optional<Duration> RetryState::on_timeout() {
+  if (completed_ || exhausted_ || !policy_->enabled()) return std::nullopt;
+  if (retransmissions() >= policy_->max_retx) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  // Grant retransmission number retransmissions()+1; draw jitter only now,
+  // so exhausted/completed paths cost zero RNG draws.
+  const double nominal = policy_->nominal_backoff_s(retransmissions() + 1);
+  double factor = 1.0;
+  if (policy_->jitter > 0.0) {
+    factor += policy_->jitter * (2.0 * rng_->uniform01() - 1.0);
+  }
+  return Duration{std::max(0.0, nominal * factor)};
+}
+
+const char* handshake_stage_name(HandshakeStage stage) noexcept {
+  switch (stage) {
+    case HandshakeStage::Hello: return "hello";
+    case HandshakeStage::Confirm: return "confirm";
+    case HandshakeStage::Auth1: return "auth1";
+    case HandshakeStage::Auth2: return "auth2";
+    case HandshakeStage::Done: return "done";
+    case HandshakeStage::Failed: return "failed";
+  }
+  return "?";
+}
+
+HandshakeStateMachine::HandshakeStateMachine(const RetryPolicy& policy, Rng& rng,
+                                             double clock_rate) noexcept
+    : policy_(policy),
+      rng_(&rng),
+      clock_rate_(clock_rate > 0.0 ? clock_rate : 1.0),
+      retry_(policy_, rng) {}
+
+void HandshakeStateMachine::on_send() noexcept {
+  if (terminal()) return;
+  retry_.on_send();
+}
+
+void HandshakeStateMachine::on_delivered() noexcept {
+  if (terminal()) return;
+  retry_.on_delivered();
+  switch (stage_) {
+    case HandshakeStage::Hello: stage_ = HandshakeStage::Confirm; break;
+    case HandshakeStage::Confirm: stage_ = HandshakeStage::Auth1; break;
+    case HandshakeStage::Auth1: stage_ = HandshakeStage::Auth2; break;
+    case HandshakeStage::Auth2: stage_ = HandshakeStage::Done; break;
+    case HandshakeStage::Done:
+    case HandshakeStage::Failed: return;
+  }
+  if (stage_ != HandshakeStage::Done) {
+    retry_ = RetryState(policy_, *rng_);
+  }
+}
+
+std::optional<Duration> HandshakeStateMachine::on_timeout() {
+  if (terminal()) return std::nullopt;
+  ++timeouts_;
+  // A timeout means we waited one full timeout interval, measured on the
+  // local (possibly drifting) clock.
+  elapsed_ += Duration{policy_.timeout_s * clock_rate_};
+  auto backoff = retry_.on_timeout();
+  if (!backoff) {
+    stage_ = HandshakeStage::Failed;
+    return std::nullopt;
+  }
+  ++total_retransmissions_;
+  elapsed_ += *backoff;
+  return backoff;
+}
+
+}  // namespace jrsnd::core

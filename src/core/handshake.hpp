@@ -1,0 +1,138 @@
+// Handshake hardening: per-stage timeout, bounded retransmission, and seeded
+// exponential backoff with jitter.
+//
+// The paper's evaluation (§VI) treats a D-NDP handshake as one-shot: a single
+// jammed or dropped message kills the pair. AntiJam-style backoff discipline
+// (PAPERS.md) is what turns adversarial loss into graceful degradation, so the
+// hardened engines wrap every message exchange in a RetryState — and the
+// four-message D-NDP exchange in a HandshakeStateMachine that walks
+// Hello -> Confirm -> Auth1 -> Auth2 with a fresh retry budget per stage.
+//
+// Everything here is deterministic: backoff jitter draws from the Rng the
+// caller seeds, and a disabled policy (max_retx == 0, the default) makes no
+// draws at all — the engines behave bit-identically to the unhardened code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace jrsnd::core {
+
+/// Retry/timeout/backoff knobs for one protocol message stage. The default
+/// (max_retx == 0) reproduces the paper's one-shot semantics exactly.
+struct RetryPolicy {
+  std::uint32_t max_retx = 0;    ///< retransmissions allowed beyond the first send
+  double timeout_s = 0.05;       ///< per-attempt response timeout (nominal clock)
+  double backoff_base_s = 0.02;  ///< backoff before the first retransmission
+  double backoff_factor = 2.0;   ///< exponential growth per retransmission
+  double backoff_max_s = 1.0;    ///< backoff cap
+  double jitter = 0.1;           ///< +- fraction randomizing each backoff
+
+  [[nodiscard]] bool enabled() const noexcept { return max_retx > 0; }
+
+  /// Nominal (jitter-free) backoff before retransmission `retx` (1-based).
+  [[nodiscard]] double nominal_backoff_s(std::uint32_t retx) const noexcept;
+};
+
+/// Maps a node to its local clock rate (1.0 = nominal). Implemented by the
+/// fault layer's ClockModel; a drifting clock mis-measures its timeouts.
+class HandshakeClock {
+ public:
+  virtual ~HandshakeClock() = default;
+  [[nodiscard]] virtual double rate(NodeId node) const = 0;
+};
+
+/// Retry bookkeeping for one message stage. Invariants (pinned by the
+/// property suite in tests/core_handshake_retry_test.cpp):
+///   * retransmissions() <= policy.max_retx, always;
+///   * nominal backoff is monotone non-decreasing and capped, and the
+///     jittered value stays within [1-jitter, 1+jitter] x nominal;
+///   * after on_delivered(), on_timeout() returns nullopt and draws nothing.
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, Rng& rng) noexcept
+      : policy_(&policy), rng_(&rng) {}
+
+  /// Records a transmission attempt (first send and every retransmission).
+  void on_send() noexcept;
+
+  /// The attempt's response arrived; the stage is complete.
+  void on_delivered() noexcept { completed_ = true; }
+
+  /// The attempt's timeout expired. Returns the backoff to wait before the
+  /// next retransmission, or nullopt when the stage is complete, the budget
+  /// is exhausted, or the policy is disabled. Draws jitter only when a
+  /// retransmission is actually granted.
+  [[nodiscard]] std::optional<Duration> on_timeout();
+
+  [[nodiscard]] std::uint32_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint32_t retransmissions() const noexcept {
+    return attempts_ > 0 ? attempts_ - 1 : 0;
+  }
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+ private:
+  const RetryPolicy* policy_;
+  Rng* rng_;
+  std::uint32_t attempts_ = 0;
+  bool completed_ = false;
+  bool exhausted_ = false;
+};
+
+/// The four paper-faithful D-NDP stages plus the two terminal states.
+enum class HandshakeStage : std::uint8_t { Hello, Confirm, Auth1, Auth2, Done, Failed };
+
+[[nodiscard]] const char* handshake_stage_name(HandshakeStage stage) noexcept;
+
+/// Per-pair (per-sub-session) handshake driver: one RetryState per stage,
+/// stages advance on delivery, any exhausted stage fails the whole
+/// handshake. Also accounts the virtual time the retry discipline costs
+/// (timeouts measured on the initiator's possibly-drifting clock, plus
+/// backoffs), which the latency model can fold in.
+class HandshakeStateMachine {
+ public:
+  /// `clock_rate` scales perceived timeouts (fault-layer clock drift).
+  HandshakeStateMachine(const RetryPolicy& policy, Rng& rng,
+                        double clock_rate = 1.0) noexcept;
+
+  [[nodiscard]] HandshakeStage stage() const noexcept { return stage_; }
+  [[nodiscard]] bool done() const noexcept { return stage_ == HandshakeStage::Done; }
+  [[nodiscard]] bool failed() const noexcept { return stage_ == HandshakeStage::Failed; }
+  [[nodiscard]] bool terminal() const noexcept { return done() || failed(); }
+
+  /// Records a send of the current stage's message. No-op once terminal.
+  void on_send() noexcept;
+
+  /// Current stage delivered; advances to the next stage (or Done).
+  void on_delivered() noexcept;
+
+  /// Current attempt timed out. Returns the backoff granted before the next
+  /// retransmission; nullopt transitions the machine to Failed (budget
+  /// exhausted) or reports an already-terminal machine without drawing.
+  [[nodiscard]] std::optional<Duration> on_timeout();
+
+  /// Total retransmissions across completed and current stages.
+  [[nodiscard]] std::uint32_t retransmissions() const noexcept {
+    return total_retransmissions_;
+  }
+  /// Timeouts that expired (each failed attempt costs one).
+  [[nodiscard]] std::uint32_t timeouts() const noexcept { return timeouts_; }
+  /// Virtual time spent waiting: expired timeouts (local clock) + backoffs.
+  [[nodiscard]] Duration elapsed() const noexcept { return elapsed_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng* rng_;
+  double clock_rate_;
+  HandshakeStage stage_ = HandshakeStage::Hello;
+  RetryState retry_;
+  std::uint32_t total_retransmissions_ = 0;
+  std::uint32_t timeouts_ = 0;
+  Duration elapsed_{0.0};
+};
+
+}  // namespace jrsnd::core

@@ -21,12 +21,14 @@ std::uint64_t request_key(NodeId source, const BitVector& nonce) {
 }  // namespace
 
 MndpEngine::MndpEngine(const Params& params, PhyModel& phy, const sim::Topology& topology,
-                       std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter)
+                       std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter,
+                       std::uint64_t retry_seed)
     : params_(params),
       phy_(phy),
       topology_(topology),
       oracle_(std::move(oracle)),
-      gps_filter_(gps_filter) {
+      gps_filter_(gps_filter),
+      retry_rng_(retry_seed ^ 0xA24BAED4963EE407ULL) {
   wire_.l_t = params.l_t;
   wire_.l_id = params.l_id;
   wire_.l_n = params.l_n;
@@ -35,13 +37,41 @@ MndpEngine::MndpEngine(const Params& params, PhyModel& phy, const sim::Topology&
   wire_.l_sig = params.l_sig;
 }
 
+std::optional<BitVector> MndpEngine::transmit_with_retry(NodeId from, NodeId to,
+                                                         const TxCode& code, TxClass cls,
+                                                         const BitVector& payload,
+                                                         MndpStats& stats) {
+  auto rx = phy_.transmit(from, to, code, cls, payload);
+  if (rx || !params_.retry.enabled()) return rx;
+  RetryState retry(params_.retry, retry_rng_);
+  retry.on_send();  // the first, already-failed attempt
+  while (true) {
+    ++stats.timeouts;
+    JRSND_COUNT("mndp.timeout.expired");
+    const auto backoff = retry.on_timeout();
+    if (!backoff) {
+      JRSND_COUNT("mndp.timeout.exhausted");
+      return std::nullopt;
+    }
+    ++stats.retransmissions;
+    JRSND_COUNT("mndp.retx.attempts");
+    retry.on_send();
+    rx = phy_.transmit(from, to, code, cls, payload);
+    if (rx) {
+      JRSND_COUNT("mndp.retx.recovered");
+      return rx;
+    }
+  }
+}
+
 std::optional<BitVector> MndpEngine::session_unicast(NodeState& from, NodeState& to,
-                                                     const BitVector& payload, TxClass cls) {
+                                                     const BitVector& payload, TxClass cls,
+                                                     MndpStats& stats) {
   const LogicalNeighbor* link = from.neighbor(to.id());
   if (link == nullptr) return std::nullopt;
   const dsss::SpreadCode pattern(link->session_code);
   const TxCode code{kInvalidCode, &pattern};
-  return phy_.transmit(from.id(), to.id(), code, cls, payload);
+  return transmit_with_retry(from.id(), to.id(), code, cls, payload, stats);
 }
 
 bool MndpEngine::verify_request(const MndpRequest& req, MndpStats& stats) const {
@@ -113,7 +143,7 @@ MndpStats MndpEngine::initiate(NodeState& initiator, std::span<NodeState> nodes)
   for (const NodeId peer : logical) {
     ++stats.requests_sent;
     NodeState& target = nodes[raw(peer)];
-    const auto rx = session_unicast(initiator, target, encoded, TxClass::SessionUnicast);
+    const auto rx = session_unicast(initiator, target, encoded, TxClass::SessionUnicast, stats);
     if (!rx) continue;
     auto decoded = MndpRequest::decode(*rx, wire_);
     if (!decoded) continue;
@@ -209,7 +239,7 @@ void MndpEngine::process_request(PendingRequest&& item, std::span<NodeState> nod
     if (covered.contains(next)) continue;
     ++stats.requests_sent;
     NodeState& target = nodes[raw(next)];
-    const auto rx = session_unicast(holder, target, encoded, TxClass::SessionUnicast);
+    const auto rx = session_unicast(holder, target, encoded, TxClass::SessionUnicast, stats);
     if (!rx) continue;
     auto decoded = MndpRequest::decode(*rx, wire_);
     if (!decoded) continue;
@@ -248,7 +278,7 @@ void MndpEngine::respond(NodeState& responder, const MndpRequest& req, NodeId re
   for (std::size_t leg = 0; leg < reverse_path.size(); ++leg) {
     NodeState& next = nodes[raw(reverse_path[leg])];
     const auto rx = session_unicast(*carrier, next, current.encode(wire_),
-                                    TxClass::SessionUnicast);
+                                    TxClass::SessionUnicast, stats);
     if (!rx) return;  // reverse link lost (e.g. mobility); response dies
     auto decoded = MndpResponse::decode(*rx, wire_);
     if (!decoded) return;
@@ -289,15 +319,15 @@ void MndpEngine::respond(NodeState& responder, const MndpRequest& req, NodeId re
   const TxCode session_tx{kInvalidCode, &session_pattern};
 
   const HelloMessage hello{responder.id()};
-  const auto hello_rx = phy_.transmit(responder.id(), source.id(), session_tx,
-                                      TxClass::SessionHello, hello.encode(wire_));
+  const auto hello_rx = transmit_with_retry(responder.id(), source.id(), session_tx,
+                                            TxClass::SessionHello, hello.encode(wire_), stats);
   if (!hello_rx || !HelloMessage::decode(*hello_rx, wire_)) return;
 
   // A accepts B and confirms; on receipt B accepts A.
   source.add_logical_neighbor(responder.id(), LogicalNeighbor{key_ab, session_ab, true});
   const ConfirmMessage confirm{source.id()};
-  const auto confirm_rx = phy_.transmit(source.id(), responder.id(), session_tx,
-                                        TxClass::SessionConfirm, confirm.encode(wire_));
+  const auto confirm_rx = transmit_with_retry(source.id(), responder.id(), session_tx,
+                                              TxClass::SessionConfirm, confirm.encode(wire_), stats);
   if (confirm_rx && ConfirmMessage::decode(*confirm_rx, wire_)) {
     responder.add_logical_neighbor(source.id(), LogicalNeighbor{key_ba, session_ba, true});
     ++stats.discoveries;
@@ -321,6 +351,8 @@ MndpStats MndpEngine::run_round(std::span<NodeState> nodes, Rng& rng) {
     total.discoveries += stats.discoveries;
     total.false_positive_responses += stats.false_positive_responses;
     total.max_hops_seen = std::max(total.max_hops_seen, stats.max_hops_seen);
+    total.retransmissions += stats.retransmissions;
+    total.timeouts += stats.timeouts;
   }
   return total;
 }

@@ -47,6 +47,8 @@ struct MndpStats {
   std::uint64_t discoveries = 0;           ///< new logical pairs completed
   std::uint64_t false_positive_responses = 0;  ///< responses for non-physical sources
   std::uint32_t max_hops_seen = 0;
+  std::uint64_t retransmissions = 0;  ///< relay/completion retries spent
+  std::uint64_t timeouts = 0;         ///< attempt timeouts that expired
 };
 
 class MndpEngine {
@@ -54,8 +56,12 @@ class MndpEngine {
   /// `nodes` must be indexable by raw NodeId. `topology` supplies physical
   /// adjacency (the final session-code HELLO only crosses real links) and
   /// positions for the GPS filter.
+  /// `retry_seed` seeds the backoff-jitter Rng for the drop-tolerant retry
+  /// budget (active only when `params.retry` is enabled; the default policy
+  /// keeps the engine bit-identical to the unhardened one).
   MndpEngine(const Params& params, PhyModel& phy, const sim::Topology& topology,
-             std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter = false);
+             std::shared_ptr<const crypto::PairingOracle> oracle, bool gps_filter = false,
+             std::uint64_t retry_seed = 0);
 
   /// Runs one full initiation from `initiator` to quiescence (the request
   /// flood, all responses, and all completion handshakes). Updates logical
@@ -93,8 +99,18 @@ class MndpEngine {
                std::span<NodeState> nodes, MndpStats& stats);
 
   /// Unicast over an established session link; returns the received bits.
+  /// Applies the drop-tolerant retry budget when `params.retry` is enabled.
   [[nodiscard]] std::optional<BitVector> session_unicast(NodeState& from, NodeState& to,
-                                                         const BitVector& payload, TxClass cls);
+                                                         const BitVector& payload, TxClass cls,
+                                                         MndpStats& stats);
+
+  /// One transmission with the retry budget. Session-class transmissions
+  /// draw a fresh jamming fate per message, so a retransmission needs no
+  /// re-arm. With retries disabled this is exactly one `phy_.transmit`.
+  [[nodiscard]] std::optional<BitVector> transmit_with_retry(NodeId from, NodeId to,
+                                                             const TxCode& code, TxClass cls,
+                                                             const BitVector& payload,
+                                                             MndpStats& stats);
 
   const Params& params_;
   WireConfig wire_;
@@ -102,6 +118,7 @@ class MndpEngine {
   const sim::Topology& topology_;
   std::shared_ptr<const crypto::PairingOracle> oracle_;
   bool gps_filter_;
+  Rng retry_rng_;
 
   /// Dedup: request keys (source, nonce) each node has already processed.
   std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;

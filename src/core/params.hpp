@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "core/handshake.hpp"
 #include "dsss/timing.hpp"
 #include "predist/authority.hpp"
 
@@ -32,6 +33,11 @@ struct Params {
   std::uint32_t gamma = 10;   ///< DoS revocation threshold
   /// Parallel receive/correlation chains (paper future work; 1 = paper).
   std::uint32_t rx_chains = 1;
+
+  /// Handshake retry/timeout/backoff discipline (robustness extension; the
+  /// default disabled policy reproduces the paper's one-shot handshakes
+  /// bit-for-bit — see docs/robustness.md).
+  RetryPolicy retry;
 
   // --- message field lengths (bits) ------------------------------------
   std::uint32_t l_t = 5;      ///< message-type identifier

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/abstract_phy.hpp"
+#include "fault/faulty_phy.hpp"
 #include "sim/topology.hpp"
 
 namespace jrsnd::core {
@@ -56,7 +57,10 @@ void PeriodicDiscoveryRunner::expire_links(const sim::Topology& topology, TimePo
       if (topology.are_neighbors(a, b)) continue;  // still in contact
       const auto it = last_contact_.find(pair_key(a, b));
       const TimePoint last = it == last_contact_.end() ? now : it->second;
-      if (now - last >= config_.link_timeout) {
+      // Strictly greater: a link whose silence equals the threshold exactly
+      // is still live this tick, so a same-tick rediscovery cannot count the
+      // pair as both expired and discovered in one epoch report.
+      if (now - last > config_.link_timeout) {
         nodes_[raw(a)].remove_logical_neighbor(b);
         nodes_[raw(b)].remove_logical_neighbor(a);
         last_contact_.erase(pair_key(a, b));
@@ -84,8 +88,24 @@ std::vector<PeriodicDiscoveryRunner::EpochReport> PeriodicDiscoveryRunner::run()
     refresh_contacts(topology, start);
 
     AbstractPhy phy(topology, *jammer_, phy_rng);
-    DndpEngine dndp(config_.params, phy);
-    MndpEngine mndp(config_.params, phy, topology, ibc_.oracle(), config_.gps_filter);
+
+    // Optional fault layer: the queue's step hook keeps its clock (and so
+    // the crash schedule) in lockstep with simulated time for this epoch.
+    std::optional<fault::FaultyPhy> faulty;
+    PhyModel* active_phy = &phy;
+    const HandshakeClock* hs_clock = nullptr;
+    if (config_.faults.has_value()) {
+      faulty.emplace(phy, *config_.faults, config_.seed + epoch);
+      faulty->set_now(start);
+      active_phy = &*faulty;
+      hs_clock = &faulty->clocks();
+      queue_.set_step_hook([f = &*faulty](TimePoint t) { f->set_now(t); });
+    }
+
+    DndpEngine dndp(config_.params, *active_phy, /*redundancy=*/true,
+                    config_.seed + epoch, hs_clock);
+    MndpEngine mndp(config_.params, *active_phy, topology, ibc_.oracle(),
+                    config_.gps_filter, config_.seed + epoch);
 
     // Each node initiates D-NDP once, at a random instant of the interval
     // (paper §V-B); M-NDP initiations ride the interval's fresh links, so
@@ -114,10 +134,14 @@ std::vector<PeriodicDiscoveryRunner::EpochReport> PeriodicDiscoveryRunner::run()
         report.mndp.discoveries += stats.discoveries;
         report.mndp.false_positive_responses += stats.false_positive_responses;
         report.mndp.max_hops_seen = std::max(report.mndp.max_hops_seen, stats.max_hops_seen);
+        report.mndp.retransmissions += stats.retransmissions;
+        report.mndp.timeouts += stats.timeouts;
       });
     }
 
     queue_.run_until(start + config_.interval);
+    // The fault layer (if any) dies with this epoch; drop the hook first.
+    if (faulty.has_value()) queue_.set_step_hook(nullptr);
 
     for (const auto& [a, b] : topology.pairs()) {
       report.logical_pairs += nodes_[raw(a)].knows(b) && nodes_[raw(b)].knows(a);

@@ -23,6 +23,7 @@
 #include "core/dndp.hpp"
 #include "core/mndp.hpp"
 #include "core/params.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mobility.hpp"
 
@@ -37,6 +38,10 @@ class PeriodicDiscoveryRunner {
     std::uint32_t epochs = 5;
     bool gps_filter = true;
     std::uint64_t seed = 1;
+    /// When set, the PHY is wrapped in a FaultyPhy applying this plan; the
+    /// event queue's step hook keeps the fault clock (crash windows) in
+    /// lockstep with simulated time.
+    std::optional<fault::FaultPlan> faults;
   };
 
   struct EpochReport {

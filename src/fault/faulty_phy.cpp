@@ -1,0 +1,115 @@
+#include "fault/faulty_phy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jrsnd::fault {
+
+namespace {
+
+/// Fault stream seed: pure function of (plan seed, run salt), deliberately
+/// NOT split from the run's root Rng so an inactive plan leaves every
+/// existing draw sequence untouched.
+std::uint64_t fault_seed(std::uint64_t plan_seed, std::uint64_t run_salt) noexcept {
+  std::uint64_t state = plan_seed ^ 0xF4A7C15A0D9E3779ULL;
+  const std::uint64_t a = splitmix64(state);
+  state ^= run_salt;
+  return a ^ splitmix64(state);
+}
+
+}  // namespace
+
+FaultyPhy::FaultyPhy(core::PhyModel& inner, const FaultPlan& plan,
+                     std::uint64_t run_salt)
+    : inner_(inner),
+      plan_(plan),
+      clocks_(plan),
+      rng_(fault_seed(plan.seed, run_salt)) {}
+
+void FaultyPhy::begin_subsession(NodeId a, NodeId b, CodeId code) {
+  inner_.begin_subsession(a, b, code);
+}
+
+bool FaultyPhy::is_down(NodeId node) const noexcept {
+  for (const auto& c : plan_.crashes) {
+    if (c.node == node && c.covers(now_)) return true;
+  }
+  return false;
+}
+
+BitVector FaultyPhy::corrupt(BitVector bits) {
+  if (bits.size() == 0) return bits;
+  // Chip-burst model: flip a contiguous run starting at a random offset,
+  // clamped at the end of the message.
+  const std::size_t start = static_cast<std::size_t>(rng_.uniform(bits.size()));
+  const std::size_t end = std::min<std::size_t>(bits.size(), start + plan_.corrupt_bits);
+  for (std::size_t i = start; i < end; ++i) bits.flip(i);
+  return bits;
+}
+
+std::optional<BitVector> FaultyPhy::transmit(NodeId from, NodeId to,
+                                             core::TxCode code, core::TxClass cls,
+                                             const BitVector& payload) {
+  if (plan_.auto_tick > 0.0) now_ = now_ + Duration{plan_.auto_tick};
+
+  if (!plan_.crashes.empty() && (is_down(from) || is_down(to))) {
+    // A down endpoint neither transmits nor receives; the inner PHY (and its
+    // RNG) never sees the attempt.
+    ++totals_.crash_blocked;
+    JRSND_COUNT("fault.injected.crash_blocked");
+    return std::nullopt;
+  }
+
+  auto delivered = inner_.transmit(from, to, code, cls, payload);
+  if (!delivered) return std::nullopt;
+  BitVector bits = std::move(*delivered);
+
+  // Faults apply only to messages the channel actually delivered, so the
+  // drop probability composes cleanly with the Theorem-1 jamming model.
+  // Each gate draws only when its probability is non-zero: an inactive plan
+  // makes zero draws and is a byte-for-byte pass-through.
+  if (plan_.drop > 0.0 && rng_.bernoulli(plan_.drop)) {
+    ++totals_.dropped;
+    JRSND_COUNT("fault.injected.drop");
+    return std::nullopt;
+  }
+  if (plan_.corrupt > 0.0 && rng_.bernoulli(plan_.corrupt)) {
+    bits = corrupt(std::move(bits));
+    ++totals_.corrupted;
+    JRSND_COUNT("fault.injected.corrupt");
+  }
+  if (plan_.truncate > 0.0 && bits.size() > 0 && rng_.bernoulli(plan_.truncate)) {
+    bits.truncate(static_cast<std::size_t>(rng_.uniform(bits.size())));
+    ++totals_.truncated;
+    JRSND_COUNT("fault.injected.truncate");
+  }
+
+  if (plan_.reorder > 0.0 || plan_.duplicate > 0.0) {
+    const LinkKey key{from, to};
+    if (auto it = held_.find(key); it != held_.end()) {
+      // A parked message is waiting on this link: it arrives now and the
+      // current one parks in its place (the swap that realizes reordering,
+      // or the stale replay that realizes duplication).
+      std::swap(it->second, bits);
+      return bits;
+    }
+    if (plan_.reorder > 0.0 && rng_.bernoulli(plan_.reorder)) {
+      // Delay this message past its slot; the next transmission on the link
+      // pops it. If the link stays silent it is effectively lost.
+      held_.emplace(key, std::move(bits));
+      ++totals_.reordered;
+      JRSND_COUNT("fault.injected.reorder");
+      return std::nullopt;
+    }
+    if (plan_.duplicate > 0.0 && rng_.bernoulli(plan_.duplicate)) {
+      held_.emplace(key, bits);
+      ++totals_.duplicated;
+      JRSND_COUNT("fault.injected.duplicate");
+    }
+  }
+  return bits;
+}
+
+}  // namespace jrsnd::fault

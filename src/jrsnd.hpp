@@ -69,12 +69,17 @@
 #include "adversary/dos_attacker.hpp"
 #include "adversary/jammer.hpp"
 
+// fault
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_phy.hpp"
+
 // core
 #include "core/abstract_phy.hpp"
 #include "core/analysis.hpp"
 #include "core/chip_phy.hpp"
 #include "core/discovery_sim.hpp"
 #include "core/dndp.hpp"
+#include "core/handshake.hpp"
 #include "core/jrsnd_node.hpp"
 #include "core/latency.hpp"
 #include "core/messages.hpp"

@@ -392,6 +392,13 @@ void preregister_core_metrics() {
            "mndp.initiations", "mndp.requests_sent", "mndp.responses_sent",
            "mndp.sig_verifications", "mndp.sigs_created", "mndp.requests_dropped",
            "mndp.discoveries", "mndp.false_positive_responses",
+           "dndp.retx.attempts", "dndp.retx.recovered",
+           "dndp.timeout.expired", "dndp.timeout.exhausted",
+           "mndp.retx.attempts", "mndp.retx.recovered",
+           "mndp.timeout.expired", "mndp.timeout.exhausted",
+           "fault.injected.drop", "fault.injected.duplicate",
+           "fault.injected.reorder", "fault.injected.corrupt",
+           "fault.injected.truncate", "fault.injected.crash_blocked",
            "dsss.sync.scans", "dsss.sync.hits", "dsss.sync.misses",
            "dsss.sync.windows_below_tau", "dsss.correlator.profile_evals",
            "dsss.correlator.cross_evals",

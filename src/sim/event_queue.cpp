@@ -55,6 +55,7 @@ bool EventQueue::step() {
   if (!pop_next(entry)) return false;
   --live_count_;
   assert(entry.when >= now_);
+  if (step_hook_ && entry.when != now_) step_hook_(entry.when);
   now_ = entry.when;
   JRSND_COUNT("sim.events.processed");
   // Publish the queue clock so trace events carry simulated seconds.
@@ -81,7 +82,10 @@ std::uint64_t EventQueue::run_until(TimePoint until) {
     step();
     ++executed;
   }
-  if (now_ < until) now_ = until;
+  if (now_ < until) {
+    if (step_hook_) step_hook_(until);
+    now_ = until;
+  }
   return executed;
 }
 

@@ -54,6 +54,14 @@ class EventQueue {
 
   [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
 
+  /// Installs a hook invoked every time the queue clock advances, with the
+  /// new time — before the event at that time runs. Fault layers use it to
+  /// keep time-driven schedules (crash windows) in lockstep with the
+  /// simulation; pass nullptr to remove.
+  void set_step_hook(std::function<void(TimePoint)> hook) {
+    step_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     TimePoint when;
@@ -70,6 +78,7 @@ class EventQueue {
 
   [[nodiscard]] bool pop_next(Entry& out);
 
+  std::function<void(TimePoint)> step_hook_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventHandle> cancelled_;  // tombstones for lazy deletion
   TimePoint now_{0.0};

@@ -1,0 +1,252 @@
+// Property suite for the retry/timeout/backoff discipline. The invariants
+// here are what make the hardened engines safe to enable: budgets are never
+// exceeded, backoff grows monotonically under its cap, jitter stays in its
+// band, and a disabled policy (the default) makes zero Rng draws — the
+// bit-identity guarantee the fault-injection tests lean on.
+#include "core/handshake.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace jrsnd::core {
+namespace {
+
+RetryPolicy test_policy(std::uint32_t max_retx) {
+  RetryPolicy p;
+  p.max_retx = max_retx;
+  p.timeout_s = 0.05;
+  p.backoff_base_s = 0.02;
+  p.backoff_factor = 2.0;
+  p.backoff_max_s = 0.1;
+  p.jitter = 0.1;
+  return p;
+}
+
+/// True when `used` has consumed no draws relative to a same-seed twin.
+bool streams_aligned(Rng& used, std::uint64_t seed) {
+  Rng twin(seed);
+  return used.next() == twin.next();
+}
+
+TEST(RetryPolicy, DisabledByDefault) {
+  EXPECT_FALSE(RetryPolicy{}.enabled());
+  EXPECT_TRUE(test_policy(1).enabled());
+}
+
+TEST(RetryPolicy, NominalBackoffIsMonotoneAndCapped) {
+  const RetryPolicy p = test_policy(10);
+  double prev = 0.0;
+  for (std::uint32_t retx = 1; retx <= 10; ++retx) {
+    const double b = p.nominal_backoff_s(retx);
+    EXPECT_GE(b, prev) << "retx " << retx;
+    EXPECT_LE(b, p.backoff_max_s) << "retx " << retx;
+    prev = b;
+  }
+  EXPECT_DOUBLE_EQ(p.nominal_backoff_s(1), 0.02);
+  EXPECT_DOUBLE_EQ(p.nominal_backoff_s(2), 0.04);
+  EXPECT_DOUBLE_EQ(p.nominal_backoff_s(3), 0.08);
+  EXPECT_DOUBLE_EQ(p.nominal_backoff_s(4), 0.1);  // capped, not 0.16
+  EXPECT_DOUBLE_EQ(p.nominal_backoff_s(9), 0.1);
+}
+
+TEST(RetryState, NeverExceedsTheBudget) {
+  for (std::uint32_t budget = 0; budget <= 5; ++budget) {
+    const RetryPolicy p = test_policy(budget);
+    Rng rng(1);
+    RetryState state(p, rng);
+    state.on_send();
+    // Hammer timeouts far past the budget; grants must stop exactly at it.
+    for (int i = 0; i < 20; ++i) {
+      const auto backoff = state.on_timeout();
+      if (backoff.has_value()) state.on_send();
+      EXPECT_LE(state.retransmissions(), budget);
+    }
+    EXPECT_EQ(state.retransmissions(), budget);
+    EXPECT_TRUE(budget == 0 || state.exhausted());
+  }
+}
+
+TEST(RetryState, JitteredBackoffStaysInItsBand) {
+  const RetryPolicy p = test_policy(8);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    RetryState state(p, rng);
+    state.on_send();
+    for (std::uint32_t retx = 1; retx <= p.max_retx; ++retx) {
+      const auto backoff = state.on_timeout();
+      ASSERT_TRUE(backoff.has_value());
+      state.on_send();
+      const double nominal = p.nominal_backoff_s(retx);
+      EXPECT_GE(backoff->seconds(), nominal * (1.0 - p.jitter)) << seed << ":" << retx;
+      EXPECT_LE(backoff->seconds(), nominal * (1.0 + p.jitter)) << seed << ":" << retx;
+    }
+  }
+}
+
+TEST(RetryState, NoDrawsAfterCompletion) {
+  const RetryPolicy p = test_policy(5);
+  Rng rng(123);
+  RetryState state(p, rng);
+  state.on_send();
+  state.on_delivered();
+  // A completed stage must grant nothing and touch no randomness.
+  EXPECT_FALSE(state.on_timeout().has_value());
+  EXPECT_FALSE(state.on_timeout().has_value());
+  EXPECT_EQ(state.retransmissions(), 0u);
+  EXPECT_TRUE(streams_aligned(rng, 123));
+}
+
+TEST(RetryState, NoDrawsAfterExhaustion) {
+  const RetryPolicy p = test_policy(2);
+  Rng rng(7);
+  RetryState state(p, rng);
+  state.on_send();
+  ASSERT_TRUE(state.on_timeout().has_value());  // retx 1 (one draw)
+  state.on_send();
+  ASSERT_TRUE(state.on_timeout().has_value());  // retx 2 (one draw)
+  state.on_send();
+  EXPECT_FALSE(state.on_timeout().has_value());  // budget gone, no draw
+  EXPECT_TRUE(state.exhausted());
+  EXPECT_FALSE(state.on_timeout().has_value());
+
+  // Exactly two jitter draws happened: a twin that makes the same two
+  // uniform01 draws is still aligned with our stream.
+  Rng twin(7);
+  (void)twin.uniform01();
+  (void)twin.uniform01();
+  EXPECT_EQ(rng.next(), twin.next());
+}
+
+TEST(RetryState, DisabledPolicyMakesZeroDraws) {
+  const RetryPolicy p;  // max_retx == 0
+  Rng rng(99);
+  RetryState state(p, rng);
+  state.on_send();
+  EXPECT_FALSE(state.on_timeout().has_value());
+  EXPECT_TRUE(streams_aligned(rng, 99));
+}
+
+TEST(HandshakeStage, NamesAreStable) {
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Hello), "hello");
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Confirm), "confirm");
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Auth1), "auth1");
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Auth2), "auth2");
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Done), "done");
+  EXPECT_STREQ(handshake_stage_name(HandshakeStage::Failed), "failed");
+}
+
+TEST(HandshakeStateMachine, CleanRunWalksAllFourStages) {
+  const RetryPolicy p = test_policy(3);
+  Rng rng(1);
+  HandshakeStateMachine hs(p, rng);
+  EXPECT_EQ(hs.stage(), HandshakeStage::Hello);
+  for (const HandshakeStage next :
+       {HandshakeStage::Confirm, HandshakeStage::Auth1, HandshakeStage::Auth2,
+        HandshakeStage::Done}) {
+    EXPECT_FALSE(hs.terminal());
+    hs.on_send();
+    hs.on_delivered();
+    EXPECT_EQ(hs.stage(), next);
+  }
+  EXPECT_TRUE(hs.done());
+  EXPECT_FALSE(hs.failed());
+  EXPECT_EQ(hs.retransmissions(), 0u);
+  EXPECT_EQ(hs.timeouts(), 0u);
+  EXPECT_EQ(hs.elapsed().seconds(), 0.0);
+  EXPECT_TRUE(streams_aligned(rng, 1));  // clean run draws nothing
+}
+
+TEST(HandshakeStateMachine, EachStageGetsAFreshBudget) {
+  const RetryPolicy p = test_policy(2);
+  Rng rng(2);
+  HandshakeStateMachine hs(p, rng);
+  std::uint32_t total = 0;
+  // Burn the full budget on every stage, then deliver; 4 stages x 2 retx.
+  for (int stage = 0; stage < 4; ++stage) {
+    hs.on_send();
+    for (std::uint32_t r = 0; r < p.max_retx; ++r) {
+      const auto backoff = hs.on_timeout();
+      ASSERT_TRUE(backoff.has_value()) << "stage " << stage << " retx " << r;
+      hs.on_send();
+      ++total;
+    }
+    hs.on_delivered();
+  }
+  EXPECT_TRUE(hs.done());
+  EXPECT_EQ(hs.retransmissions(), total);
+  EXPECT_EQ(hs.retransmissions(), 4 * p.max_retx);
+  EXPECT_EQ(hs.timeouts(), 4 * p.max_retx);
+}
+
+TEST(HandshakeStateMachine, ExhaustedStageFailsTheHandshake) {
+  const RetryPolicy p = test_policy(1);
+  Rng rng(3);
+  HandshakeStateMachine hs(p, rng);
+  hs.on_send();
+  hs.on_delivered();  // Hello -> Confirm
+  hs.on_send();
+  ASSERT_TRUE(hs.on_timeout().has_value());  // retx 1 granted
+  hs.on_send();
+  EXPECT_FALSE(hs.on_timeout().has_value());  // budget gone
+  EXPECT_TRUE(hs.failed());
+  EXPECT_TRUE(hs.terminal());
+  // Terminal machines ignore further events and make no draws.
+  Rng before = rng;
+  hs.on_send();
+  hs.on_delivered();
+  EXPECT_FALSE(hs.on_timeout().has_value());
+  EXPECT_TRUE(hs.failed());
+  EXPECT_EQ(rng.next(), before.next());
+}
+
+TEST(HandshakeStateMachine, ElapsedAccountsTimeoutsAndBackoffs) {
+  const RetryPolicy p = test_policy(3);
+  Rng rng(4);
+  HandshakeStateMachine hs(p, rng);
+  hs.on_send();
+  const auto backoff = hs.on_timeout();
+  ASSERT_TRUE(backoff.has_value());
+  EXPECT_DOUBLE_EQ(hs.elapsed().seconds(), p.timeout_s + backoff->seconds());
+  EXPECT_EQ(hs.timeouts(), 1u);
+}
+
+TEST(HandshakeStateMachine, DriftingClockScalesPerceivedTimeouts) {
+  const RetryPolicy p = test_policy(3);
+  Rng slow_rng(5), fast_rng(5);
+  HandshakeStateMachine slow(p, slow_rng, /*clock_rate=*/0.5);
+  HandshakeStateMachine fast(p, fast_rng, /*clock_rate=*/2.0);
+  slow.on_send();
+  fast.on_send();
+  const auto b_slow = slow.on_timeout();
+  const auto b_fast = fast.on_timeout();
+  ASSERT_TRUE(b_slow.has_value());
+  ASSERT_TRUE(b_fast.has_value());
+  // Same seed, same jitter draw -> identical backoffs; only the timeout
+  // portion of elapsed() scales with the local clock rate.
+  EXPECT_DOUBLE_EQ(b_slow->seconds(), b_fast->seconds());
+  EXPECT_DOUBLE_EQ(slow.elapsed().seconds(), p.timeout_s * 0.5 + b_slow->seconds());
+  EXPECT_DOUBLE_EQ(fast.elapsed().seconds(), p.timeout_s * 2.0 + b_fast->seconds());
+}
+
+TEST(HandshakeStateMachine, DeterministicAcrossIdenticalRuns) {
+  const RetryPolicy p = test_policy(4);
+  auto run = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    HandshakeStateMachine hs(p, rng);
+    std::vector<double> backoffs;
+    hs.on_send();
+    while (!hs.terminal()) {
+      const auto b = hs.on_timeout();
+      if (!b.has_value()) break;
+      backoffs.push_back(b->seconds());
+      hs.on_send();
+    }
+    return backoffs;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // jitter actually depends on the seed
+}
+
+}  // namespace
+}  // namespace jrsnd::core

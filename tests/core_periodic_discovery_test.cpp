@@ -87,6 +87,60 @@ TEST(PeriodicDiscovery, MndpContributesDiscoveries) {
   EXPECT_GT(mndp_discoveries, 0u);
 }
 
+/// Two nodes on a script: adjacent until `apart_from`, then far apart.
+class TwoNodeScript final : public sim::MobilityModel {
+ public:
+  explicit TwoNodeScript(TimePoint apart_from) : apart_from_(apart_from) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept override { return 2; }
+
+  [[nodiscard]] sim::Position position(NodeId node, TimePoint t) const override {
+    if (raw(node) == 0) return {0.0, 0.0};
+    return t < apart_from_ ? sim::Position{10.0, 0.0} : sim::Position{1900.0, 0.0};
+  }
+
+ private:
+  TimePoint apart_from_;
+};
+
+TEST(PeriodicDiscovery, LinkExpiryBoundaryIsStrict) {
+  // Regression for the link-expiry edge: a link whose silence EQUALS
+  // link_timeout exactly must survive that tick — expiry needs
+  // now - last_contact strictly greater than the timeout, otherwise a
+  // same-tick rediscovery double-counts the pair as both expired and
+  // discovered in one epoch report.
+  PeriodicDiscoveryRunner::Config cfg;
+  cfg.params = Params::defaults();
+  cfg.params.n = 2;
+  cfg.params.m = 2;
+  cfg.params.l = 2;  // both nodes hold every code -> discovery is certain
+  cfg.params.q = 0;
+  cfg.params.field_width = 2000.0;
+  cfg.params.field_height = 100.0;
+  cfg.params.tx_range = 100.0;
+  cfg.interval = seconds(30.0);
+  cfg.link_timeout = seconds(60.0);
+  cfg.epochs = 5;
+  cfg.seed = 21;
+
+  // Timeline: adjacent at t=0 (epoch 0, discovery) and t=30 (epoch 1,
+  // last_contact := 30), apart from t=60 on. Epoch 2 (t=60): silence 30 s,
+  // live. Epoch 3 (t=90): silence exactly 60 s == timeout — the boundary
+  // this test pins; must still be live. Epoch 4 (t=120): 90 s > 60 s, gone.
+  const TwoNodeScript script(TimePoint{60.0});
+  PeriodicDiscoveryRunner runner(cfg, script);
+  const auto reports = runner.run();
+  ASSERT_EQ(reports.size(), 5u);
+
+  EXPECT_GT(reports[0].dndp_successes, 0u) << "pair must discover while adjacent";
+  EXPECT_EQ(reports[1].links_expired, 0u);
+  EXPECT_EQ(reports[2].links_expired, 0u);
+  EXPECT_EQ(reports[3].links_expired, 0u)
+      << "silence == link_timeout is the boundary: the link must survive";
+  EXPECT_EQ(reports[4].links_expired, 1u)
+      << "one tick past the boundary the link must expire";
+}
+
 TEST(PeriodicDiscovery, ReportsAreInternallyConsistent) {
   const auto cfg = small_config();
   const sim::Field field(cfg.params.field_width, cfg.params.field_height);

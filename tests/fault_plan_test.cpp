@@ -1,0 +1,167 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jrsnd::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsInactiveAndValid) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.validate().has_value());
+}
+
+TEST(FaultPlan, AnyNonzeroKnobActivates) {
+  FaultPlan p;
+  p.drop = 0.1;
+  EXPECT_TRUE(p.active());
+  p = FaultPlan{};
+  p.duplicate = 0.1;
+  EXPECT_TRUE(p.active());
+  p = FaultPlan{};
+  p.reorder = 0.1;
+  EXPECT_TRUE(p.active());
+  p = FaultPlan{};
+  p.corrupt = 0.1;
+  EXPECT_TRUE(p.active());
+  p = FaultPlan{};
+  p.truncate = 0.1;
+  EXPECT_TRUE(p.active());
+  p = FaultPlan{};
+  p.crashes.push_back({node_id(0), TimePoint{1.0}, Duration{1.0}});
+  EXPECT_TRUE(p.active());
+}
+
+TEST(FaultPlan, ValidationRejectsOutOfRangeFields) {
+  FaultPlan p;
+  p.drop = 1.5;
+  EXPECT_TRUE(p.validate().has_value());
+  p = FaultPlan{};
+  p.reorder = -0.1;
+  EXPECT_TRUE(p.validate().has_value());
+  p = FaultPlan{};
+  p.clock_drift_max = 1.0;  // rate could hit zero
+  EXPECT_TRUE(p.validate().has_value());
+  p = FaultPlan{};
+  p.corrupt = 0.5;
+  p.corrupt_bits = 0;  // corrupting zero bits is a contradiction
+  EXPECT_TRUE(p.validate().has_value());
+  p = FaultPlan{};
+  p.crashes.push_back({kInvalidNode, TimePoint{0.0}, Duration{1.0}});
+  EXPECT_TRUE(p.validate().has_value());
+  p = FaultPlan{};
+  p.crashes.push_back({node_id(1), TimePoint{0.0}, Duration{0.0}});
+  EXPECT_TRUE(p.validate().has_value());
+}
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+  FaultPlan p;
+  p.seed = 77;
+  p.drop = 0.25;
+  p.duplicate = 0.125;
+  p.reorder = 0.0625;
+  p.corrupt = 0.5;
+  p.corrupt_bits = 9;
+  p.truncate = 0.03125;
+  p.clock_skew_max = 0.5;
+  p.clock_drift_max = 0.01;
+  p.auto_tick = 0.001;
+  p.crashes.push_back({node_id(3), TimePoint{1.5}, Duration{2.5}});
+  p.crashes.push_back({node_id(8), TimePoint{10.0}, Duration{0.25}});
+
+  const auto parsed = FaultPlan::from_json(p.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(FaultPlan, FromJsonAcceptsPartialObjects) {
+  const auto plan = FaultPlan::from_json(R"({"seed": 9, "drop": 0.5})");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 9u);
+  EXPECT_DOUBLE_EQ(plan->drop, 0.5);
+  EXPECT_DOUBLE_EQ(plan->duplicate, 0.0);  // untouched defaults
+  EXPECT_EQ(plan->corrupt_bits, 3u);
+}
+
+TEST(FaultPlan, FromJsonRejectsUnknownKeysWithAnError) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(R"({"drp": 0.5})", &error).has_value());
+  EXPECT_NE(error.find("drp"), std::string::npos);
+}
+
+TEST(FaultPlan, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(FaultPlan::from_json("").has_value());
+  EXPECT_FALSE(FaultPlan::from_json("{").has_value());
+  EXPECT_FALSE(FaultPlan::from_json(R"({"drop": })").has_value());
+  EXPECT_FALSE(FaultPlan::from_json(R"({"drop": 0.5,})").has_value());
+  EXPECT_FALSE(FaultPlan::from_json(R"([1, 2])").has_value());
+  EXPECT_FALSE(FaultPlan::from_json(R"({"crashes": [{"node": 1}]})").has_value())
+      << "crash with no duration must fail validation";
+  EXPECT_FALSE(FaultPlan::from_json(R"({"drop": 2.0})").has_value())
+      << "from_json must run validate()";
+}
+
+TEST(FaultPlan, CrashEventCoversHalfOpenWindow) {
+  const CrashEvent e{node_id(1), TimePoint{2.0}, Duration{3.0}};
+  EXPECT_FALSE(e.covers(TimePoint{1.999}));
+  EXPECT_TRUE(e.covers(TimePoint{2.0}));
+  EXPECT_TRUE(e.covers(TimePoint{4.999}));
+  EXPECT_FALSE(e.covers(TimePoint{5.0}));
+}
+
+TEST(ClockModel, SkewAndRateAreDeterministicAndBounded) {
+  const ClockModel clocks(42, /*skew_max=*/0.5, /*drift_max=*/0.01);
+  const ClockModel again(42, 0.5, 0.01);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const NodeId n = node_id(i);
+    EXPECT_EQ(clocks.skew(n).seconds(), again.skew(n).seconds());
+    EXPECT_EQ(clocks.rate(n), again.rate(n));
+    EXPECT_LE(std::abs(clocks.skew(n).seconds()), 0.5);
+    EXPECT_GE(clocks.rate(n), 0.99);
+    EXPECT_LE(clocks.rate(n), 1.01);
+  }
+}
+
+TEST(ClockModel, DifferentSeedsDecorrelate) {
+  const ClockModel a(1, 0.5, 0.01);
+  const ClockModel b(2, 0.5, 0.01);
+  int differing = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    differing += a.rate(node_id(i)) != b.rate(node_id(i));
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(ClockModel, NodesActuallySpreadAcrossTheRange) {
+  // Hash-derived draws must not collapse to one value per seed.
+  const ClockModel clocks(7, 1.0, 0.1);
+  double lo = 1.0, hi = -1.0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const double s = clocks.skew(node_id(i)).seconds();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, -0.3);
+  EXPECT_GT(hi, 0.3);
+}
+
+TEST(ClockModel, LocalTimeAppliesSkewAndDrift) {
+  const ClockModel clocks(11, 0.25, 0.05);
+  const NodeId n = node_id(4);
+  const TimePoint t{100.0};
+  const double expected = t.seconds() * clocks.rate(n) + clocks.skew(n).seconds();
+  EXPECT_DOUBLE_EQ(clocks.local_time(n, t).seconds(), expected);
+}
+
+TEST(ClockModel, ZeroMaximaYieldPerfectClocks) {
+  const ClockModel clocks(5, 0.0, 0.0);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(clocks.skew(node_id(i)).seconds(), 0.0);
+    EXPECT_EQ(clocks.rate(node_id(i)), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace jrsnd::fault

@@ -16,7 +16,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
+#include <sstream>
 #include <string>
 #include <variant>
 #include <vector>
@@ -54,7 +56,7 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: jrsnd <analyze|simulate|trace|report|provision> [--flag [value]]...\n"
+               "usage: jrsnd <analyze|simulate|trace|report|provision|chaos> [--flag [value]]...\n"
                "  analyze   --n --m --l --q --z --mu --nu       closed forms (Thms 1-4)\n"
                "  simulate  --n --m --l --q --nu --runs --seed --jammer {none,random,\n"
                "            reactive,intelligent}                Monte-Carlo discovery\n"
@@ -62,7 +64,13 @@ int usage() {
                "            --metrics           print the metrics table afterwards\n"
                "  trace     --seed [--jsonl]                     one traced D-NDP run\n"
                "  report    FILE                                 summarize a JSONL trace\n"
-               "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n");
+               "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n"
+               "  chaos     --n --m --l --q --runs --seed --retx sweep injected message\n"
+               "            drop and assert the retry discipline's recovery envelope\n"
+               "            --smoke             small fast configuration (CI)\n"
+               "            --drops 0.05,0.1,.. drop intensities to sweep\n"
+               "            --plan FILE         run one FaultPlan JSON instead of a sweep\n"
+               "            --json FILE         write the sweep results as JSON\n");
   return 2;
 }
 
@@ -326,6 +334,170 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+struct ChaosRun {
+  double p_dndp = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t faults = 0;
+};
+
+/// Serial seed loop (a chaos sweep is a handful of small points; run-order
+/// determinism matters more than wall clock here).
+ChaosRun chaos_run(const core::ExperimentConfig& cfg) {
+  const core::DiscoverySimulator sim(cfg);
+  core::Stat p;
+  ChaosRun out;
+  for (std::uint32_t run = 0; run < cfg.params.runs; ++run) {
+    const core::RunResult r = sim.run_once(cfg.base_seed + run);
+    p.add(r.p_dndp);
+    out.retransmissions += r.dndp_retransmissions;
+    out.timeouts += r.dndp_timeouts;
+    out.faults += r.faults_injected;
+  }
+  out.p_dndp = p.mean();
+  return out;
+}
+
+int cmd_chaos(const Args& args) {
+  const bool smoke = args.has("smoke");
+  core::ExperimentConfig cfg;
+  cfg.params = params_from(args);
+  if (!args.has("n")) cfg.params.n = smoke ? 250 : 500;
+  if (!args.has("m")) cfg.params.m = smoke ? 30 : 40;
+  if (!args.has("l")) cfg.params.l = 20;
+  if (!args.has("runs")) cfg.params.runs = smoke ? 3 : 5;
+  cfg.base_seed = args.u64("seed", 1);
+
+  // Default jammer: none — the sweep isolates the injected faults so the
+  // degradation envelope measures the retry discipline, not Theorem 1.
+  const std::string jammer = args.str("jammer", "none");
+  if (jammer == "none") cfg.jammer = core::JammerKind::None;
+  else if (jammer == "random") cfg.jammer = core::JammerKind::Random;
+  else if (jammer == "reactive") cfg.jammer = core::JammerKind::Reactive;
+  else if (jammer == "intelligent") cfg.jammer = core::JammerKind::Intelligent;
+  else return usage();
+
+  const std::uint32_t retx = args.u32("retx", 3);
+
+  if (args.has("plan")) {
+    const std::string path = args.str("plan", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open plan '%s'\n", path.c_str());
+      return 2;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    std::string error;
+    const auto plan = fault::FaultPlan::from_json(text, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "error: bad fault plan: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("config: %s, jammer=%s, retx=%u\n", cfg.params.summary().c_str(),
+                core::jammer_name(cfg.jammer), retx);
+    std::printf("plan  : %s\n", plan->to_json().c_str());
+    const ChaosRun clean = chaos_run(cfg);
+    cfg.params.retry.max_retx = retx;
+    cfg.faults = plan;
+    const ChaosRun faulted = chaos_run(cfg);
+    std::printf("fault-free P_dndp : %.4f\n", clean.p_dndp);
+    std::printf("faulted    P_dndp : %.4f (%llu faults injected, %llu retx, %llu timeouts)\n",
+                faulted.p_dndp, static_cast<unsigned long long>(faulted.faults),
+                static_cast<unsigned long long>(faulted.retransmissions),
+                static_cast<unsigned long long>(faulted.timeouts));
+    return 0;
+  }
+
+  std::vector<double> drops;
+  if (args.has("drops")) {
+    std::string list = args.str("drops", "");
+    std::replace(list.begin(), list.end(), ',', ' ');
+    std::istringstream ss(list);
+    double d = 0.0;
+    while (ss >> d) drops.push_back(d);
+    if (drops.empty()) return usage();
+  } else {
+    drops = smoke ? std::vector<double>{0.1, 0.2} : std::vector<double>{0.05, 0.1, 0.2, 0.3};
+  }
+
+  std::printf("config: %s, jammer=%s, retx=%u\n", cfg.params.summary().c_str(),
+              core::jammer_name(cfg.jammer), retx);
+
+  const ChaosRun baseline = chaos_run(cfg);
+  std::printf("fault-free P_dndp: %.4f\n\n", baseline.p_dndp);
+  std::printf("%8s %14s %14s %10s %10s %8s\n", "drop", "P_dndp(retx)", "P_dndp(none)",
+              "recovery", "retx", "faults");
+
+  struct Point {
+    double drop, p_retx, p_noretx, recovery;
+    std::uint64_t retransmissions, faults;
+  };
+  std::vector<Point> points;
+  bool envelope_ok = true;
+  // The acceptance envelope: with retransmission enabled, discovery under
+  // <= 20% injected drop recovers to >= 95% of the fault-free ratio.
+  constexpr double kEnvelopeDrop = 0.2 + 1e-9;
+  constexpr double kEnvelopeRecovery = 0.95;
+
+  for (const double drop : drops) {
+    fault::FaultPlan plan;
+    plan.seed = cfg.base_seed;
+    plan.drop = drop;
+
+    core::ExperimentConfig with = cfg;
+    with.faults = plan;
+    with.params.retry.max_retx = retx;
+    const ChaosRun r_retx = chaos_run(with);
+
+    core::ExperimentConfig without = cfg;
+    without.faults = plan;
+    const ChaosRun r_none = chaos_run(without);
+
+    const double recovery =
+        baseline.p_dndp > 0.0 ? r_retx.p_dndp / baseline.p_dndp : 1.0;
+    if (drop <= kEnvelopeDrop && recovery < kEnvelopeRecovery) envelope_ok = false;
+    points.push_back(Point{drop, r_retx.p_dndp, r_none.p_dndp, recovery,
+                           r_retx.retransmissions, r_retx.faults});
+    std::printf("%8.2f %14.4f %14.4f %9.1f%% %10llu %8llu\n", drop, r_retx.p_dndp,
+                r_none.p_dndp, 100.0 * recovery,
+                static_cast<unsigned long long>(r_retx.retransmissions),
+                static_cast<unsigned long long>(r_retx.faults));
+  }
+
+  std::printf("\nenvelope (drop <= %.2f recovers >= %.0f%%): %s\n", 0.2,
+              100.0 * kEnvelopeRecovery, envelope_ok ? "PASS" : "FAIL");
+
+  if (args.has("json")) {
+    const std::string path = args.str("json", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    out << "{\n  \"bench\": \"chaos\",\n";
+    out << "  \"config\": {\"n\": " << cfg.params.n << ", \"m\": " << cfg.params.m
+        << ", \"l\": " << cfg.params.l << ", \"q\": " << cfg.params.q
+        << ", \"runs\": " << cfg.params.runs << ", \"seed\": " << cfg.base_seed
+        << ", \"jammer\": \"" << core::jammer_name(cfg.jammer) << "\", \"retx\": " << retx
+        << "},\n";
+    out << "  \"baseline_p_dndp\": " << baseline.p_dndp << ",\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& pt = points[i];
+      out << "    {\"drop\": " << pt.drop << ", \"p_dndp_retx\": " << pt.p_retx
+          << ", \"p_dndp_noretx\": " << pt.p_noretx << ", \"recovery\": " << pt.recovery
+          << ", \"retransmissions\": " << pt.retransmissions
+          << ", \"faults_injected\": " << pt.faults << "}" << (i + 1 < points.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ],\n  \"envelope\": {\"max_drop\": 0.2, \"min_recovery\": "
+        << kEnvelopeRecovery << ", \"pass\": " << (envelope_ok ? "true" : "false")
+        << "}\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return envelope_ok ? 0 : 1;
+}
+
 int cmd_provision(const Args& args) {
   if (!args.flags.contains("node")) return usage();
   predist::PredistParams pp;
@@ -372,5 +544,6 @@ int main(int argc, char** argv) {
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "provision") return cmd_provision(args);
+  if (args.command == "chaos") return cmd_chaos(args);
   return usage();
 }
