@@ -11,11 +11,13 @@
 //
 // Writes a machine-readable summary to BENCH_sync.json (path overridable as
 // argv[1]) so CI can archive throughput next to the commit.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -228,6 +230,26 @@ int main(int argc, char** argv) {
               identical ? "results identical" : "RESULTS DIFFER");
   if (!identical) return 1;
 
+  // --- [3] saturated run_all -------------------------------------------------
+  // Every hardware thread busy — the configuration a sweep actually runs
+  // under. CI archives both this and the single-core number so a regression
+  // in either the per-run cost or the scaling shows up in BENCH_sync.json.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  setenv("JRSND_THREADS", std::to_string(hw).c_str(), 1);
+  const auto saturated_start = Clock::now();
+  const core::PointResult saturated = sim.run_all();
+  const double saturated_secs = seconds_since(saturated_start);
+  unsetenv("JRSND_THREADS");
+  if (saturated.p_jrsnd.mean() != serial.p_jrsnd.mean()) {
+    std::fprintf(stderr, "FATAL: saturated run_all results differ from serial\n");
+    return 1;
+  }
+  const double single_core_runs_per_sec = static_cast<double>(cfg.params.runs) / serial_secs;
+  const double saturated_runs_per_sec =
+      static_cast<double>(cfg.params.runs) / saturated_secs;
+  std::printf("run_all saturated: %u threads  %.2f s  %.2f runs/s (single-core %.2f runs/s)\n",
+              hw, saturated_secs, saturated_runs_per_sec, single_core_runs_per_sec);
+
   // --- machine-readable summary --------------------------------------------
   std::ofstream json(json_path);
   if (!json) {
@@ -257,6 +279,12 @@ int main(int argc, char** argv) {
        << "    \"parallel_seconds\": " << parallel_secs << ",\n"
        << "    \"speedup\": " << run_speedup << ",\n"
        << "    \"results_identical\": " << (identical ? "true" : "false") << "\n"
+       << "  },\n"
+       << "  \"saturated\": {\n"
+       << "    \"threads\": " << hw << ",\n"
+       << "    \"seconds\": " << saturated_secs << ",\n"
+       << "    \"runs_per_sec\": " << saturated_runs_per_sec << ",\n"
+       << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
        << "  }\n"
        << "}\n";
   std::printf("(wrote %s)\n", json_path.c_str());

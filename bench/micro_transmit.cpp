@@ -33,6 +33,7 @@
 #include "dsss/spreader.hpp"
 #include "ecc/ecc_codec.hpp"
 #include "ecc/reed_solomon.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/topology.hpp"
 
 namespace {
@@ -312,6 +313,32 @@ int main(int argc, char** argv) {
   std::printf("  uncached %8.2f us/frame\n", seal_uncached_secs * 1e6);
   std::printf("  cached   %8.2f us/frame  (%.1fx)\n", seal_cached_secs * 1e6, seal_speedup);
 
+  // --- [5] observability overhead on the transmit hot path -----------------
+  // The span + flight-recorder instrumentation rides inside transmit_into;
+  // flipping the recorder off isolates its steady-state cost. Budget: the
+  // always-on planes (flight ring + span bookkeeping, JSONL tracing off)
+  // must stay under 5% of the committed transmit baseline.
+  obs::set_flight_enabled(false);
+  const double obs_off_secs = time_op([&] {
+    if (!phy.transmit_into(node_id(0), node_id(1), tx, core::TxClass::Hello, payload, out)) {
+      std::abort();
+    }
+  });
+  obs::set_flight_enabled(true);
+  const double obs_on_secs = time_op([&] {
+    if (!phy.transmit_into(node_id(0), node_id(1), tx, core::TxClass::Hello, payload, out)) {
+      std::abort();
+    }
+  });
+  const double obs_overhead_pct = 100.0 * (obs_on_secs - obs_off_secs) / obs_off_secs;
+  std::printf("obs overhead (span + flight recorder, tracing off):\n");
+  std::printf("  recorder off %8.3f ms/msg\n", obs_off_secs * 1e3);
+  std::printf("  recorder on  %8.3f ms/msg  (%+.1f%%)\n", obs_on_secs * 1e3, obs_overhead_pct);
+  if (obs_overhead_pct > 5.0) {
+    std::fprintf(stderr, "WARNING: obs overhead %.1f%% above the 5%% acceptance budget\n",
+                 obs_overhead_pct);
+  }
+
   // --- machine-readable summary --------------------------------------------
   std::ofstream json(json_path);
   if (!json) {
@@ -319,6 +346,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   json << "{\n"
+       << "  \"obs_overhead\": {\n"
+       << "    \"recorder_off_ms_per_msg\": " << obs_off_secs * 1e3 << ",\n"
+       << "    \"recorder_on_ms_per_msg\": " << obs_on_secs * 1e3 << ",\n"
+       << "    \"overhead_pct\": " << obs_overhead_pct << "\n"
+       << "  },\n"
        << "  \"transmit\": {\n"
        << "    \"N\": " << params.N << ",\n"
        << "    \"codebook\": " << kCodebook << ",\n"

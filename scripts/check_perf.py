@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Guards the two numbers ISSUE 6 cares about from BENCH_sync.json — the
+single-core run_all rate and the saturated (every-hardware-thread) rate —
+plus the sync-kernel scan throughput, and the obs-overhead budget from
+BENCH_transmit.json. A metric regresses when the fresh value falls below
+`tolerance` x baseline (default 0.6: CI machines are shared and noisy;
+this catches the 2x cliffs, not 5% jitter).
+
+Thread-count mismatches are handled, not papered over: when the baseline
+was recorded on a machine with a different hardware-thread count, the
+saturated comparison is skipped with a notice (the number is not
+comparable), while per-core metrics are still enforced.
+
+Usage:
+    scripts/check_perf.py --baseline BENCH_sync.json --fresh fresh_sync.json \
+        [--transmit-baseline BENCH_transmit.json --transmit-fresh fresh_tx.json] \
+        [--tolerance 0.6]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def get(doc, dotted):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_sync.json")
+    parser.add_argument("--fresh", required=True, help="freshly produced sync bench JSON")
+    parser.add_argument("--transmit-baseline", help="committed BENCH_transmit.json")
+    parser.add_argument("--transmit-fresh", help="freshly produced transmit bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.6,
+                        help="fresh must be >= tolerance * baseline (default 0.6)")
+    args = parser.parse_args(argv[1:])
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    # (label, dotted path) — throughput metrics only, so a single
+    # >= tolerance * baseline rule covers them all.
+    checks = [
+        ("kernel scan throughput", "scan.kernel_mchips_per_sec"),
+        ("single-core run_all rate", "saturated.single_core_runs_per_sec"),
+        ("saturated run_all rate", "saturated.runs_per_sec"),
+    ]
+
+    base_threads = get(baseline, "saturated.threads")
+    fresh_threads = get(fresh, "saturated.threads")
+
+    failures = []
+    for label, path in checks:
+        base_v = get(baseline, path)
+        fresh_v = get(fresh, path)
+        if base_v is None:
+            print(f"note: baseline lacks {path}; skipping '{label}'")
+            continue
+        if fresh_v is None:
+            failures.append(f"{label}: fresh run lacks {path}")
+            continue
+        if path == "saturated.runs_per_sec" and base_threads != fresh_threads:
+            print(f"note: thread counts differ (baseline {base_threads}, "
+                  f"fresh {fresh_threads}); skipping '{label}'")
+            continue
+        floor = args.tolerance * base_v
+        verdict = "OK" if fresh_v >= floor else "REGRESSED"
+        print(f"{label}: baseline {base_v:.3f}, fresh {fresh_v:.3f}, "
+              f"floor {floor:.3f} -> {verdict}")
+        if fresh_v < floor:
+            failures.append(f"{label}: {fresh_v:.3f} < {floor:.3f} "
+                            f"({args.tolerance:.0%} of baseline {base_v:.3f})")
+
+    if args.transmit_fresh:
+        tx_fresh = load(args.transmit_fresh)
+        overhead = get(tx_fresh, "obs_overhead.overhead_pct")
+        if overhead is None:
+            failures.append("transmit bench lacks obs_overhead.overhead_pct")
+        else:
+            # Absolute budget, doubled for CI noise: the bench itself warns
+            # at the 5% acceptance line.
+            budget = 10.0
+            verdict = "OK" if overhead <= budget else "OVER BUDGET"
+            print(f"obs overhead: {overhead:.1f}% (budget {budget:.0f}%) -> {verdict}")
+            if overhead > budget:
+                failures.append(f"obs overhead {overhead:.1f}% exceeds {budget:.0f}% budget")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a jrsnd JSONL trace against the schema in docs/observability.md.
+
+Checks every line:
+  * parses as a flat JSON object (scalar values only — the writer never nests);
+  * carries the reserved keys t (number), seq (integer >= 1), sev (one of
+    debug/info/warn/error), event (non-empty string);
+  * span.begin / span.end events carry integer trace/span/parent ids, a
+    string name, and (on end) a boolean ok plus, when present, a known loss
+    stage;
+  * flight.* events carry the same span identity fields.
+
+Exit 0 when the whole file validates; exit 1 with one "file:line: message"
+diagnostic per problem (capped) otherwise. Usage:
+
+    scripts/validate_trace.py trace.jsonl [more.jsonl ...]
+"""
+
+import json
+import sys
+
+SEVERITIES = {"debug", "info", "warn", "error"}
+LOSS_STAGES = {
+    "none",
+    "no_shared_code",
+    "out_of_range",
+    "jammed",
+    "corrupt",
+    "decode_fail",
+    "timeout",
+    "fault",
+    "crash",
+}
+SPAN_EVENTS = {"span.begin", "span.end"}
+FLIGHT_EVENTS = {"flight.begin", "flight.end", "flight.note"}
+MAX_DIAGNOSTICS = 20
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_event(obj):
+    """Yields problem strings for one parsed trace event."""
+    for key in ("t", "seq", "sev", "event"):
+        if key not in obj:
+            yield f"missing reserved key '{key}'"
+    if "t" in obj and not is_number(obj["t"]):
+        yield f"'t' must be a number, got {obj['t']!r}"
+    if "seq" in obj and (not is_int(obj["seq"]) or obj["seq"] < 1):
+        yield f"'seq' must be an integer >= 1, got {obj['seq']!r}"
+    if "sev" in obj and obj["sev"] not in SEVERITIES:
+        yield f"'sev' must be one of {sorted(SEVERITIES)}, got {obj['sev']!r}"
+    name = obj.get("event")
+    if "event" in obj and (not isinstance(name, str) or not name):
+        yield f"'event' must be a non-empty string, got {name!r}"
+    for key, value in obj.items():
+        if isinstance(value, (dict, list)):
+            yield f"field '{key}' is nested ({type(value).__name__}); the schema is flat"
+
+    if name in SPAN_EVENTS or name in FLIGHT_EVENTS:
+        for key in ("trace", "span", "parent"):
+            if key not in obj:
+                if name == "flight.note" and key != "trace":
+                    continue  # notes outside a span omit span/parent
+                yield f"{name} missing '{key}'"
+            elif not is_int(obj[key]) or obj[key] < 0:
+                yield f"{name} '{key}' must be a non-negative integer, got {obj[key]!r}"
+        if "name" in obj and not isinstance(obj["name"], str):
+            yield f"{name} 'name' must be a string, got {obj['name']!r}"
+        elif "name" not in obj:
+            yield f"{name} missing 'name'"
+    if name in {"span.end", "flight.end"}:
+        if "ok" not in obj or not isinstance(obj["ok"], bool):
+            yield f"{name} must carry a boolean 'ok'"
+        loss = obj.get("loss")
+        if loss is not None and loss not in LOSS_STAGES:
+            yield f"{name} 'loss' must be one of {sorted(LOSS_STAGES)}, got {loss!r}"
+
+
+def validate(path):
+    """Returns the list of "path:line: message" problems for one file."""
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as err:
+                    problems.append(f"{path}:{line_no}: malformed JSON ({err.msg})")
+                    continue
+                if not isinstance(obj, dict):
+                    problems.append(f"{path}:{line_no}: line is not a JSON object")
+                    continue
+                for message in check_event(obj):
+                    problems.append(f"{path}:{line_no}: {message}")
+    except OSError as err:
+        problems.append(f"{path}: {err.strerror or err}")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} TRACE.jsonl [TRACE.jsonl ...]", file=sys.stderr)
+        return 2
+    all_problems = []
+    events = 0
+    for path in argv[1:]:
+        all_problems.extend(validate(path))
+        try:
+            with open(path, encoding="utf-8") as fh:
+                events += sum(1 for line in fh if line.strip())
+        except OSError:
+            pass
+    for problem in all_problems[:MAX_DIAGNOSTICS]:
+        print(problem, file=sys.stderr)
+    if len(all_problems) > MAX_DIAGNOSTICS:
+        hidden = len(all_problems) - MAX_DIAGNOSTICS
+        print(f"... and {hidden} more problem(s)", file=sys.stderr)
+    if all_problems:
+        return 1
+    print(f"validated {events} event(s) across {len(argv) - 1} file(s): schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "core/abstract_phy.hpp"
 
 #include "obs/metrics_registry.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::core {
 
@@ -20,6 +21,7 @@ std::optional<BitVector> AbstractPhy::transmit(NodeId from, NodeId to, TxCode co
   if (!topology_.are_neighbors(from, to)) {
     ++out_of_range_;
     JRSND_COUNT("phy.tx.out_of_range");
+    obs::set_loss_reason(obs::LossStage::OutOfRange);
     return std::nullopt;
   }
 
@@ -50,6 +52,7 @@ std::optional<BitVector> AbstractPhy::transmit(NodeId from, NodeId to, TxCode co
   if (is_jammed) {
     ++jammed_;
     JRSND_COUNT("phy.tx.jammed");
+    obs::set_loss_reason(obs::LossStage::Jammed);
     return std::nullopt;
   }
   ++delivered_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsss/spreader.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::core {
 
@@ -29,8 +30,23 @@ std::optional<BitVector> ChipPhy::transmit(NodeId from, NodeId to, TxCode code, 
 
 bool ChipPhy::transmit_into(NodeId from, NodeId to, TxCode code, TxClass cls,
                             const BitVector& payload, BitVector& out) {
-  if (code.pattern == nullptr) return false;  // ChipPhy requires chips
-  if (!topology_.are_neighbors(from, to)) return false;
+  obs::Span span("phy.transmit");
+  const bool delivered = transmit_pipeline(from, to, code, cls, payload, out);
+  span.set_ok(delivered);
+  if (!delivered) span.set_loss(obs::peek_loss_reason());
+  return delivered;
+}
+
+bool ChipPhy::transmit_pipeline(NodeId from, NodeId to, TxCode code, TxClass cls,
+                                const BitVector& payload, BitVector& out) {
+  if (code.pattern == nullptr) {  // ChipPhy requires chips
+    obs::set_loss_reason(obs::LossStage::DecodeFail);
+    return false;
+  }
+  if (!topology_.are_neighbors(from, to)) {
+    obs::set_loss_reason(obs::LossStage::OutOfRange);
+    return false;
+  }
   ++messages_;
 
   // --- sender: ECC expansion + spreading ---------------------------------
@@ -98,23 +114,43 @@ bool ChipPhy::transmit_into(NodeId from, NodeId to, TxCode code, TxClass cls,
     monitored_.assign_if_changed(std::span<const dsss::SpreadCode>(code.pattern, 1));
     candidates = &monitored_;
   }
-  if (candidates->empty()) return false;
+  if (candidates->empty()) {
+    obs::set_loss_reason(obs::LossStage::DecodeFail);
+    return false;
+  }
 
   // A sync position can be a false lock (noise or jammer energy exceeding
   // tau); the ECC decode is the arbiter, and on rejection the receiver
   // resumes scanning one chip later — the standard recover-and-rescan loop.
   // The cached tables make each rescan iteration pure scanning work.
+  obs::Span scan_span("dsss.scan");
+  std::uint64_t rescans = 0;
   std::size_t offset = 0;
   while (true) {
     if (!dsss::find_first_message_into(received, *candidates, coded.size(), params_.tau, offset,
                                        scratch_.hit)) {
+      // A strike explains the miss; otherwise the channel noise defeated
+      // sync/decode on its own.
+      obs::set_loss_reason(strike ? obs::LossStage::Jammed : obs::LossStage::DecodeFail);
+      scan_span.set_ok(false);
+      scan_span.set_loss(strike ? obs::LossStage::Jammed : obs::LossStage::DecodeFail);
+      scan_span.with_u64("rescans", rescans);
       return false;
     }
-    if (codec_.decode_into(scratch_.hit.message.bits, payload.size(),
-                           std::span<const std::size_t>(scratch_.hit.message.erased_bits),
-                           scratch_.ecc, out)) {
+    bool decoded = false;
+    {
+      obs::Span decode_span("ecc.decode");
+      decoded = codec_.decode_into(scratch_.hit.message.bits, payload.size(),
+                                   std::span<const std::size_t>(scratch_.hit.message.erased_bits),
+                                   scratch_.ecc, out);
+      decode_span.set_ok(decoded);
+      if (!decoded) decode_span.set_loss(obs::LossStage::DecodeFail);
+    }
+    if (decoded) {
+      scan_span.with_u64("rescans", rescans);
       return true;
     }
+    ++rescans;
     offset = scratch_.hit.chip_offset + 1;
   }
 }

@@ -79,6 +79,9 @@ class ChipPhy final : public PhyModel {
   [[nodiscard]] std::uint64_t chip_jams() const noexcept { return jams_; }
 
  private:
+  bool transmit_pipeline(NodeId from, NodeId to, TxCode code, TxClass cls,
+                         const BitVector& payload, BitVector& out);
+
   /// The transmit scratch arena: every per-message working buffer, reused
   /// across calls so steady-state transmissions stop heap-allocating. One
   /// per ChipPhy — the instance is single-threaded by construction (it

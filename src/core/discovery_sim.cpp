@@ -1,5 +1,6 @@
 #include "core/discovery_sim.hpp"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,12 @@ RunResult DiscoverySimulator::run_once(std::uint64_t seed) const {
   RunResult result;
 
   JRSND_SCOPED_TIMER("sim.phase.run.seconds");
+  // Monte-Carlo runs have no shared timeline; stamp this run's events with
+  // the run index (thread-local, so parallel workers don't race the global
+  // clock and a seed-ordered sort reproduces the serial trace byte for byte).
+  const obs::ScopedSimTime run_time(
+      seed >= config_.base_seed ? static_cast<double>(seed - config_.base_seed)
+                                : static_cast<double>(seed));
   if (obs::tracing_enabled()) {
     obs::event_log().emit(obs::TraceEvent("run.begin")
                               .with("seed", seed)
@@ -241,26 +248,38 @@ PointResult DiscoverySimulator::run_all() const {
   const std::size_t threads = ThreadPool::default_thread_count();
   PointResult agg;
 
-  // Tracing pins the serial path: the JSONL event stream is one ordered
-  // timeline (`t` = run index) and interleaving seeds would scramble it.
-  // JRSND_THREADS=1 restores the historical fully-serial behavior too.
-  if (threads <= 1 || runs <= 1 || obs::tracing_enabled()) {
+  // Sweep progress, published on the *process* registry so a live
+  // MetricsExporter sees it even while workers record into scratch
+  // registries (the thread-local override would otherwise swallow it).
+  obs::Gauge* progress = nullptr;
+  if (obs::metrics_enabled()) {
+    obs::registry().gauge("sim.runs.total").set(static_cast<double>(runs));
+    progress = &obs::registry().gauge("sim.runs.completed");
+    progress->set(0.0);
+  }
+
+  // JRSND_THREADS=1 restores the historical fully-serial behavior.
+  if (threads <= 1 || runs <= 1) {
     for (std::uint32_t run = 0; run < runs; ++run) {
       // Monte-Carlo runs have no shared timeline; publish the run index so
       // trace events still carry a monotone `t`.
       if (obs::tracing_enabled()) obs::event_log().set_sim_time(static_cast<double>(run));
       accumulate(agg, run_once(config_.base_seed + run));
+      if (progress != nullptr) progress->set(static_cast<double>(run + 1));
     }
     return agg;
   }
 
   // Parallel path: seeds fan out across the pool. Each run is a fully
-  // deterministic function of its seed, so only two things need care:
+  // deterministic function of its seed, so only three things need care:
   //   * reduction order — results land in a seed-indexed vector and are
   //     folded serially below, making the Stats bit-identical to serial;
   //   * obs metrics — each worker records into its own scratch registry
   //     (thread-local override), merged and absorbed into the process
-  //     registry afterwards so totals match the serial run.
+  //     registry afterwards so totals match the serial run;
+  //   * trace time — run_once stamps its own events with the run index via
+  //     ScopedSimTime, so a seed-ordered sort (obs::normalize_trace) makes
+  //     the parallel trace byte-identical to the serial one.
   const bool metrics = obs::metrics_enabled();
   std::vector<RunResult> results(runs);
   ThreadPool pool(threads);
@@ -271,9 +290,12 @@ PointResult DiscoverySimulator::run_all() const {
       scratch.push_back(std::make_unique<obs::MetricsRegistry>());
     }
   }
+  std::atomic<std::uint32_t> completed{0};
   pool.parallel_for(runs, [&](std::size_t run, std::size_t worker) {
     const obs::ScopedMetricsRegistry guard(metrics ? scratch[worker].get() : nullptr);
     results[run] = run_once(config_.base_seed + run);
+    const std::uint32_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress != nullptr) progress->set(static_cast<double>(done));
   });
   if (metrics) {
     obs::MetricsSnapshot merged;

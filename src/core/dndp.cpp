@@ -5,6 +5,7 @@
 #include "crypto/session_code.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::core {
 
@@ -24,7 +25,8 @@ DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy,
       phy_(phy),
       redundancy_(redundancy),
       retry_rng_(retry_seed ^ 0xD1B54A32D192ED03ULL),
-      clock_(clock) {
+      clock_(clock),
+      trace_salt_(retry_seed) {
   wire_.l_t = params.l_t;
   wire_.l_id = params.l_id;
   wire_.l_n = params.l_n;
@@ -48,6 +50,11 @@ std::optional<BitVector> DndpEngine::transmit_with_retry(
     const auto backoff = hs.on_timeout();
     if (!backoff) {
       JRSND_COUNT("dndp.timeout.exhausted");
+      // Exhausting the retry budget IS the failure when retries are on,
+      // except when the peer is inside an injected crash window — retrying
+      // into a dead node is a crash loss, not a timing one.
+      const obs::LossStage last = obs::take_loss_reason();
+      obs::set_loss_reason(last == obs::LossStage::Crash ? last : obs::LossStage::Timeout);
       return std::nullopt;
     }
     JRSND_COUNT("dndp.retx.attempts");
@@ -79,6 +86,7 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
   const auto confirm_decoded = ConfirmMessage::decode(*confirm_rx, wire_);
   if (!confirm_decoded) {
     result.mac_failure = true;  // malformed after successful delivery: tampering
+    obs::set_loss_reason(obs::LossStage::Corrupt);
     return std::nullopt;
   }
   const NodeId id_b = confirm_decoded->sender;  // A now knows B's claimed ID
@@ -91,13 +99,17 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
                                             auth1.encode(wire_));
   if (!auth1_rx) return std::nullopt;
   const auto auth1_decoded = AuthMessage::decode(*auth1_rx, wire_);
-  if (!auth1_decoded) return std::nullopt;
+  if (!auth1_decoded) {
+    obs::set_loss_reason(obs::LossStage::Corrupt);
+    return std::nullopt;
+  }
 
   // B verifies: equal MACs prove A holds the key the authority issued for
   // ID_A (mutual authentication, paper §V-B).
   const crypto::SymmetricKey key_ba = b.key().shared_key(auth1_decoded->sender);
   if (!auth1_decoded->verify(key_ba, wire_)) {
     result.mac_failure = true;
+    obs::set_loss_reason(obs::LossStage::Corrupt);
     return std::nullopt;
   }
 
@@ -108,9 +120,13 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
                                             auth2.encode(wire_));
   if (!auth2_rx) return std::nullopt;
   const auto auth2_decoded = AuthMessage::decode(*auth2_rx, wire_);
-  if (!auth2_decoded) return std::nullopt;
+  if (!auth2_decoded) {
+    obs::set_loss_reason(obs::LossStage::Corrupt);
+    return std::nullopt;
+  }
   if (!auth2_decoded->verify(key_ab, wire_)) {
     result.mac_failure = true;
+    obs::set_loss_reason(obs::LossStage::Corrupt);
     return std::nullopt;
   }
 
@@ -125,11 +141,23 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
 DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
   DndpResult result;
   JRSND_COUNT("dndp.runs");
+
+  // One discovery attempt = one trace. The id is a pure function of the
+  // engine's seed and the pair, so serial and parallel Monte-Carlo runs of
+  // the same experiment produce identical trace ids.
+  obs::Span root("dndp.attempt", obs::derive_trace_id(trace_salt_, raw(a.id()), raw(b.id()),
+                                                      attempts_++));
+  root.with_u64("a", raw(a.id()));
+  root.with_u64("b", raw(b.id()));
+  (void)obs::take_loss_reason();  // start the attempt with a clean channel
+
   std::vector<CodeId> shared = intersect_sorted(a.usable_codes(), b.usable_codes());
   result.shared_codes = static_cast<std::uint32_t>(shared.size());
   if (shared.empty()) {
     JRSND_COUNT("dndp.no_shared_code");
     JRSND_COUNT("dndp.failed");
+    root.set_ok(false);
+    root.set_loss(obs::LossStage::NoSharedCode);
     return result;
   }
 
@@ -149,11 +177,17 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
 
   std::optional<SubsessionOutcome> winner;
   std::uint32_t attempted = 0;
+  obs::LossStage last_loss = obs::LossStage::None;
+  Duration elapsed_total{0.0};
   for (const CodeId code : shared) {
     JRSND_COUNT("dndp.subsessions.started");
     ++attempted;
     phy_.begin_subsession(a.id(), b.id(), code);
     HandshakeStateMachine hs(params_.retry, retry_rng_, clock_rate);
+
+    obs::Span sub("dndp.subsession");
+    sub.with_u64("code", raw(code));
+    bool sub_ok = false;
 
     // 1. A -> *: {HELLO, ID_A}_{C_i}. (The broadcast also uses A's other
     // codes; only shared ones can reach B, so we model those.)
@@ -163,18 +197,32 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
                                               b.id(), tx, TxClass::Hello,
                                               hello.encode(wire_));
     std::optional<HelloMessage> hello_decoded;
-    if (hello_rx) hello_decoded = HelloMessage::decode(*hello_rx, wire_);
+    if (hello_rx) {
+      hello_decoded = HelloMessage::decode(*hello_rx, wire_);
+      if (!hello_decoded) obs::set_loss_reason(obs::LossStage::Corrupt);
+    }
     if (hello_decoded) {
       ++result.hellos_delivered;
       const auto outcome = run_subsession(a, b, code, nonce_a, nonce_b, hs, result);
       if (outcome.has_value()) {
         ++result.subsessions_completed;
+        sub_ok = true;
         if (!winner.has_value()) {
           winner = outcome;
           result.winning_code = code;
         }
       }
     }
+    sub.set_ok(sub_ok);
+    if (!sub_ok) {
+      // The stage that killed this sub-session; the last failed sub-session
+      // determines the attempt-level attribution.
+      const obs::LossStage sub_loss = obs::take_loss_reason();
+      last_loss = sub_loss != obs::LossStage::None ? sub_loss : obs::LossStage::DecodeFail;
+      sub.set_loss(last_loss);
+    }
+    sub.set_dur(hs.elapsed().seconds());
+    elapsed_total += hs.elapsed();
     result.retransmissions += hs.retransmissions();
     result.timeouts += hs.timeouts();
     // The naive variant commits to the first delivered HELLO's code,
@@ -188,6 +236,12 @@ DndpResult DndpEngine::run(NodeState& a, NodeState& b) {
     LogicalNeighbor for_b{winner->key_ab, winner->session_code, false};
     a.add_logical_neighbor(b.id(), std::move(for_a));
     b.add_logical_neighbor(a.id(), std::move(for_b));
+  }
+
+  root.set_ok(result.discovered);
+  root.set_dur(elapsed_total.seconds());
+  if (!result.discovered) {
+    root.set_loss(last_loss != obs::LossStage::None ? last_loss : obs::LossStage::DecodeFail);
   }
 
   if (result.discovered) {

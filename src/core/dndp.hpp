@@ -85,6 +85,8 @@ class DndpEngine {
   bool redundancy_;
   Rng retry_rng_;
   const HandshakeClock* clock_;
+  std::uint64_t trace_salt_;  ///< retry_seed; keys per-attempt trace ids
+  std::uint64_t attempts_ = 0;
 };
 
 }  // namespace jrsnd::core

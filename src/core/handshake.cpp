@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+
 namespace jrsnd::core {
 
 double RetryPolicy::nominal_backoff_s(std::uint32_t retx) const noexcept {
@@ -83,11 +85,15 @@ std::optional<Duration> HandshakeStateMachine::on_timeout() {
   elapsed_ += Duration{policy_.timeout_s * clock_rate_};
   auto backoff = retry_.on_timeout();
   if (!backoff) {
+    // Flight-only (never JSONL): postmortems see which stage ran dry without
+    // perturbing the deterministic trace stream.
+    obs::flight_note("hs.exhausted", static_cast<std::uint64_t>(stage_));
     stage_ = HandshakeStage::Failed;
     return std::nullopt;
   }
   ++total_retransmissions_;
   elapsed_ += *backoff;
+  obs::flight_note("hs.retx", total_retransmissions_);
   return backoff;
 }
 

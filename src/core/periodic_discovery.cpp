@@ -4,6 +4,8 @@
 
 #include "core/abstract_phy.hpp"
 #include "fault/faulty_phy.hpp"
+#include "obs/event_log.hpp"
+#include "obs/span.hpp"
 #include "sim/topology.hpp"
 
 namespace jrsnd::core {
@@ -80,6 +82,13 @@ std::vector<PeriodicDiscoveryRunner::EpochReport> PeriodicDiscoveryRunner::run()
     const TimePoint start{static_cast<double>(epoch) * config_.interval.seconds()};
     const sim::Topology topology(field, mobility_.snapshot(start), config_.params.tx_range);
 
+    // Epoch span: a detached (trace-0) structural span so stage tables show
+    // per-epoch timing without the epoch itself counting as an attempt. All
+    // of the epoch's trace events stamp the epoch start time.
+    const obs::ScopedSimTime epoch_time(start.seconds());
+    obs::Span epoch_span("periodic.epoch");
+    epoch_span.with_u64("epoch", epoch);
+
     EpochReport report;
     report.at = start;
     report.physical_pairs = topology.pairs().size();
@@ -150,6 +159,8 @@ std::vector<PeriodicDiscoveryRunner::EpochReport> PeriodicDiscoveryRunner::run()
                           ? 1.0
                           : static_cast<double>(report.logical_pairs) /
                                 static_cast<double>(report.physical_pairs);
+    epoch_span.with_u64("pairs", report.physical_pairs);
+    epoch_span.set_dur(config_.interval.seconds());
     reports.push_back(report);
   }
   return reports;

@@ -4,6 +4,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/sinks.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::core {
 
@@ -22,8 +23,9 @@ const char* tx_class_name(TxClass cls) noexcept {
 std::optional<BitVector> TracingPhy::transmit(NodeId from, NodeId to, TxCode code, TxClass cls,
                                               const BitVector& payload) {
   auto result = inner_.transmit(from, to, code, cls, payload);
+  const obs::SpanContext span = obs::current_span();
   records_.push_back(TxRecord{from, to, code.id, cls, payload.size(), result.has_value(),
-                              now_.seconds(), next_seq_++});
+                              now_.seconds(), next_seq_++, span.trace_id, span.span_id});
   return result;
 }
 
@@ -67,6 +69,9 @@ void TracingPhy::print_jsonl(std::ostream& os) const {
       ev.with("code", std::uint64_t{raw(r.code)});
     }
     ev.with("bits", std::uint64_t{r.payload_bits}).with("delivered", r.delivered);
+    if (r.trace_id != 0) {
+      ev.with("trace", r.trace_id).with("span", std::uint64_t{r.span_id});
+    }
     obs::write_jsonl(os, ev);
   }
 }

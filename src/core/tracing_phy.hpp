@@ -26,6 +26,12 @@ struct TxRecord {
   // aggregate-initialized literals stay valid.
   double t = 0.0;          ///< simulated seconds (set_time), 0 when untimed
   std::uint64_t seq = 0;   ///< 1-based monotonic capture order
+  // Causal frame metadata: the span context live on the transmitting thread
+  // at capture (obs::current_span()), 0 when no trace/span was active. This
+  // is what ties a PHY frame back to the discovery attempt and handshake
+  // stage that sent it.
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
 };
 
 [[nodiscard]] const char* tx_class_name(TxClass cls) noexcept;

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "crypto/hmac.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::crypto {
 
@@ -88,6 +89,8 @@ Sealer::Sealer(const SymmetricKey& pair_key, const std::string& direction) {
 }
 
 SealedMessage Sealer::seal(std::span<const std::uint8_t> plaintext) {
+  obs::Span span("crypto.seal");
+  span.with_u64("bytes", plaintext.size());
   SealedMessage msg;
   msg.counter = counter_++;
   const std::vector<std::uint8_t> ks = keystream(enc_key_, msg.counter, plaintext.size());
@@ -104,6 +107,7 @@ Unsealer::Unsealer(const SymmetricKey& pair_key, const std::string& direction) {
 }
 
 std::optional<std::vector<std::uint8_t>> Unsealer::open(const SealedMessage& message) {
+  obs::Span span("crypto.unseal");
   // Authenticate first (constant-time compare), then replay-check, then
   // decrypt.
   const auto expected = compute_tag(mac_key_, message.counter, message.ciphertext);
@@ -111,8 +115,16 @@ std::optional<std::vector<std::uint8_t>> Unsealer::open(const SealedMessage& mes
   for (std::size_t i = 0; i < kSealTagBytes; ++i) {
     diff |= static_cast<std::uint8_t>(expected[i] ^ message.tag[i]);
   }
-  if (diff != 0) return std::nullopt;
-  if (message.counter <= highest_seen_) return std::nullopt;  // replay / reorder
+  if (diff != 0) {
+    span.set_ok(false);
+    span.set_loss(obs::LossStage::Corrupt);
+    return std::nullopt;
+  }
+  if (message.counter <= highest_seen_) {
+    span.set_ok(false);
+    span.set_loss(obs::LossStage::Corrupt);
+    return std::nullopt;  // replay / reorder
+  }
   highest_seen_ = message.counter;
 
   const std::vector<std::uint8_t> ks =

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/span.hpp"
 
 namespace jrsnd::fault {
 
@@ -59,6 +61,13 @@ std::optional<BitVector> FaultyPhy::transmit(NodeId from, NodeId to,
     // RNG) never sees the attempt.
     ++totals_.crash_blocked;
     JRSND_COUNT("fault.injected.crash_blocked");
+    obs::set_loss_reason(obs::LossStage::Crash);
+    if (!crash_dumped_) {
+      // First blocked message of this phy's lifetime: snapshot the flight
+      // rings so the postmortem shows what led into the crash window.
+      crash_dumped_ = true;
+      obs::flight_on_crash_event();
+    }
     return std::nullopt;
   }
 
@@ -73,6 +82,7 @@ std::optional<BitVector> FaultyPhy::transmit(NodeId from, NodeId to,
   if (plan_.drop > 0.0 && rng_.bernoulli(plan_.drop)) {
     ++totals_.dropped;
     JRSND_COUNT("fault.injected.drop");
+    obs::set_loss_reason(obs::LossStage::Fault);
     return std::nullopt;
   }
   if (plan_.corrupt > 0.0 && rng_.bernoulli(plan_.corrupt)) {
@@ -101,6 +111,7 @@ std::optional<BitVector> FaultyPhy::transmit(NodeId from, NodeId to,
       held_.emplace(key, std::move(bits));
       ++totals_.reordered;
       JRSND_COUNT("fault.injected.reorder");
+      obs::set_loss_reason(obs::LossStage::Fault);
       return std::nullopt;
     }
     if (plan_.duplicate > 0.0 && rng_.bernoulli(plan_.duplicate)) {

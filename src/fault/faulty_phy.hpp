@@ -71,6 +71,7 @@ class FaultyPhy final : public core::PhyModel {
   Rng rng_;
   TimePoint now_{0.0};
   Totals totals_;
+  bool crash_dumped_ = false;  ///< flight dump fired for this phy's first crash block
 
   struct LinkKey {
     NodeId from;

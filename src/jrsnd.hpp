@@ -19,9 +19,13 @@
 
 // obs
 #include "obs/event_log.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sinks.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_analysis.hpp"
 
 // crypto
 #include "crypto/hmac.hpp"

@@ -10,6 +10,9 @@ namespace {
 
 std::atomic<bool> g_tracing_enabled{false};
 
+thread_local double t_sim_time = 0.0;
+thread_local bool t_sim_time_active = false;
+
 }  // namespace
 
 const char* severity_name(Severity sev) noexcept {
@@ -67,9 +70,15 @@ void EventLog::set_sim_time(double t) noexcept {
 double EventLog::sim_time() const noexcept { return sim_time_.load(std::memory_order_relaxed); }
 
 void EventLog::emit(TraceEvent event) {
+  // An *active* thread-local override wins even when its value is 0.0 (run
+  // index 0 is a legitimate time); only threads with no override fall back
+  // to the process-wide clock, which may hold a stale value from an earlier
+  // serial sweep.
+  const bool overridden = event.t == 0.0 && t_sim_time_active;
+  if (overridden) event.t = t_sim_time;
   const std::lock_guard<std::mutex> lock(mutex_);
   event.seq = next_seq_++;
-  if (event.t == 0.0) event.t = sim_time_.load(std::memory_order_relaxed);
+  if (event.t == 0.0 && !overridden) event.t = sim_time_.load(std::memory_order_relaxed);
   for (const auto& sink : sinks_) sink->write(event);
   if (ring_capacity_ == 0) return;
   if (ring_.size() == ring_capacity_) ring_.pop_front();
@@ -105,6 +114,21 @@ void EventLog::clear() {
 EventLog& event_log() {
   static EventLog instance;
   return instance;
+}
+
+ScopedSimTime::ScopedSimTime(double t) noexcept
+    : saved_t_(t_sim_time), saved_active_(t_sim_time_active) {
+  t_sim_time = t;
+  t_sim_time_active = true;
+}
+
+ScopedSimTime::~ScopedSimTime() {
+  t_sim_time = saved_t_;
+  t_sim_time_active = saved_active_;
+}
+
+double current_sim_time() noexcept {
+  return t_sim_time_active ? t_sim_time : event_log().sim_time();
 }
 
 }  // namespace jrsnd::obs

@@ -108,6 +108,29 @@ class EventLog {
 /// The process-wide event log all instrumentation feeds.
 [[nodiscard]] EventLog& event_log();
 
+/// RAII thread-local sim-time override. While alive, events emitted from
+/// this thread that carry t == 0 are stamped with `t` instead of the global
+/// sim time — how parallel Monte-Carlo workers stamp their own run index so
+/// interleaved traces stay attributable (and, after a seed-ordered sort,
+/// byte-identical to a serial run). Nests; the previous value is restored.
+class ScopedSimTime {
+ public:
+  explicit ScopedSimTime(double t) noexcept;
+  ~ScopedSimTime();
+
+  ScopedSimTime(const ScopedSimTime&) = delete;
+  ScopedSimTime& operator=(const ScopedSimTime&) = delete;
+
+ private:
+  double saved_t_;
+  bool saved_active_;
+};
+
+/// The sim time instrumentation on this thread should stamp right now: the
+/// innermost ScopedSimTime override if one is active, else the global
+/// event_log() clock.
+[[nodiscard]] double current_sim_time() noexcept;
+
 /// Emits through the global log iff tracing is enabled.
 inline void trace_event(TraceEvent event) {
   if (tracing_enabled()) event_log().emit(std::move(event));

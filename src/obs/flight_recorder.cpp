@@ -1,0 +1,329 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/sinks.hpp"
+
+namespace jrsnd::obs {
+
+namespace {
+
+std::atomic<bool> g_flight_enabled{true};
+std::atomic<std::size_t> g_capacity_override{0};
+
+// Wall clock origin: first call wins; steady_clock so time never jumps.
+std::chrono::steady_clock::time_point process_start() noexcept {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// One thread's ring. Lives forever in the global intrusive list below;
+/// `in_use` flips false when the owning thread exits so a later thread can
+/// adopt it (bounding memory across repeated thread-pool churn) while its
+/// records stay dumpable.
+struct Ring {
+  explicit Ring(std::size_t cap) : capacity(cap), records(cap) {}
+
+  void lock() noexcept {
+    while (spin.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { spin.clear(std::memory_order_release); }
+
+  Ring* next = nullptr;  // immutable after publication
+  std::atomic<bool> in_use{false};
+  std::atomic_flag spin = ATOMIC_FLAG_INIT;
+  std::uint64_t pushed = 0;  // guarded by spin
+  const std::size_t capacity;
+  std::vector<FlightRecord> records;  // guarded by spin
+};
+
+std::atomic<Ring*> g_rings{nullptr};
+
+Ring* acquire_ring() {
+  const std::size_t want = flight_capacity();
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    bool free = false;
+    if (r->capacity == want &&
+        r->in_use.compare_exchange_strong(free, true, std::memory_order_acq_rel)) {
+      return r;
+    }
+  }
+  Ring* r = new Ring(want);  // intentionally never freed: reachable from g_rings
+  r->in_use.store(true, std::memory_order_relaxed);
+  r->next = g_rings.load(std::memory_order_relaxed);
+  while (!g_rings.compare_exchange_weak(r->next, r, std::memory_order_acq_rel)) {
+  }
+  return r;
+}
+
+thread_local Ring* t_ring = nullptr;
+
+struct RingRelease {
+  ~RingRelease() {
+    if (t_ring != nullptr) {
+      t_ring->in_use.store(false, std::memory_order_release);
+      t_ring = nullptr;
+    }
+  }
+};
+thread_local RingRelease t_ring_release;
+
+Ring& this_thread_ring() {
+  if (t_ring == nullptr) {
+    t_ring = acquire_ring();
+    (void)t_ring_release;  // odr-use so the releaser is constructed
+  }
+  return *t_ring;
+}
+
+std::mutex g_dump_path_mutex;
+std::string g_dump_path;
+
+/// Copy of every ring's surviving records, oldest first within each ring.
+std::vector<FlightRecord> collect_records() {
+  std::vector<FlightRecord> out;
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    r->lock();
+    const std::uint64_t live = std::min<std::uint64_t>(r->pushed, r->capacity);
+    for (std::uint64_t i = 0; i < live; ++i) {
+      out.push_back(r->records[(r->pushed - live + i) % r->capacity]);
+    }
+    r->unlock();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) { return a.t_wall < b.t_wall; });
+  return out;
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) noexcept {
+  switch (kind) {
+    case FlightKind::SpanBegin: return "begin";
+    case FlightKind::SpanEnd: return "end";
+    case FlightKind::Note: return "note";
+  }
+  return "?";
+}
+
+bool flight_enabled() noexcept { return g_flight_enabled.load(std::memory_order_relaxed); }
+
+void set_flight_enabled(bool enabled) noexcept {
+  g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t flight_capacity() noexcept {
+  if (const std::size_t cap = g_capacity_override.load(std::memory_order_relaxed); cap != 0) {
+    return cap;
+  }
+  static const std::size_t from_env = [] {
+    if (const char* env = std::getenv("JRSND_FLIGHT_CAPACITY")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(256);
+  }();
+  return from_env;
+}
+
+void set_flight_capacity(std::size_t records) noexcept {
+  g_capacity_override.store(records, std::memory_order_relaxed);
+}
+
+void flight_record(const FlightRecord& record) noexcept {
+  if (!flight_enabled()) return;
+  Ring& ring = this_thread_ring();
+  ring.lock();
+  ring.records[ring.pushed % ring.capacity] = record;
+  ++ring.pushed;
+  ring.unlock();
+  JRSND_COUNT("obs.flight.records");
+}
+
+void flight_note(const char* name, std::uint64_t arg) noexcept {
+  if (!flight_enabled()) return;
+  const SpanContext ctx = current_span();
+  FlightRecord rec;
+  rec.t_wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - process_start())
+                   .count();
+  rec.t_sim = current_sim_time();
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_id = ctx.parent_id;
+  rec.name = name;
+  rec.arg = arg;
+  rec.kind = FlightKind::Note;
+  flight_record(rec);
+}
+
+std::uint64_t flight_records_pushed() {
+  std::uint64_t total = 0;
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    r->lock();
+    total += r->pushed;
+    r->unlock();
+  }
+  return total;
+}
+
+std::uint64_t flight_records_dropped() {
+  std::uint64_t dropped = 0;
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    r->lock();
+    if (r->pushed > r->capacity) dropped += r->pushed - r->capacity;
+    r->unlock();
+  }
+  return dropped;
+}
+
+void flight_reset() {
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    r->lock();
+    r->pushed = 0;
+    r->unlock();
+  }
+}
+
+std::size_t dump_flight(std::ostream& os) {
+  const std::vector<FlightRecord> records = collect_records();
+  std::uint64_t seq = 0;
+  for (const FlightRecord& rec : records) {
+    TraceEvent ev(std::string("flight.") + flight_kind_name(rec.kind),
+                  rec.ok ? Severity::Info : Severity::Warn);
+    ev.t = rec.t_sim;
+    ev.seq = ++seq;
+    ev.with("wall_s", rec.t_wall)
+        .with("name", std::string(rec.name != nullptr ? rec.name : "?"))
+        .with("trace", rec.trace_id)
+        .with("span", static_cast<std::uint64_t>(rec.span_id))
+        .with("parent", static_cast<std::uint64_t>(rec.parent_id));
+    if (rec.kind == FlightKind::SpanEnd) ev.with("ok", rec.ok);
+    if (rec.loss != LossStage::None) ev.with("loss", std::string(loss_stage_name(rec.loss)));
+    if (rec.kind == FlightKind::Note && rec.arg != 0) ev.with("arg", rec.arg);
+    write_jsonl(os, ev);
+  }
+  JRSND_COUNT("obs.flight.dumps");
+  return records.size();
+}
+
+void set_flight_dump_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(g_dump_path_mutex);
+  g_dump_path = std::move(path);
+}
+
+std::string flight_dump_path() {
+  const std::lock_guard<std::mutex> lock(g_dump_path_mutex);
+  return g_dump_path;
+}
+
+bool dump_flight_now() {
+  const std::string path = flight_dump_path();
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  dump_flight(out);
+  return static_cast<bool>(out);
+}
+
+void flight_on_crash_event() {
+  flight_note("fault.crash_window", 1);
+  (void)dump_flight_now();
+}
+
+namespace {
+
+// --- async-signal-safe dumper ----------------------------------------------
+//
+// Only snprintf into a stack buffer + write(2); walks the ring list without
+// taking spinlocks (a crashed thread may hold one) — records are PODs, so a
+// torn read at worst garbles the line being overwritten at crash time.
+
+void write_all(int fd, const char* buf, std::size_t len) noexcept {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, buf + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void dump_flight_fd(int fd) {
+  char buf[512];
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    const std::uint64_t pushed = r->pushed;
+    const std::uint64_t live = std::min<std::uint64_t>(pushed, r->capacity);
+    for (std::uint64_t i = 0; i < live; ++i) {
+      const FlightRecord& rec = r->records[(pushed - live + i) % r->capacity];
+      const int n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"t\":%.6f,\"seq\":%llu,\"sev\":\"%s\",\"event\":\"flight.%s\",\"wall_s\":%.6f,"
+          "\"name\":\"%s\",\"trace\":%llu,\"span\":%u,\"parent\":%u,\"ok\":%s,\"loss\":\"%s\"}\n",
+          rec.t_sim, static_cast<unsigned long long>(i + 1),
+          rec.ok ? "info" : "warn", flight_kind_name(rec.kind), rec.t_wall,
+          rec.name != nullptr ? rec.name : "?",
+          static_cast<unsigned long long>(rec.trace_id), rec.span_id, rec.parent_id,
+          rec.ok ? "true" : "false", loss_stage_name(rec.loss));
+      if (n > 0) write_all(fd, buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+    }
+  }
+}
+
+namespace {
+
+char g_crash_path[512] = {0};
+std::atomic<bool> g_handler_installed{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void dump_to_crash_path() noexcept {
+  if (g_crash_path[0] == '\0') return;
+  const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  dump_flight_fd(fd);
+  ::close(fd);
+}
+
+void crash_signal_handler(int sig) {
+  dump_to_crash_path();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+[[noreturn]] void terminate_with_dump() {
+  dump_to_crash_path();
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void install_flight_crash_handler(std::string path) {
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", path.c_str());
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return;  // already installed; only the path was refreshed above
+  }
+  std::signal(SIGSEGV, crash_signal_handler);
+  std::signal(SIGABRT, crash_signal_handler);
+  std::signal(SIGBUS, crash_signal_handler);
+  g_prev_terminate = std::set_terminate(terminate_with_dump);
+}
+
+}  // namespace jrsnd::obs

@@ -1,0 +1,97 @@
+// Always-on flight recorder (docs/observability.md).
+//
+// Every thread that records gets a fixed-capacity ring of plain-data
+// FlightRecords. Pushing is the hot path: one thread-local load, a spinlock
+// that is uncontended except while a dump walks the ring, and a struct copy
+// — no heap allocation after the ring exists (the perf_alloc harness proves
+// this through ChipPhy's instrumented transmit path). Rings live in a global
+// intrusive list that is never freed; when a thread exits its ring is marked
+// reusable but keeps its contents, so postmortems still see the last N
+// records of finished workers.
+//
+// Dump triggers:
+//   * on demand — dump_flight(ostream) / dump_flight_now();
+//   * on injected crashes — FaultyPhy notifies flight_on_crash_event() the
+//     first time a crash window blocks traffic, which dumps to the
+//     configured path (set_flight_dump_path);
+//   * on process death — install_flight_crash_handler() hooks SIGSEGV /
+//     SIGABRT / SIGBUS and std::terminate with an async-signal-safe writer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace jrsnd::obs {
+
+enum class FlightKind : std::uint8_t { SpanBegin = 0, SpanEnd = 1, Note = 2 };
+
+[[nodiscard]] const char* flight_kind_name(FlightKind kind) noexcept;
+
+/// One binary trace record. `name` must point at static storage (string
+/// literals) — the ring stores the pointer, never a copy.
+struct FlightRecord {
+  double t_wall = 0.0;  ///< seconds since process start (steady clock)
+  double t_sim = 0.0;   ///< event-log sim time / run index at record time
+  std::uint64_t trace_id = 0;
+  std::uint64_t arg = 0;  ///< note argument / span annotation
+  const char* name = nullptr;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;
+  FlightKind kind = FlightKind::Note;
+  bool ok = true;
+  LossStage loss = LossStage::None;
+};
+
+/// Recording switch, default ON (the recorder exists for the runs nobody
+/// planned to debug). Benches flip it off to measure its cost.
+[[nodiscard]] bool flight_enabled() noexcept;
+void set_flight_enabled(bool enabled) noexcept;
+
+/// Per-thread ring capacity in records. Read from JRSND_FLIGHT_CAPACITY at
+/// first use (default 256); set_flight_capacity overrides for tests. Only
+/// affects rings created afterwards.
+[[nodiscard]] std::size_t flight_capacity() noexcept;
+void set_flight_capacity(std::size_t records) noexcept;
+
+/// Appends a record to this thread's ring (creating it on first use).
+void flight_record(const FlightRecord& record) noexcept;
+
+/// Convenience point record under the current span context (retries,
+/// timeouts, fault injections). Zero-alloc; `name` must be a literal.
+void flight_note(const char* name, std::uint64_t arg = 0) noexcept;
+
+/// Total records ever pushed / dropped (overwritten) across all rings.
+[[nodiscard]] std::uint64_t flight_records_pushed();
+[[nodiscard]] std::uint64_t flight_records_dropped();
+
+/// Empties every ring (capacity and ownership unchanged). Test helper.
+void flight_reset();
+
+/// Writes every surviving record, oldest wall-clock first, as JSONL
+/// `flight.*` events in the standard trace schema. Returns records written.
+std::size_t dump_flight(std::ostream& os);
+
+/// Destination for trigger-driven dumps (crash events, signal handler).
+/// Empty (the default) disables those dumps.
+void set_flight_dump_path(std::string path);
+[[nodiscard]] std::string flight_dump_path();
+
+/// Dumps to the configured path now; false if no path or the open failed.
+bool dump_flight_now();
+
+/// Called by FaultyPhy when an injected crash window first blocks traffic;
+/// dumps to the configured path (at most once per call site's choosing).
+void flight_on_crash_event();
+
+/// Async-signal-safe dump onto a raw fd (snprintf + write only) — the
+/// primitive the signal handler uses; exposed for tests.
+void dump_flight_fd(int fd);
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS handlers and a std::terminate hook that
+/// dump the rings to `path` before re-raising. Idempotent.
+void install_flight_crash_handler(std::string path);
+
+}  // namespace jrsnd::obs

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <limits>
 #include <ostream>
+#include <stdexcept>
 
 #include "obs/sinks.hpp"  // json_escape
 
@@ -288,10 +289,26 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
   os << "}}";
 }
 
+namespace {
+
+/// A name registered under two metric kinds would silently split one logical
+/// metric across snapshot sections; refuse with both kinds named.
+[[noreturn]] void throw_kind_collision(std::string_view name, const char* requested,
+                                       const char* existing) {
+  throw std::logic_error("metric name '" + std::string(name) + "' requested as " + requested +
+                         " but already registered as a " + existing);
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    if (gauges_.find(name) != gauges_.end()) throw_kind_collision(name, "counter", "gauge");
+    if (histograms_.find(name) != histograms_.end()) {
+      throw_kind_collision(name, "counter", "histogram");
+    }
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
   }
   return *it->second;
@@ -301,6 +318,10 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    if (counters_.find(name) != counters_.end()) throw_kind_collision(name, "gauge", "counter");
+    if (histograms_.find(name) != histograms_.end()) {
+      throw_kind_collision(name, "gauge", "histogram");
+    }
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
   }
   return *it->second;
@@ -310,6 +331,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const dou
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    if (counters_.find(name) != counters_.end()) {
+      throw_kind_collision(name, "histogram", "counter");
+    }
+    if (gauges_.find(name) != gauges_.end()) throw_kind_collision(name, "histogram", "gauge");
     std::vector<double> edges(bounds.begin(), bounds.end());
     if (edges.empty()) edges = default_latency_bounds();
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(edges)))
@@ -406,10 +431,15 @@ void preregister_core_metrics() {
            "ecc.rs.decode.fail", "ecc.rs.decode.erasures", "ecc.rs.decode.errors_corrected",
            "phy.tx.total", "phy.tx.delivered", "phy.tx.jammed", "phy.tx.out_of_range",
            "sim.events.processed",
+           "obs.span.started", "obs.span.ended",
+           "obs.flight.records", "obs.flight.dumps",
+           "export.heartbeats",
        }) {
     (void)r.counter(name);
   }
   (void)r.gauge("sim.queue.depth.highwater");
+  (void)r.gauge("sim.runs.completed");
+  (void)r.gauge("sim.runs.total");
   for (const char* name : {"sim.phase.world.seconds", "sim.phase.dndp.seconds",
                            "sim.phase.mndp.seconds", "sim.phase.rates.seconds",
                            "sim.phase.run.seconds"}) {

@@ -152,7 +152,10 @@ struct MetricsSnapshot {
 
 /// Named-metric registry. Thread-safe registration; returned references are
 /// stable for the registry's lifetime. Re-requesting a name returns the same
-/// object (histogram bounds from the first registration win).
+/// object (histogram bounds from the first registration win). Requesting a
+/// name already registered as a *different* kind throws std::logic_error
+/// naming both kinds — one logical metric must not silently split across
+/// snapshot sections.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -239,6 +241,33 @@ TEST(ScopedTimer, ArmedRecordsOneObservation) {
   }
   EXPECT_EQ(h.count(), 1u);
   EXPECT_GE(h.max(), 0.0);
+}
+
+TEST(Registry, CrossKindNameCollisionThrowsNamingBothKinds) {
+  MetricsRegistry reg;
+  reg.counter("shared.name");
+  // Re-requesting the same name as a different kind must fail loudly (the
+  // silent alternative would hand back a second object and split the metric
+  // between two maps) and the message must name the conflicting kind.
+  try {
+    reg.gauge("shared.name");
+    FAIL() << "gauge('shared.name') over an existing counter did not throw";
+  } catch (const std::logic_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("shared.name"), std::string::npos) << what;
+    EXPECT_NE(what.find("counter"), std::string::npos) << what;
+    EXPECT_NE(what.find("gauge"), std::string::npos) << what;
+  }
+  EXPECT_THROW(reg.histogram("shared.name"), std::logic_error);
+
+  reg.gauge("other.kind");
+  EXPECT_THROW(reg.counter("other.kind"), std::logic_error);
+  reg.histogram("hist.kind");
+  EXPECT_THROW(reg.counter("hist.kind"), std::logic_error);
+  EXPECT_THROW(reg.gauge("hist.kind"), std::logic_error);
+
+  // Same-kind lookups still return the one shared object.
+  EXPECT_EQ(&reg.counter("shared.name"), &reg.counter("shared.name"));
 }
 
 TEST(ScopedTimer, DisarmedAndCancelledRecordNothing) {

@@ -1,0 +1,255 @@
+// Offline trace analysis: strict JSONL reading, trace normalization, span
+// reconstruction / loss attribution, and the ISSUE-6 flagship property —
+// a parallel run_all() trace is byte-identical to the serial one after
+// seed-ordered normalization.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/discovery_sim.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/event_log.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace jrsnd::obs {
+namespace {
+
+TraceEvent span_begin(double t, std::uint64_t trace, std::uint64_t span,
+                      std::uint64_t parent, const std::string& name) {
+  TraceEvent ev("span.begin");
+  ev.t = t;
+  ev.with("trace", trace);
+  ev.with("span", span);
+  ev.with("parent", parent);
+  ev.with("name", name);
+  return ev;
+}
+
+TraceEvent span_end(double t, std::uint64_t trace, std::uint64_t span,
+                    std::uint64_t parent, const std::string& name, bool ok,
+                    const char* loss = nullptr, double dur = -1.0) {
+  TraceEvent ev("span.end");
+  ev.t = t;
+  ev.with("trace", trace);
+  ev.with("span", span);
+  ev.with("parent", parent);
+  ev.with("name", name);
+  ev.with("ok", ok);
+  if (loss != nullptr) ev.with("loss", std::string(loss));
+  if (dur >= 0.0) ev.with("dur", dur);
+  return ev;
+}
+
+TEST(TraceRead, ParsesEventsAndToleratesBlankLines) {
+  std::istringstream in(
+      "{\"t\":1,\"seq\":1,\"sev\":\"info\",\"event\":\"a\"}\n"
+      "\n"
+      "{\"t\":2,\"seq\":2,\"sev\":\"info\",\"event\":\"b\"}\n");
+  std::vector<TraceEvent> events;
+  TraceReadError error;
+  ASSERT_TRUE(read_trace_jsonl(in, events, &error));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceRead, ReportsOneBasedLineOfFirstMalformedLine) {
+  std::istringstream in(
+      "{\"t\":1,\"seq\":1,\"sev\":\"info\",\"event\":\"a\"}\n"
+      "\n"
+      "this is not json\n");
+  std::vector<TraceEvent> events;
+  TraceReadError error;
+  EXPECT_FALSE(read_trace_jsonl(in, events, &error));
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(TraceNormalize, SortsByTimeStablyAndRenumbersSeq) {
+  std::vector<TraceEvent> events;
+  events.push_back(span_begin(2.0, 10, 1, 0, "late"));
+  events.push_back(span_begin(1.0, 20, 1, 0, "early.first"));
+  events.push_back(span_begin(1.0, 21, 1, 0, "early.second"));
+  events[0].seq = 900;
+  events[1].seq = 901;
+  events[2].seq = 902;
+
+  normalize_trace(events);
+  EXPECT_EQ(std::get<std::string>(*events[0].field("name")), "early.first");
+  EXPECT_EQ(std::get<std::string>(*events[1].field("name")), "early.second");
+  EXPECT_EQ(std::get<std::string>(*events[2].field("name")), "late");
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].seq, 3u);
+}
+
+TEST(TraceAnalysis, PairsSpansAttributesLossAndCountsAttempts) {
+  std::vector<TraceEvent> events;
+  // Attempt 1 (trace 100): fails, jammed; one child transmit span.
+  events.push_back(span_begin(0.0, 100, 1, 0, "dndp.attempt"));
+  events.push_back(span_begin(0.0, 100, 2, 1, "phy.transmit"));
+  events.push_back(span_end(0.0, 100, 2, 1, "phy.transmit", false, "jammed"));
+  events.push_back(span_end(0.0, 100, 1, 0, "dndp.attempt", false, "jammed", 0.5));
+  // Attempt 2 (trace 200): succeeds.
+  events.push_back(span_begin(1.0, 200, 1, 0, "dndp.attempt"));
+  events.push_back(span_end(1.0, 200, 1, 0, "dndp.attempt", true, nullptr, 0.25));
+  // A non-span event rides along and only counts toward `events`.
+  events.emplace_back("dndp.pair");
+
+  const TraceAnalysis analysis = analyze_trace(events);
+  EXPECT_EQ(analysis.events, 7u);
+  EXPECT_EQ(analysis.span_events, 6u);
+  ASSERT_EQ(analysis.attempts.size(), 2u);
+  EXPECT_EQ(analysis.attempts[0].trace_id, 100u);
+  EXPECT_FALSE(analysis.attempts[0].ok);
+  EXPECT_EQ(analysis.attempts[0].loss, LossStage::Jammed);
+  EXPECT_DOUBLE_EQ(analysis.attempts[0].dur, 0.5);
+  EXPECT_EQ(analysis.attempts[0].spans, 2u);
+  EXPECT_TRUE(analysis.attempts[1].ok);
+
+  EXPECT_EQ(analysis.failed_attempts, 1u);
+  EXPECT_EQ(analysis.loss_counts[static_cast<std::size_t>(LossStage::Jammed)], 1u);
+  EXPECT_TRUE(analysis.attribution_complete());
+
+  ASSERT_EQ(analysis.stages.count("dndp.attempt"), 1u);
+  EXPECT_EQ(analysis.stages.at("dndp.attempt").count, 2u);
+  EXPECT_EQ(analysis.stages.at("dndp.attempt").failed, 1u);
+  EXPECT_EQ(analysis.stages.at("phy.transmit").failed, 1u);
+  EXPECT_EQ(analysis.unmatched_begin, 0u);
+  EXPECT_EQ(analysis.unmatched_end, 0u);
+}
+
+TEST(TraceAnalysis, FlagsUnattributedFailuresAndUnmatchedRecords) {
+  std::vector<TraceEvent> events;
+  events.push_back(span_begin(0.0, 300, 1, 0, "dndp.attempt"));
+  events.push_back(span_end(0.0, 300, 1, 0, "dndp.attempt", false));  // no loss
+  events.push_back(span_begin(1.0, 400, 1, 0, "dndp.attempt"));       // never ends
+  events.push_back(span_end(2.0, 500, 7, 3, "orphan", true));         // never began
+
+  const TraceAnalysis analysis = analyze_trace(events);
+  EXPECT_EQ(analysis.failed_attempts, 1u);
+  EXPECT_EQ(analysis.unattributed_failures, 1u);
+  EXPECT_FALSE(analysis.attribution_complete());
+  EXPECT_EQ(analysis.unmatched_begin, 1u);
+  EXPECT_EQ(analysis.unmatched_end, 1u);
+}
+
+TEST(TraceAnalysis, PrintsReportWithLossTable) {
+  std::vector<TraceEvent> events;
+  events.push_back(span_begin(0.0, 100, 1, 0, "dndp.attempt"));
+  events.push_back(span_end(0.0, 100, 1, 0, "dndp.attempt", false, "timeout", 1.0));
+  const TraceAnalysis analysis = analyze_trace(events);
+  std::ostringstream os;
+  print_analysis(os, analysis, 5);
+  EXPECT_NE(os.str().find("timeout"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("dndp.attempt"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 4: end-to-end trace emission under JRSND_THREADS > 1.
+
+core::ExperimentConfig traced_config() {
+  core::ExperimentConfig cfg;
+  cfg.params = core::Params::defaults();
+  cfg.params.n = 150;
+  cfg.params.m = 20;
+  cfg.params.l = 15;
+  cfg.params.q = 20;  // jammers on, so some attempts fail and need attribution
+  cfg.params.field_width = 1500.0;
+  cfg.params.field_height = 1500.0;
+  cfg.params.runs = 6;
+  cfg.base_seed = 42;
+  cfg.jammer = core::JammerKind::Random;
+  return cfg;
+}
+
+std::string capture_trace(const core::DiscoverySimulator& sim, const char* threads) {
+  EXPECT_EQ(setenv("JRSND_THREADS", threads, 1), 0) << threads;
+  std::ostringstream os;
+  const auto sink = std::make_shared<JsonlStreamSink>(os);
+  event_log().attach(sink);
+  set_tracing_enabled(true);
+  (void)sim.run_all();
+  set_tracing_enabled(false);
+  event_log().detach_all();
+  EXPECT_EQ(unsetenv("JRSND_THREADS"), 0);
+  return os.str();
+}
+
+std::vector<TraceEvent> parse_all(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::vector<TraceEvent> events;
+  TraceReadError error;
+  EXPECT_TRUE(read_trace_jsonl(in, events, &error))
+      << "line " << error.line << ": " << error.message;
+  return events;
+}
+
+std::string reserialize(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  for (const TraceEvent& ev : events) write_jsonl(os, ev);
+  return os.str();
+}
+
+TEST(TraceParallel, SpanRecordsCompleteConsistentAndByteIdenticalToSerial) {
+  const core::DiscoverySimulator sim(traced_config());
+
+  const std::string serial_raw = capture_trace(sim, "1");
+  const std::string parallel_raw = capture_trace(sim, "4");
+  ASSERT_FALSE(serial_raw.empty());
+  ASSERT_FALSE(parallel_raw.empty());
+
+  std::vector<TraceEvent> serial = parse_all(serial_raw);
+  std::vector<TraceEvent> parallel = parse_all(parallel_raw);
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  // After the seed-ordered sort + seq renumber, the two traces must agree
+  // byte for byte — worker interleaving is the only difference.
+  normalize_trace(serial);
+  normalize_trace(parallel);
+  EXPECT_EQ(reserialize(serial), reserialize(parallel));
+
+  // And both reconstruct into complete, fully attributed span trees.
+  const TraceAnalysis analysis = analyze_trace(serial);
+  EXPECT_GT(analysis.attempts.size(), 0u);
+  EXPECT_EQ(analysis.unmatched_begin, 0u);
+  EXPECT_EQ(analysis.unmatched_end, 0u);
+  EXPECT_TRUE(analysis.attribution_complete());
+}
+
+TEST(TraceParallel, ChaosTraceAttributesEveryFailedAttempt) {
+  core::ExperimentConfig cfg = traced_config();
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  plan.drop = 0.2;
+  plan.corrupt = 0.1;
+  plan.auto_tick = 0.001;
+  cfg.faults = plan;
+  cfg.params.retry.max_retx = 1;
+  const core::DiscoverySimulator sim(cfg);
+
+  const std::string raw = capture_trace(sim, "4");
+  std::vector<TraceEvent> events = parse_all(raw);
+  normalize_trace(events);
+  const TraceAnalysis analysis = analyze_trace(events);
+
+  // Chaos guarantees failures; every one of them must map to exactly one
+  // loss stage (the acceptance bar for `jrsnd analyze` on chaos traces).
+  EXPECT_GT(analysis.failed_attempts, 0u);
+  EXPECT_TRUE(analysis.attribution_complete());
+  std::uint64_t attributed = 0;
+  for (std::size_t i = 1; i < analysis.loss_counts.size(); ++i) {
+    attributed += analysis.loss_counts[i];
+  }
+  EXPECT_EQ(attributed, analysis.failed_attempts);
+}
+
+}  // namespace
+}  // namespace jrsnd::obs

@@ -18,6 +18,8 @@
 #include "core/chip_phy.hpp"
 #include "dsss/prepared_codebook.hpp"
 #include "dsss/spread_code.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
 #include "sim/topology.hpp"
 
 namespace {
@@ -101,6 +103,32 @@ TEST(TransmitHotPath, ZeroSteadyStateAllocations) {
   EXPECT_EQ(delivered, 100);
   EXPECT_TRUE(payload_intact);
   EXPECT_EQ(after - before, 0u) << "transmit_into allocated on the steady-state hot path";
+}
+
+TEST(ObsHotPath, ZeroSteadyStateAllocationsForSpansAndFlightRing) {
+  // The always-on observability path: spans (with the JSONL sink detached —
+  // tracing off is the production default) plus their flight-ring records
+  // must never touch the heap once this thread's ring exists.
+  obs::set_flight_enabled(true);
+  obs::flight_note("alloc.warmup", 1);  // acquire/create this thread's ring
+  {
+    obs::Span warm("alloc.warmup.span", 7);
+    warm.with_u64("k", 1);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span root("dndp.attempt", static_cast<std::uint64_t>(i + 1));
+    root.with_u64("a", static_cast<std::uint64_t>(i));
+    obs::Span child("phy.transmit");
+    child.set_ok(i % 3 != 0);
+    if (i % 3 == 0) child.set_loss(obs::LossStage::Jammed);
+    child.set_dur(0.001);
+    obs::flight_note("alloc.note", static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "span + flight-ring recording allocated on the steady-state path";
 }
 
 }  // namespace

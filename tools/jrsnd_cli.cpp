@@ -1,11 +1,20 @@
 // jrsnd — command-line driver for the library.
 //
 //   jrsnd analyze   [--n --m --l --q --z --mu --nu]   closed-form numbers
+//   jrsnd analyze   FILE [--top K]                     span-trace analysis:
+//                                                      latency breakdown +
+//                                                      loss attribution
 //   jrsnd simulate  [--n --m --l --q --nu --runs --seed --jammer]
-//                   [--trace-out FILE] [--metrics]     Monte-Carlo discovery
+//                   [--trace-out FILE] [--trace-wall] [--metrics]
+//                   [--export-prom FILE] [--heartbeat FILE]
+//                   [--export-interval SECS] [--flight-dump FILE]
+//                                                      Monte-Carlo discovery
 //   jrsnd trace     [--seed] [--jsonl]                 one D-NDP handshake,
 //                                                      message by message
 //   jrsnd report    FILE                               summarize a JSONL trace
+//                                                      (strict: exits 2 with
+//                                                      the offending line on
+//                                                      malformed input)
 //   jrsnd provision --node <id> [--n --m --l --chips]  hex provisioning blob
 //
 // Every flag defaults to Table I. Flags without a value ("--metrics") are
@@ -18,6 +27,7 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <variant>
@@ -58,10 +68,18 @@ int usage() {
   std::fprintf(stderr,
                "usage: jrsnd <analyze|simulate|trace|report|provision|chaos> [--flag [value]]...\n"
                "  analyze   --n --m --l --q --z --mu --nu       closed forms (Thms 1-4)\n"
+               "  analyze   FILE [--top K]                       span-trace analysis: per-\n"
+               "            attempt latency, stage stats, loss attribution\n"
                "  simulate  --n --m --l --q --nu --runs --seed --jammer {none,random,\n"
                "            reactive,intelligent}                Monte-Carlo discovery\n"
                "            --trace-out FILE    write a JSONL event trace\n"
+               "            --trace-wall        add wall_us to span.end events\n"
                "            --metrics           print the metrics table afterwards\n"
+               "            --export-prom FILE  publish Prometheus text metrics\n"
+               "            --heartbeat FILE    append JSONL heartbeat events\n"
+               "            --export-interval S background export period (default 1)\n"
+               "            --flight-dump FILE  flight-recorder dump destination\n"
+               "                                (crash events + fatal signals)\n"
                "  trace     --seed [--jsonl]                     one traced D-NDP run\n"
                "  report    FILE                                 summarize a JSONL trace\n"
                "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n"
@@ -87,7 +105,34 @@ core::Params params_from(const Args& args) {
   return p;
 }
 
+/// `jrsnd analyze FILE` — offline span-trace analysis. Strict read: any
+/// malformed line aborts with its 1-based number (exit 2), mirroring
+/// `jrsnd report`.
+int cmd_analyze_trace(const Args& args) {
+  const std::string& path = args.positionals.front();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::vector<obs::TraceEvent> events;
+  obs::TraceReadError error;
+  if (!obs::read_trace_jsonl(in, events, &error)) {
+    std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(), error.line,
+                 error.message.c_str());
+    return 2;
+  }
+  obs::normalize_trace(events);
+  const obs::TraceAnalysis analysis = obs::analyze_trace(events);
+  std::printf("trace: %s\n", path.c_str());
+  obs::print_analysis(std::cout, analysis, args.u32("top", 10));
+  // A trace with failed attempts must attribute each to exactly one stage;
+  // surface a broken invariant through the exit code so CI catches it.
+  return analysis.attribution_complete() ? 0 : 1;
+}
+
 int cmd_analyze(const Args& args) {
+  if (!args.positionals.empty()) return cmd_analyze_trace(args);
   const core::Params p = params_from(args);
   const core::Theorem1Result t1 = core::theorem1(p);
   const double g = core::expected_degree(p);
@@ -175,13 +220,31 @@ int cmd_simulate(const Args& args) {
     obs::event_log().attach(trace_sink);
     obs::set_tracing_enabled(true);
   }
-  const bool want_metrics = args.has("metrics");
+  if (args.has("trace-wall")) obs::set_span_wall_clock(true);
+  if (args.has("flight-dump")) {
+    // Crash-event dumps (FaultyPhy) and fatal-signal postmortems both land
+    // at this path.
+    obs::set_flight_dump_path(args.str("flight-dump", ""));
+    obs::install_flight_crash_handler(args.str("flight-dump", ""));
+  }
+  const bool want_export = args.has("export-prom") || args.has("heartbeat");
+  const bool want_metrics = args.has("metrics") || want_export;
   if (want_metrics) {
     obs::set_metrics_enabled(true);
     obs::preregister_core_metrics();
     // Exercise the chip-level pipeline once so the dsss/ecc counters reflect
     // a real sync + decode, not just preregistered zeros.
     run_chip_calibration(cfg.base_seed);
+  }
+  std::optional<obs::MetricsExporter> exporter;
+  if (want_export) {
+    obs::ExporterOptions opts;
+    opts.prometheus_path = args.str("export-prom", "");
+    opts.heartbeat_path = args.str("heartbeat", "");
+    opts.interval_s = args.real("export-interval", 1.0);
+    opts.source = "simulate";
+    exporter.emplace(std::move(opts));
+    exporter->start();
   }
 
   std::printf("config: %s, jammer=%s, seed=%llu\n", cfg.params.summary().c_str(),
@@ -196,7 +259,16 @@ int cmd_simulate(const Args& args) {
   std::printf("degree g : %.2f    compromised codes: %.0f\n", r.degree.mean(),
               r.compromised_codes.mean());
 
-  if (want_metrics) {
+  if (exporter.has_value()) {
+    exporter.reset();  // stop + one final synchronous export
+    if (args.has("export-prom")) {
+      std::printf("metrics: prometheus -> %s\n", args.str("export-prom", "").c_str());
+    }
+    if (args.has("heartbeat")) {
+      std::printf("metrics: heartbeats -> %s\n", args.str("heartbeat", "").c_str());
+    }
+  }
+  if (args.has("metrics")) {
     std::printf("\n");
     obs::registry().snapshot().print_table(std::cout);
   }
@@ -264,7 +336,6 @@ int cmd_report(const Args& args) {
   std::map<std::string, std::uint64_t> by_event;
   std::uint64_t by_severity[4] = {0, 0, 0, 0};
   std::uint64_t total = 0;
-  std::uint64_t malformed = 0;
   double t_min = 0.0;
   double t_max = 0.0;
   std::uint64_t dndp_pairs = 0;
@@ -273,12 +344,18 @@ int cmd_report(const Args& args) {
   std::uint64_t phy_delivered = 0;
 
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto ev = obs::parse_jsonl_line(line);
     if (!ev.has_value()) {
-      ++malformed;
-      continue;
+      // Strict by contract: a trace with a broken line is a broken trace.
+      // Name the line so the producer can be fixed instead of the skip
+      // silently biasing every count below.
+      std::fprintf(stderr, "error: %s:%zu: malformed JSONL trace line\n", path.c_str(),
+                   line_no);
+      return 2;
     }
     if (total == 0) {
       t_min = ev->t;
@@ -305,10 +382,8 @@ int cmd_report(const Args& args) {
   }
 
   std::printf("trace: %s\n", path.c_str());
-  std::printf("events   : %llu (%llu malformed line%s skipped)\n",
-              static_cast<unsigned long long>(total),
-              static_cast<unsigned long long>(malformed), malformed == 1 ? "" : "s");
-  if (total == 0) return malformed > 0 ? 2 : 0;
+  std::printf("events   : %llu\n", static_cast<unsigned long long>(total));
+  if (total == 0) return 0;
   std::printf("t range  : [%.3f, %.3f]\n", t_min, t_max);
   std::printf("severity : debug=%llu info=%llu warn=%llu error=%llu\n",
               static_cast<unsigned long long>(by_severity[0]),
