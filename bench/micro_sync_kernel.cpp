@@ -27,6 +27,7 @@
 #include "dsss/spread_code.hpp"
 #include "dsss/spreader.hpp"
 #include "dsss/sync_kernel.hpp"
+#include "obs/prof/perf_counters.hpp"
 
 namespace {
 
@@ -194,6 +195,33 @@ int main(int argc, char** argv) {
     std::printf("  SyncHits: kernel == reference on planted buffer (%zu hits)\n", k_hits.size());
   }
 
+  // --- [1b] hardware counters over the kernel scan --------------------------
+  // A fixed pass count under a PerfCounterSet turns the throughput numbers
+  // into architecture-level ones: cycles per scan, instructions per chip,
+  // IPC, LLC misses. Under the clock fallback (no PMU: containers, VMs)
+  // cycles are estimated from thread CPU time and the miss/IPC numbers read
+  // 0 — the "backend"/"estimated" fields tell check_perf.py whether the
+  // numbers are gateable.
+  obs::prof::PerfCounterSet counter_set;
+  constexpr std::size_t kCounterPasses = 16;
+  const obs::prof::CounterTotals scan_counters = counter_set.measure([&] {
+    std::size_t sink = 0;
+    for (std::size_t pass = 0; pass < kCounterPasses; ++pass) sink += kernel_scan();
+    if (sink == static_cast<std::size_t>(-1)) std::abort();  // defeat DCE
+  });
+  const double counted_chips =
+      static_cast<double>(kCounterPasses * offsets * kM) * static_cast<double>(kN);
+  const double cycles_per_scan =
+      static_cast<double>(scan_counters.cycles) / static_cast<double>(kCounterPasses);
+  const double instructions_per_chip =
+      static_cast<double>(scan_counters.instructions) / counted_chips;
+  std::printf("  counters  [%s%s] %.3g cycles/scan  %.3g instr/chip  IPC %.2f  "
+              "%.3g LLC-miss/kinst\n",
+              obs::prof::backend_name(counter_set.backend()),
+              scan_counters.estimated ? ", estimated" : "", cycles_per_scan,
+              instructions_per_chip, scan_counters.ipc(),
+              scan_counters.llc_misses_per_kinst());
+
   // --- [2] serial vs parallel run_all --------------------------------------
   core::ExperimentConfig cfg;
   cfg.params = core::Params::defaults();
@@ -234,21 +262,35 @@ int main(int argc, char** argv) {
   // Every hardware thread busy — the configuration a sweep actually runs
   // under. CI archives both this and the single-core number so a regression
   // in either the per-run cost or the scaling shows up in BENCH_sync.json.
+  // On a single-core machine "saturated" would just re-measure the serial
+  // path, so the section is refused outright (`"saturated": null`) rather
+  // than recorded as a threads=1 baseline a multi-core CI runner would then
+  // be gated against.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  setenv("JRSND_THREADS", std::to_string(hw).c_str(), 1);
-  const auto saturated_start = Clock::now();
-  const core::PointResult saturated = sim.run_all();
-  const double saturated_secs = seconds_since(saturated_start);
-  unsetenv("JRSND_THREADS");
-  if (saturated.p_jrsnd.mean() != serial.p_jrsnd.mean()) {
-    std::fprintf(stderr, "FATAL: saturated run_all results differ from serial\n");
-    return 1;
-  }
   const double single_core_runs_per_sec = static_cast<double>(cfg.params.runs) / serial_secs;
-  const double saturated_runs_per_sec =
-      static_cast<double>(cfg.params.runs) / saturated_secs;
-  std::printf("run_all saturated: %u threads  %.2f s  %.2f runs/s (single-core %.2f runs/s)\n",
-              hw, saturated_secs, saturated_runs_per_sec, single_core_runs_per_sec);
+  double saturated_secs = 0.0;
+  double saturated_runs_per_sec = 0.0;
+  const bool saturated_valid = hw >= 2;
+  if (saturated_valid) {
+    setenv("JRSND_THREADS", std::to_string(hw).c_str(), 1);
+    const auto saturated_start = Clock::now();
+    const core::PointResult saturated = sim.run_all();
+    saturated_secs = seconds_since(saturated_start);
+    unsetenv("JRSND_THREADS");
+    if (saturated.p_jrsnd.mean() != serial.p_jrsnd.mean()) {
+      std::fprintf(stderr, "FATAL: saturated run_all results differ from serial\n");
+      return 1;
+    }
+    saturated_runs_per_sec = static_cast<double>(cfg.params.runs) / saturated_secs;
+    std::printf(
+        "run_all saturated: %u threads  %.2f s  %.2f runs/s (single-core %.2f runs/s)\n", hw,
+        saturated_secs, saturated_runs_per_sec, single_core_runs_per_sec);
+  } else {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency=%u — refusing to record a single-thread run "
+                 "as \"saturated\" (section will be null)\n",
+                 hw);
+  }
 
   // --- machine-readable summary --------------------------------------------
   std::ofstream json(json_path);
@@ -257,6 +299,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   json << "{\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"scan\": {\n"
        << "    \"N\": " << kN << ",\n"
        << "    \"m\": " << kM << ",\n"
@@ -269,7 +312,18 @@ int main(int argc, char** argv) {
        << "    \"reference_mchips_per_sec\": " << reference.chips_per_sec / 1e6 << ",\n"
        << "    \"kernel_mchips_per_sec\": " << kernel.chips_per_sec / 1e6 << ",\n"
        << "    \"speedup_vs_naive\": " << speedup_vs_naive << ",\n"
-       << "    \"speedup_vs_reference\": " << speedup_vs_reference << "\n"
+       << "    \"speedup_vs_reference\": " << speedup_vs_reference << ",\n"
+       << "    \"counters\": {\n"
+       << "      \"backend\": \"" << obs::prof::backend_name(counter_set.backend()) << "\",\n"
+       << "      \"estimated\": " << (scan_counters.estimated ? "true" : "false") << ",\n"
+       << "      \"passes\": " << kCounterPasses << ",\n"
+       << "      \"cycles_per_scan\": " << cycles_per_scan << ",\n"
+       << "      \"instructions_per_chip\": " << instructions_per_chip << ",\n"
+       << "      \"ipc\": " << scan_counters.ipc() << ",\n"
+       << "      \"llc_misses_per_kinst\": " << scan_counters.llc_misses_per_kinst() << ",\n"
+       << "      \"task_clock_ms\": " << static_cast<double>(scan_counters.task_clock_ns) / 1e6
+       << "\n"
+       << "    }\n"
        << "  },\n"
        << "  \"run_all\": {\n"
        << "    \"n\": " << cfg.params.n << ",\n"
@@ -278,15 +332,20 @@ int main(int argc, char** argv) {
        << "    \"serial_seconds\": " << serial_secs << ",\n"
        << "    \"parallel_seconds\": " << parallel_secs << ",\n"
        << "    \"speedup\": " << run_speedup << ",\n"
-       << "    \"results_identical\": " << (identical ? "true" : "false") << "\n"
-       << "  },\n"
-       << "  \"saturated\": {\n"
-       << "    \"threads\": " << hw << ",\n"
-       << "    \"seconds\": " << saturated_secs << ",\n"
-       << "    \"runs_per_sec\": " << saturated_runs_per_sec << ",\n"
+       << "    \"results_identical\": " << (identical ? "true" : "false") << ",\n"
        << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
-       << "  }\n"
-       << "}\n";
+       << "  },\n";
+  if (saturated_valid) {
+    json << "  \"saturated\": {\n"
+         << "    \"threads\": " << hw << ",\n"
+         << "    \"seconds\": " << saturated_secs << ",\n"
+         << "    \"runs_per_sec\": " << saturated_runs_per_sec << ",\n"
+         << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
+         << "  }\n";
+  } else {
+    json << "  \"saturated\": null\n";
+  }
+  json << "}\n";
   std::printf("(wrote %s)\n", json_path.c_str());
   return 0;
 }

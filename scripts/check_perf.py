@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
 """Compare a fresh bench JSON against the committed baseline.
 
-Guards the two numbers ISSUE 6 cares about from BENCH_sync.json — the
-single-core run_all rate and the saturated (every-hardware-thread) rate —
-plus the sync-kernel scan throughput, and the obs-overhead budget from
-BENCH_transmit.json. A metric regresses when the fresh value falls below
-`tolerance` x baseline (default 0.6: CI machines are shared and noisy;
-this catches the 2x cliffs, not 5% jitter).
+Guards the throughput numbers from BENCH_sync.json — the single-core
+run_all rate, the saturated (every-hardware-thread) rate, and the
+sync-kernel scan throughput — the obs-overhead budget from
+BENCH_transmit.json, and (when the hardware admits it) the cycle-accounted
+counter metrics both benches emit. A throughput metric regresses when the
+fresh value falls below `tolerance` x baseline (default 0.6: CI machines
+are shared and noisy; this catches the 2x cliffs, not 5% jitter).
+Lower-is-better counter metrics use the mirrored ceiling
+(baseline / tolerance).
 
-Thread-count mismatches are handled, not papered over: when the baseline
-was recorded on a machine with a different hardware-thread count, the
-saturated comparison is skipped with a notice (the number is not
-comparable), while per-core metrics are still enforced.
+Environment-aware skips, never silent:
+  * `"saturated": null` (single-core recorder refused the label) or a
+    thread-count mismatch skips the saturated comparison with a notice.
+  * Counter gates arm only when BOTH baseline and fresh recorded
+    backend == "perf_event" with estimated == false; otherwise they are
+    skipped with a warning (clock-fallback cycles are estimates, and
+    instructions/misses read zero — gating on them would be noise).
+
+Every violation prints one FAIL line naming the metric, the baseline
+value, the current value, and the percent delta; the exit code goes
+nonzero only after the full list is printed.
 
 Usage:
     scripts/check_perf.py --baseline BENCH_sync.json --fresh fresh_sync.json \
@@ -38,6 +48,77 @@ def get(doc, dotted):
     return node
 
 
+def pct_delta(base_v, fresh_v):
+    if base_v == 0:
+        return 0.0
+    return 100.0 * (fresh_v - base_v) / base_v
+
+
+def counters_gateable(doc, section, label, side):
+    """True when `section`.counters carries real (non-estimated) PMU numbers."""
+    backend = get(doc, f"{section}.counters.backend")
+    estimated = get(doc, f"{section}.counters.estimated")
+    if backend == "perf_event" and estimated is False:
+        return True
+    print(f"warning: {side} {label} counters backend={backend!r} "
+          f"estimated={estimated!r}; skipping counter gates "
+          f"(need backend == 'perf_event')")
+    return False
+
+
+class Gate:
+    """Collects per-metric verdicts; fails only after all are printed."""
+
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.failures = []
+
+    def fail(self, label, base_v, fresh_v, limit, direction):
+        self.failures.append(
+            f"{label}: baseline {base_v:.3f}, current {fresh_v:.3f} "
+            f"({pct_delta(base_v, fresh_v):+.1f}%), {direction} {limit:.3f}")
+
+    def check_floor(self, label, base_v, fresh_v):
+        """Higher is better: fresh must be >= tolerance * baseline."""
+        floor = self.tolerance * base_v
+        ok = fresh_v >= floor
+        print(f"{label}: baseline {base_v:.3f}, fresh {fresh_v:.3f} "
+              f"({pct_delta(base_v, fresh_v):+.1f}%), floor {floor:.3f} "
+              f"-> {'OK' if ok else 'REGRESSED'}")
+        if not ok:
+            self.fail(label, base_v, fresh_v, floor, "below floor")
+
+    def check_ceiling(self, label, base_v, fresh_v):
+        """Lower is better (cycles): fresh must be <= baseline / tolerance."""
+        ceiling = base_v / self.tolerance
+        ok = fresh_v <= ceiling
+        print(f"{label}: baseline {base_v:.3f}, fresh {fresh_v:.3f} "
+              f"({pct_delta(base_v, fresh_v):+.1f}%), ceiling {ceiling:.3f} "
+              f"-> {'OK' if ok else 'REGRESSED'}")
+        if not ok:
+            self.fail(label, base_v, fresh_v, ceiling, "above ceiling")
+
+    def check_path(self, baseline, fresh, label, path, lower_is_better=False,
+                   fallback_path=None):
+        base_v = get(baseline, path)
+        fresh_v = get(fresh, path)
+        if fallback_path is not None:
+            if base_v is None:
+                base_v = get(baseline, fallback_path)
+            if fresh_v is None:
+                fresh_v = get(fresh, fallback_path)
+        if base_v is None:
+            print(f"note: baseline lacks {path}; skipping '{label}'")
+            return
+        if fresh_v is None:
+            self.failures.append(f"{label}: fresh run lacks {path}")
+            return
+        if lower_is_better:
+            self.check_ceiling(label, base_v, fresh_v)
+        else:
+            self.check_floor(label, base_v, fresh_v)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="committed BENCH_sync.json")
@@ -50,45 +131,42 @@ def main(argv):
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
+    gate = Gate(args.tolerance)
 
-    # (label, dotted path) — throughput metrics only, so a single
-    # >= tolerance * baseline rule covers them all.
-    checks = [
-        ("kernel scan throughput", "scan.kernel_mchips_per_sec"),
-        ("single-core run_all rate", "saturated.single_core_runs_per_sec"),
-        ("saturated run_all rate", "saturated.runs_per_sec"),
-    ]
+    gate.check_path(baseline, fresh, "kernel scan throughput",
+                    "scan.kernel_mchips_per_sec")
+    # The single-core rate moved from the saturated section into run_all when
+    # the single-thread "saturated" label was retired; accept either layout.
+    gate.check_path(baseline, fresh, "single-core run_all rate",
+                    "run_all.single_core_runs_per_sec",
+                    fallback_path="saturated.single_core_runs_per_sec")
 
     base_threads = get(baseline, "saturated.threads")
     fresh_threads = get(fresh, "saturated.threads")
+    if base_threads is None or fresh_threads is None:
+        side = "baseline" if base_threads is None else "fresh run"
+        print(f"note: {side} has no saturated section (single-core machine "
+              f"refuses the label); skipping 'saturated run_all rate'")
+    elif base_threads != fresh_threads:
+        print(f"note: thread counts differ (baseline {base_threads}, "
+              f"fresh {fresh_threads}); skipping 'saturated run_all rate'")
+    else:
+        gate.check_path(baseline, fresh, "saturated run_all rate",
+                        "saturated.runs_per_sec")
 
-    failures = []
-    for label, path in checks:
-        base_v = get(baseline, path)
-        fresh_v = get(fresh, path)
-        if base_v is None:
-            print(f"note: baseline lacks {path}; skipping '{label}'")
-            continue
-        if fresh_v is None:
-            failures.append(f"{label}: fresh run lacks {path}")
-            continue
-        if path == "saturated.runs_per_sec" and base_threads != fresh_threads:
-            print(f"note: thread counts differ (baseline {base_threads}, "
-                  f"fresh {fresh_threads}); skipping '{label}'")
-            continue
-        floor = args.tolerance * base_v
-        verdict = "OK" if fresh_v >= floor else "REGRESSED"
-        print(f"{label}: baseline {base_v:.3f}, fresh {fresh_v:.3f}, "
-              f"floor {floor:.3f} -> {verdict}")
-        if fresh_v < floor:
-            failures.append(f"{label}: {fresh_v:.3f} < {floor:.3f} "
-                            f"({args.tolerance:.0%} of baseline {base_v:.3f})")
+    # Counter gates: cycle and IPC regressions on the kernel scan. Only
+    # meaningful when both sides measured a real PMU.
+    if (counters_gateable(baseline, "scan", "scan", "baseline")
+            and counters_gateable(fresh, "scan", "scan", "fresh")):
+        gate.check_path(baseline, fresh, "kernel scan cycles/scan",
+                        "scan.counters.cycles_per_scan", lower_is_better=True)
+        gate.check_path(baseline, fresh, "kernel scan IPC", "scan.counters.ipc")
 
     if args.transmit_fresh:
         tx_fresh = load(args.transmit_fresh)
         overhead = get(tx_fresh, "obs_overhead.overhead_pct")
         if overhead is None:
-            failures.append("transmit bench lacks obs_overhead.overhead_pct")
+            gate.failures.append("transmit bench lacks obs_overhead.overhead_pct")
         else:
             # Absolute budget, doubled for CI noise: the bench itself warns
             # at the 5% acceptance line.
@@ -96,10 +174,21 @@ def main(argv):
             verdict = "OK" if overhead <= budget else "OVER BUDGET"
             print(f"obs overhead: {overhead:.1f}% (budget {budget:.0f}%) -> {verdict}")
             if overhead > budget:
-                failures.append(f"obs overhead {overhead:.1f}% exceeds {budget:.0f}% budget")
+                gate.failures.append(
+                    f"obs overhead: current {overhead:.1f}%, "
+                    f"above budget {budget:.0f}%")
+        if args.transmit_baseline:
+            tx_baseline = load(args.transmit_baseline)
+            gate.check_path(tx_baseline, tx_fresh, "cached transmit rate",
+                            "transmit.cached_ms_per_msg", lower_is_better=True)
+            if (counters_gateable(tx_baseline, "transmit", "transmit", "baseline")
+                    and counters_gateable(tx_fresh, "transmit", "transmit", "fresh")):
+                gate.check_path(tx_baseline, tx_fresh, "cached transmit cycles/msg",
+                                "transmit.counters.cycles_per_msg",
+                                lower_is_better=True)
 
-    if failures:
-        for failure in failures:
+    if gate.failures:
+        for failure in gate.failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("perf check passed")

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsss/spreader.hpp"
+#include "obs/prof/perf_counters.hpp"
 #include "obs/span.hpp"
 
 namespace jrsnd::core {
@@ -31,6 +32,7 @@ std::optional<BitVector> ChipPhy::transmit(NodeId from, NodeId to, TxCode code, 
 bool ChipPhy::transmit_into(NodeId from, NodeId to, TxCode code, TxClass cls,
                             const BitVector& payload, BitVector& out) {
   obs::Span span("phy.transmit");
+  JRSND_PERF_REGION("phy.transmit");
   const bool delivered = transmit_pipeline(from, to, code, cls, payload, out);
   span.set_ok(delivered);
   if (!delivered) span.set_loss(obs::peek_loss_reason());
@@ -124,6 +126,7 @@ bool ChipPhy::transmit_pipeline(NodeId from, NodeId to, TxCode code, TxClass cls
   // resumes scanning one chip later — the standard recover-and-rescan loop.
   // The cached tables make each rescan iteration pure scanning work.
   obs::Span scan_span("dsss.scan");
+  JRSND_PERF_REGION("dsss.scan");
   std::uint64_t rescans = 0;
   std::size_t offset = 0;
   while (true) {
@@ -140,6 +143,7 @@ bool ChipPhy::transmit_pipeline(NodeId from, NodeId to, TxCode code, TxClass cls
     bool decoded = false;
     {
       obs::Span decode_span("ecc.decode");
+      JRSND_PERF_REGION("ecc.rs.decode");
       decoded = codec_.decode_into(scratch_.hit.message.bits, payload.size(),
                                    std::span<const std::size_t>(scratch_.hit.message.erased_bits),
                                    scratch_.ecc, out);

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "crypto/hmac.hpp"
+#include "obs/prof/perf_counters.hpp"
 #include "obs/span.hpp"
 
 namespace jrsnd::crypto {
@@ -90,6 +91,7 @@ Sealer::Sealer(const SymmetricKey& pair_key, const std::string& direction) {
 
 SealedMessage Sealer::seal(std::span<const std::uint8_t> plaintext) {
   obs::Span span("crypto.seal");
+  JRSND_PERF_REGION("crypto.seal");
   span.with_u64("bytes", plaintext.size());
   SealedMessage msg;
   msg.counter = counter_++;
@@ -108,6 +110,7 @@ Unsealer::Unsealer(const SymmetricKey& pair_key, const std::string& direction) {
 
 std::optional<std::vector<std::uint8_t>> Unsealer::open(const SealedMessage& message) {
   obs::Span span("crypto.unseal");
+  JRSND_PERF_REGION("crypto.unseal");
   // Authenticate first (constant-time compare), then replay-check, then
   // decrypt.
   const auto expected = compute_tag(mac_key_, message.counter, message.ciphertext);

@@ -6,6 +6,7 @@
 #include "dsss/prepared_codebook.hpp"
 #include "dsss/sync_kernel.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/prof/perf_counters.hpp"
 
 namespace jrsnd::dsss {
 
@@ -36,6 +37,7 @@ bool scan_first(const BitVector& buffer, std::span<const ShiftTable> tables,
   if (buffer.size() < needed) return false;
 
   JRSND_COUNT("dsss.sync.scans");
+  JRSND_PERF_REGION("dsss.sync.scan");
   std::uint64_t below_tau = 0;
   for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
     for (std::size_t c = 0; c < tables.size(); ++c) {

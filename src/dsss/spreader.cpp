@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsss/sync_kernel.hpp"
+#include "obs/prof/perf_counters.hpp"
 
 namespace jrsnd::dsss {
 
@@ -92,6 +93,7 @@ void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_co
   if (start + bit_count * code.length() > chips.size()) {
     throw std::invalid_argument("despread: window exceeds chip buffer");
   }
+  JRSND_PERF_REGION("dsss.despread");
   out.bits.clear();
   out.bits.reserve(bit_count);
   out.erased_bits.clear();

@@ -22,6 +22,8 @@
 #include "obs/exporter.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/prof/perf_counters.hpp"
+#include "obs/prof/sampling_profiler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"

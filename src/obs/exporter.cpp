@@ -74,6 +74,21 @@ void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot,
     os << name << "_sum ";
     write_prom_value(os, h.sum);
     os << "\n" << name << "_count " << h.count << "\n";
+    // Precomputed bucket-interpolated percentiles: dashboards get latency
+    // quantiles without histogram_quantile() (and with the exact same
+    // interpolation `jrsnd report` and print_table use). Empty histograms
+    // are skipped — NaN is not a useful scrape value.
+    if (h.count > 0) {
+      const struct {
+        const char* suffix;
+        double value;
+      } quantiles[] = {{"_p50", h.p50()}, {"_p95", h.p95()}, {"_p99", h.p99()}};
+      for (const auto& q : quantiles) {
+        os << "# TYPE " << name << q.suffix << " gauge\n" << name << q.suffix << " ";
+        write_prom_value(os, q.value);
+        os << "\n";
+      }
+    }
   }
 }
 

@@ -82,6 +82,19 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  // Delegate to the snapshot implementation so live and snapshot percentiles
+  // can never disagree on interpolation.
+  HistogramSample sample;
+  sample.bounds = bounds_;
+  sample.buckets = bucket_counts();
+  sample.count = count();
+  sample.sum = sum();
+  sample.min = min();
+  sample.max = max();
+  return sample.quantile(q);
+}
+
 void Histogram::merge_from(const HistogramSample& sample) noexcept {
   if (sample.count == 0) return;
   if (sample.bounds != bounds_ || sample.buckets.size() != buckets_.size()) return;
@@ -223,15 +236,17 @@ void MetricsSnapshot::print_table(std::ostream& os) const {
   }
   if (!histograms.empty()) {
     os << "histograms:" << std::left << std::setw(static_cast<int>(width) - 9) << ""
-       << "  count        mean         p50          p95          max\n";
+       << "  count        mean         p50          p95          p99          max\n";
     for (const HistogramSample& h : histograms) {
       os << "  " << std::left << std::setw(static_cast<int>(width)) << h.name << "  "
          << std::setw(11) << h.count << "  ";
       print_number(os, h.mean());
       os << "  ";
-      print_number(os, h.quantile(0.5));
+      print_number(os, h.p50());
       os << "  ";
-      print_number(os, h.quantile(0.95));
+      print_number(os, h.p95());
+      os << "  ";
+      print_number(os, h.p99());
       os << "  ";
       print_number(os, h.max);
       os << "\n";

@@ -87,6 +87,13 @@ class Histogram {
   [[nodiscard]] double max() const noexcept;  ///< NaN when empty
   /// Bucket counts, one per bound plus the overflow bucket.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  /// Bucket-interpolated quantile on the live buckets, q in [0, 1]. NaN when
+  /// empty. Convenience mirrors of HistogramSample::quantile for callers that
+  /// hold the registry handle (timers, tests) rather than a snapshot.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
   void reset() noexcept;
 
  private:
@@ -126,6 +133,10 @@ struct HistogramSample {
   [[nodiscard]] double mean() const noexcept;
   /// Bucket-interpolated quantile, q in [0, 1]. NaN when empty.
   [[nodiscard]] double quantile(double q) const noexcept;
+  /// Canonical latency percentiles (the ones reports and exporters surface).
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 };
 
 /// Plain-data view of a registry at one instant; mergeable across seeds.

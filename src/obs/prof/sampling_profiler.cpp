@@ -1,0 +1,319 @@
+#include "obs/prof/sampling_profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/time.h>
+#define JRSND_PROF_HAVE_ITIMER 1
+#endif
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <ucontext.h>
+#define JRSND_PROF_HAVE_DLADDR 1
+#endif
+
+namespace jrsnd::obs::prof {
+
+namespace {
+
+constexpr std::size_t kMaxDepthCap = 64;
+
+/// One raw sample: PCs leaf-first. Plain data, copied in the handler.
+struct Sample {
+  void* frames[kMaxDepthCap];
+  std::uint32_t depth = 0;
+};
+
+/// Single-writer (the signal handler, always on the owning thread) /
+/// single-reader (the dump, only while sampling is paused) ring.
+struct SampleRing {
+  std::vector<Sample> samples;
+  std::atomic<std::uint64_t> pushed{0};
+};
+
+/// The profiler's whole mutable state. Allocated once, never freed: the
+/// handler may observe it at any time, so its lifetime is the process's.
+struct ProfilerState {
+  std::vector<SampleRing> rings;
+  std::atomic<std::uint32_t> next_slot{0};
+  std::atomic<std::uint64_t> missed{0};
+  std::atomic<std::uint64_t> session{0};
+  std::atomic<bool> sampling{false};
+  std::size_t max_depth = 32;
+  std::uint32_t hz = 199;
+};
+
+std::atomic<ProfilerState*> g_state{nullptr};
+std::atomic<bool> g_running{false};
+bool g_handler_installed = false;
+
+// Slot claims are per (thread, session): restarting the profiler resizes the
+// ring pool, so stale indices from an earlier session must not be reused.
+thread_local std::uint64_t t_claim_session = 0;
+thread_local std::int32_t t_slot = -1;
+
+/// Walks the frame-pointer chain starting at `fp`, storing return addresses
+/// after the already-recorded `depth` frames. Bounds discipline: frames must
+/// stay within an 8 MiB window above the interrupted stack pointer, strictly
+/// increase, and be pointer-aligned — a garbage chain fails a check and the
+/// walk stops rather than faulting.
+std::uint32_t walk_frames(void** frames, std::uint32_t depth, std::uint32_t max_depth,
+                          const void* fp, const void* sp) noexcept {
+  const auto lo = reinterpret_cast<std::uintptr_t>(sp);
+  const std::uintptr_t hi = lo + (8u << 20);
+  auto cur = reinterpret_cast<std::uintptr_t>(fp);
+  while (depth < max_depth) {
+    if (cur < lo || cur + 2 * sizeof(void*) > hi || (cur % sizeof(void*)) != 0) break;
+    const auto* record = reinterpret_cast<void* const*>(cur);
+    void* const ret = record[1];
+    void* const next = record[0];
+    if (ret == nullptr) break;
+    frames[depth++] = ret;
+    const auto next_u = reinterpret_cast<std::uintptr_t>(next);
+    if (next_u <= cur) break;
+    cur = next_u;
+  }
+  return depth;
+}
+
+#if defined(JRSND_PROF_HAVE_ITIMER)
+
+void sigprof_handler(int /*sig*/, siginfo_t* /*info*/, void* ucontext) {
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || !st->sampling.load(std::memory_order_acquire)) return;
+
+  const std::uint64_t session = st->session.load(std::memory_order_acquire);
+  if (t_claim_session != session) {
+    // Claim a preallocated slot — one fetch_add, no allocation, no lock.
+    const std::uint32_t idx = st->next_slot.fetch_add(1, std::memory_order_relaxed);
+    t_slot = idx < st->rings.size() ? static_cast<std::int32_t>(idx) : -1;
+    t_claim_session = session;
+  }
+  if (t_slot < 0) {
+    st->missed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  SampleRing& ring = st->rings[static_cast<std::size_t>(t_slot)];
+  const std::uint64_t pushed = ring.pushed.load(std::memory_order_relaxed);
+  Sample& sample = ring.samples[pushed % ring.samples.size()];
+
+  const void* fp = nullptr;
+  const void* sp = nullptr;
+  std::uint32_t depth = 0;
+#if defined(__linux__) && defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(ucontext);
+  sample.frames[depth++] = reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = reinterpret_cast<const void*>(uc->uc_mcontext.gregs[REG_RBP]);
+  sp = reinterpret_cast<const void*>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__linux__) && defined(__aarch64__)
+  const auto* uc = static_cast<const ucontext_t*>(ucontext);
+  sample.frames[depth++] = reinterpret_cast<void*>(uc->uc_mcontext.pc);
+  fp = reinterpret_cast<const void*>(uc->uc_mcontext.regs[29]);
+  sp = reinterpret_cast<const void*>(uc->uc_mcontext.sp);
+#else
+  (void)ucontext;
+  fp = __builtin_frame_address(0);
+  sp = fp;
+#endif
+  const auto max_depth = static_cast<std::uint32_t>(st->max_depth);
+  sample.depth = walk_frames(sample.frames, depth, max_depth, fp, sp);
+  ring.pushed.store(pushed + 1, std::memory_order_release);
+}
+
+bool arm_timer(std::uint32_t hz) {
+  itimerval timer{};
+  const long usec = hz > 0 ? std::max(1L, 1000000L / static_cast<long>(hz)) : 0;
+  timer.it_interval.tv_usec = usec;
+  timer.it_value.tv_usec = usec;
+  return setitimer(ITIMER_PROF, &timer, nullptr) == 0;
+}
+
+void disarm_timer() {
+  itimerval off{};
+  (void)setitimer(ITIMER_PROF, &off, nullptr);
+}
+
+bool install_handler() {
+  struct sigaction sa{};
+  sa.sa_sigaction = sigprof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  return sigaction(SIGPROF, &sa, nullptr) == 0;
+}
+
+#endif  // JRSND_PROF_HAVE_ITIMER
+
+std::string symbolize(void* addr) {
+#if defined(JRSND_PROF_HAVE_DLADDR)
+  Dl_info info;
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      // Folded-stack separators are ';' and ' '; keep frames one token.
+      for (char& c : out) {
+        if (c == ';' || c == ' ') c = '_';
+      }
+      return out;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+#endif
+  char buf[2 + 2 * sizeof(void*) + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(reinterpret_cast<std::uintptr_t>(addr)));
+  return buf;
+}
+
+}  // namespace
+
+bool profiler_running() noexcept { return g_running.load(std::memory_order_acquire); }
+
+bool profiler_start(const ProfilerOptions& options) {
+#if defined(JRSND_PROF_HAVE_ITIMER)
+  if (g_running.load(std::memory_order_acquire)) return false;
+
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) {
+    st = new ProfilerState;  // intentionally never freed (handler lifetime)
+    g_state.store(st, std::memory_order_release);
+  }
+  st->sampling.store(false, std::memory_order_release);
+  st->max_depth = std::min(options.max_depth, kMaxDepthCap);
+  st->hz = options.hz;
+  const std::size_t capacity = std::max<std::size_t>(options.ring_capacity, 16);
+  const std::size_t slots = std::max<std::size_t>(options.max_threads, 1);
+  if (st->rings.size() != slots || st->rings[0].samples.size() != capacity) {
+    st->rings = std::vector<SampleRing>(slots);
+    for (SampleRing& ring : st->rings) ring.samples.resize(capacity);
+  } else {
+    for (SampleRing& ring : st->rings) ring.pushed.store(0, std::memory_order_relaxed);
+  }
+  st->next_slot.store(0, std::memory_order_relaxed);
+  st->missed.store(0, std::memory_order_relaxed);
+  st->session.fetch_add(1, std::memory_order_acq_rel);
+
+  if (!g_handler_installed) {
+    if (!install_handler()) return false;
+    g_handler_installed = true;
+  }
+  st->sampling.store(true, std::memory_order_release);
+  if (!arm_timer(options.hz)) {
+    st->sampling.store(false, std::memory_order_release);
+    return false;
+  }
+  g_running.store(true, std::memory_order_release);
+  return true;
+#else
+  (void)options;
+  return false;
+#endif
+}
+
+void profiler_stop() {
+#if defined(JRSND_PROF_HAVE_ITIMER)
+  if (!g_running.exchange(false, std::memory_order_acq_rel)) return;
+  disarm_timer();
+  if (ProfilerState* st = g_state.load(std::memory_order_acquire)) {
+    st->sampling.store(false, std::memory_order_release);
+  }
+#endif
+}
+
+std::uint64_t profiler_samples() noexcept {
+  const ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const SampleRing& ring : st->rings) {
+    total += ring.pushed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t profiler_dropped() noexcept {
+  const ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return 0;
+  std::uint64_t dropped = st->missed.load(std::memory_order_acquire);
+  for (const SampleRing& ring : st->rings) {
+    const std::uint64_t pushed = ring.pushed.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring.samples.size();
+    if (pushed > cap) dropped += pushed - cap;
+  }
+  return dropped;
+}
+
+std::size_t dump_folded(std::ostream& os) {
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return 0;
+
+  // Pause sampling so the rings are quiescent while we read them.
+  const bool was_running = g_running.load(std::memory_order_acquire);
+  if (was_running) {
+#if defined(JRSND_PROF_HAVE_ITIMER)
+    disarm_timer();
+#endif
+    st->sampling.store(false, std::memory_order_release);
+  }
+
+  // Aggregate identical stacks (root-first key) before symbolizing: dladdr
+  // runs once per unique frame sequence, not once per sample.
+  std::map<std::vector<void*>, std::uint64_t> stacks;
+  std::vector<void*> key;
+  for (const SampleRing& ring : st->rings) {
+    const std::uint64_t pushed = ring.pushed.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring.samples.size();
+    const std::uint64_t live = std::min(pushed, cap);
+    for (std::uint64_t i = 0; i < live; ++i) {
+      const Sample& sample = ring.samples[(pushed - live + i) % cap];
+      if (sample.depth == 0) continue;
+      key.assign(sample.depth, nullptr);
+      for (std::uint32_t f = 0; f < sample.depth; ++f) {
+        key[sample.depth - 1 - f] = sample.frames[f];  // leaf-first -> root-first
+      }
+      ++stacks[key];
+    }
+  }
+
+  std::map<void*, std::string> symbols;
+  for (const auto& [stack, count] : stacks) {
+    std::string line;
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      auto it = symbols.find(stack[i]);
+      if (it == symbols.end()) it = symbols.emplace(stack[i], symbolize(stack[i])).first;
+      if (i > 0) line += ';';
+      line += it->second;
+    }
+    os << line << ' ' << count << '\n';
+  }
+
+  if (was_running) {
+    st->sampling.store(true, std::memory_order_release);
+#if defined(JRSND_PROF_HAVE_ITIMER)
+    (void)arm_timer(st->hz);  // resume at the session's configured rate
+#endif
+  }
+  return stacks.size();
+}
+
+bool dump_folded_file(const char* path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  dump_folded(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace jrsnd::obs::prof

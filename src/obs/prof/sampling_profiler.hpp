@@ -1,0 +1,65 @@
+// SIGPROF sampling profiler (docs/performance.md "Profiling").
+//
+// A process-CPU-time itimer delivers SIGPROF to whichever thread is burning
+// cycles; the handler walks the frame-pointer chain from the interrupted
+// context and appends the raw PC stack to that thread's fixed-capacity
+// sample ring. The signal path is strictly async-signal-safe and ZERO
+// ALLOCATION (the perf_alloc harness proves it): rings are preallocated at
+// profiler_start, threads claim a preallocated slot with one fetch_add, and
+// a sample is a plain array copy. Threads beyond `max_threads` are counted
+// as missed, never blocked.
+//
+// Symbolization happens offline in dump_folded(): samples aggregate by
+// identical stack, frames resolve through dladdr (link with ENABLE_EXPORTS /
+// -rdynamic for names; unresolved frames print as hex), and each unique
+// stack emits one root-first folded line — `main;run;scan 42` — ready for
+// flamegraph tooling (inferno / flamegraph.pl).
+//
+// Build note: frame-pointer walking needs -fno-omit-frame-pointer, which the
+// top-level CMakeLists applies (JRSND_PROF_FRAME_POINTERS, default ON).
+// Without it the walk safely terminates early and stacks come out shallow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace jrsnd::obs::prof {
+
+struct ProfilerOptions {
+  /// Sample rate in Hz of *process CPU time* (ITIMER_PROF semantics: an
+  /// idle process takes no samples). 199 beats lockstep with 100 Hz timers.
+  std::uint32_t hz = 199;
+  /// Samples retained per thread ring; older samples are overwritten.
+  std::size_t ring_capacity = 8192;
+  /// Preallocated thread slots; threads beyond this are counted missed.
+  std::size_t max_threads = 16;
+  /// Maximum frames captured per sample (deeper stacks are truncated).
+  std::size_t max_depth = 32;
+};
+
+[[nodiscard]] bool profiler_running() noexcept;
+
+/// Preallocates the sample rings, installs the SIGPROF handler, and arms the
+/// itimer. Returns false if already running or the timer could not be armed.
+/// Rings from a previous session are recycled (and their samples cleared).
+bool profiler_start(const ProfilerOptions& options = {});
+
+/// Disarms the timer. Samples stay available for dump_folded(). Idempotent.
+void profiler_stop();
+
+/// Samples captured / lost (ring overwrites + threads beyond max_threads)
+/// since the last profiler_start.
+[[nodiscard]] std::uint64_t profiler_samples() noexcept;
+[[nodiscard]] std::uint64_t profiler_dropped() noexcept;
+
+/// Aggregates the surviving samples into folded-stack lines
+/// ("frame;frame;frame count\n", root first) and writes them to `os`.
+/// Returns the number of distinct stacks written. Sampling is paused while
+/// dumping; if the profiler was running it resumes afterwards.
+std::size_t dump_folded(std::ostream& os);
+
+/// Convenience: dump_folded into `path` (truncating). False on open failure.
+bool dump_folded_file(const char* path);
+
+}  // namespace jrsnd::obs::prof

@@ -5,6 +5,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/prof/perf_counters.hpp"
 
 namespace jrsnd::sim {
 
@@ -65,12 +66,14 @@ bool EventQueue::step() {
 }
 
 std::uint64_t EventQueue::run(std::uint64_t limit) {
+  JRSND_PERF_REGION("sim.queue.drain");
   std::uint64_t executed = 0;
   while (executed < limit && step()) ++executed;
   return executed;
 }
 
 std::uint64_t EventQueue::run_until(TimePoint until) {
+  JRSND_PERF_REGION("sim.queue.drain");
   std::uint64_t executed = 0;
   while (!heap_.empty()) {
     // Peek through tombstones without consuming a live entry early.

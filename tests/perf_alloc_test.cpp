@@ -19,6 +19,9 @@
 #include "dsss/prepared_codebook.hpp"
 #include "dsss/spread_code.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/prof/perf_counters.hpp"
+#include "obs/prof/sampling_profiler.hpp"
 #include "obs/span.hpp"
 #include "sim/topology.hpp"
 
@@ -129,6 +132,60 @@ TEST(ObsHotPath, ZeroSteadyStateAllocationsForSpansAndFlightRing) {
   const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u)
       << "span + flight-ring recording allocated on the steady-state path";
+}
+
+TEST(ProfHotPath, ZeroSteadyStateAllocationsForPerfRegions) {
+  // Enabled PerfRegions must be as heap-quiet as spans: the prof.* handles
+  // resolve (and allocate) once per (site, thread, registry generation);
+  // after that warm-up pass, entering and exiting a region is atomics only.
+  obs::prof::set_prof_backend(obs::prof::ProfBackend::kClockFallback);
+  obs::prof::set_prof_enabled(true);
+  obs::set_metrics_enabled(true);
+  // One lambda = one macro site: the warm-up call resolves (and pays the
+  // allocation for) the same thread-local handle cache the counted loop uses.
+  volatile std::uint64_t sink = 1;
+  const auto touch = [&sink] {
+    JRSND_PERF_REGION("alloc.prof.steady");
+    sink = sink * 31 + 7;
+  };
+  touch();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) touch();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  obs::prof::set_prof_enabled(false);
+  EXPECT_EQ(after - before, 0u) << "PerfRegion allocated on the steady-state path";
+}
+
+TEST(ProfHotPath, ZeroAllocationsOnSamplerSignalPath) {
+  // The SIGPROF handler fires on whatever this thread is doing; everything
+  // it touches (slot claim, frame walk, ring append) is preallocated at
+  // profiler_start. Proof: spin under dense sampling until a healthy batch
+  // of samples lands and assert the allocation counter never moved.
+  obs::prof::ProfilerOptions options;
+  options.hz = 997;
+  ASSERT_TRUE(obs::prof::profiler_start(options));
+
+  // Warm-up: claim this thread's ring slot (the claim itself is just a
+  // fetch_add, but taking the first sample outside the counted region keeps
+  // the region a pure steady-state measurement).
+  volatile std::uint64_t sink = 1;
+  for (int spin = 0; spin < 20'000 && obs::prof::profiler_samples() == 0; ++spin) {
+    for (int i = 0; i < 100'000; ++i) sink = sink * 2862933555777941757ULL + 3037000493ULL;
+  }
+  const std::uint64_t warm_samples = obs::prof::profiler_samples();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int spin = 0;
+       spin < 40'000 && obs::prof::profiler_samples() < warm_samples + 10; ++spin) {
+    for (int i = 0; i < 100'000; ++i) sink = sink * 2862933555777941757ULL + 3037000493ULL;
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  obs::prof::profiler_stop();
+  EXPECT_GT(obs::prof::profiler_samples(), warm_samples)
+      << "sampler took no samples while the thread burned CPU";
+  EXPECT_EQ(after - before, 0u) << "the SIGPROF signal path allocated";
 }
 
 }  // namespace

@@ -8,7 +8,12 @@
 //                   [--trace-out FILE] [--trace-wall] [--metrics]
 //                   [--export-prom FILE] [--heartbeat FILE]
 //                   [--export-interval SECS] [--flight-dump FILE]
+//                   [--profile-out FILE] [--profile-hz N]
 //                                                      Monte-Carlo discovery
+//   jrsnd profile   --out FILE [--hz N] [simulate flags]
+//                                                      profiled simulate run:
+//                                                      folded stacks + counter
+//                                                      regions (prof.*)
 //   jrsnd trace     [--seed] [--jsonl]                 one D-NDP handshake,
 //                                                      message by message
 //   jrsnd report    FILE                               summarize a JSONL trace
@@ -66,7 +71,8 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: jrsnd <analyze|simulate|trace|report|provision|chaos> [--flag [value]]...\n"
+               "usage: jrsnd <analyze|simulate|profile|trace|report|provision|chaos> "
+               "[--flag [value]]...\n"
                "  analyze   --n --m --l --q --z --mu --nu       closed forms (Thms 1-4)\n"
                "  analyze   FILE [--top K]                       span-trace analysis: per-\n"
                "            attempt latency, stage stats, loss attribution\n"
@@ -80,6 +86,10 @@ int usage() {
                "            --export-interval S background export period (default 1)\n"
                "            --flight-dump FILE  flight-recorder dump destination\n"
                "                                (crash events + fatal signals)\n"
+               "            --profile-out FILE  folded-stack CPU profile + prof.* counter\n"
+               "                                regions (see also `jrsnd profile`)\n"
+               "            --profile-hz N      sample rate (default 199)\n"
+               "  profile   --out FILE [--hz N] [simulate flags] profiled simulate run\n"
                "  trace     --seed [--jsonl]                     one traced D-NDP run\n"
                "  report    FILE                                 summarize a JSONL trace\n"
                "  provision --node <id> --n --m --l --chips      provisioning blob (hex)\n"
@@ -229,7 +239,22 @@ int cmd_simulate(const Args& args) {
   }
   const bool want_export = args.has("export-prom") || args.has("heartbeat");
   const bool want_metrics = args.has("metrics") || want_export;
-  if (want_metrics) {
+  const bool want_profile = args.has("profile-out");
+  if (want_profile) {
+    // Counter regions flow through the metrics registry; the sampler is
+    // independent of it but the two belong to the same profiling story.
+    // Armed before the calibration sample below so the chip-level regions
+    // (dsss.*, ecc.*, crypto.*, phy.transmit) record their one real pass.
+    obs::set_metrics_enabled(true);
+    obs::prof::set_prof_enabled(true);
+    obs::prof::ProfilerOptions popt;
+    popt.hz = args.u32("profile-hz", popt.hz);
+    if (!obs::prof::profiler_start(popt)) {
+      std::fprintf(stderr, "warning: sampling profiler failed to start "
+                           "(counter regions still collected)\n");
+    }
+  }
+  if (want_metrics || want_profile) {
     obs::set_metrics_enabled(true);
     obs::preregister_core_metrics();
     // Exercise the chip-level pipeline once so the dsss/ecc counters reflect
@@ -259,6 +284,18 @@ int cmd_simulate(const Args& args) {
   std::printf("degree g : %.2f    compromised codes: %.0f\n", r.degree.mean(),
               r.compromised_codes.mean());
 
+  if (want_profile) {
+    obs::prof::profiler_stop();
+    const std::string path = args.str("profile-out", "");
+    if (!obs::prof::dump_folded_file(path.c_str())) {
+      std::fprintf(stderr, "error: cannot write profile '%s'\n", path.c_str());
+      return 2;
+    }
+    std::printf("profile: %llu samples (%llu dropped) -> %s [backend=%s]\n",
+                static_cast<unsigned long long>(obs::prof::profiler_samples()),
+                static_cast<unsigned long long>(obs::prof::profiler_dropped()), path.c_str(),
+                obs::prof::backend_name(obs::prof::prof_backend()));
+  }
   if (exporter.has_value()) {
     exporter.reset();  // stop + one final synchronous export
     if (args.has("export-prom")) {
@@ -281,6 +318,18 @@ int cmd_simulate(const Args& args) {
                 args.str("trace-out", "").c_str());
   }
   return 0;
+}
+
+/// `jrsnd profile` — a profiled `simulate`. Sugar: `--out`/`--hz` map onto
+/// `--profile-out`/`--profile-hz`, every other simulate flag passes through.
+int cmd_profile(Args args) {
+  if (!args.has("out") && !args.has("profile-out")) {
+    std::fprintf(stderr, "error: profile needs --out FILE\n");
+    return usage();
+  }
+  if (args.has("out")) args.flags["profile-out"] = args.flags["out"];
+  if (args.has("hz")) args.flags["profile-hz"] = args.flags["hz"];
+  return cmd_simulate(args);
 }
 
 int cmd_trace(const Args& args) {
@@ -342,6 +391,10 @@ int cmd_report(const Args& args) {
   std::uint64_t dndp_discovered = 0;
   std::uint64_t phy_tx = 0;
   std::uint64_t phy_delivered = 0;
+  // span.end latency distributions: wall_us when the trace was recorded with
+  // --trace-wall, sim-time `dur` otherwise. Kept separate — the units differ.
+  std::map<std::string, std::vector<double>> span_wall_us;
+  std::map<std::string, std::vector<double>> span_dur_sim;
 
   std::string line;
   std::size_t line_no = 0;
@@ -378,6 +431,26 @@ int cmd_report(const Args& args) {
     } else if (ev->name == "phy.tx") {
       ++phy_tx;
       if (bool_field("delivered")) ++phy_delivered;
+    } else if (ev->name == "span.end") {
+      const auto num_field = [&ev](const char* key) -> std::optional<double> {
+        const obs::FieldValue* f = ev->field(key);
+        if (f == nullptr) return std::nullopt;
+        if (const double* d = std::get_if<double>(f)) return *d;
+        if (const std::uint64_t* u = std::get_if<std::uint64_t>(f)) {
+          return static_cast<double>(*u);
+        }
+        if (const std::int64_t* i = std::get_if<std::int64_t>(f)) {
+          return static_cast<double>(*i);
+        }
+        return std::nullopt;
+      };
+      const obs::FieldValue* name_field = ev->field("name");
+      const std::string* span_name =
+          name_field != nullptr ? std::get_if<std::string>(name_field) : nullptr;
+      if (span_name != nullptr) {
+        if (const auto wall = num_field("wall_us")) span_wall_us[*span_name].push_back(*wall);
+        if (const auto dur = num_field("dur")) span_dur_sim[*span_name].push_back(*dur);
+      }
     }
   }
 
@@ -406,6 +479,28 @@ int cmd_report(const Args& args) {
                 static_cast<unsigned long long>(phy_tx),
                 100.0 * static_cast<double>(phy_delivered) / static_cast<double>(phy_tx));
   }
+  // Exact offline percentiles (sorted samples, nearest-rank) — unlike the
+  // live histograms there is no bucketing error here.
+  const auto print_percentiles = [](const char* title,
+                                    std::map<std::string, std::vector<double>>& by_span) {
+    if (by_span.empty()) return;
+    std::printf("%s:\n", title);
+    std::printf("  %-24s %8s %12s %12s %12s %12s\n", "span", "count", "p50", "p95", "p99",
+                "max");
+    for (auto& [name, samples] : by_span) {
+      std::sort(samples.begin(), samples.end());
+      const auto pct = [&samples](double q) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::min<double>(static_cast<double>(samples.size()) - 1.0,
+                             q * static_cast<double>(samples.size())));
+        return samples[rank];
+      };
+      std::printf("  %-24s %8zu %12.3f %12.3f %12.3f %12.3f\n", name.c_str(), samples.size(),
+                  pct(0.50), pct(0.95), pct(0.99), samples.back());
+    }
+  };
+  print_percentiles("span wall latency (us)", span_wall_us);
+  if (span_wall_us.empty()) print_percentiles("span sim latency (s)", span_dur_sim);
   return 0;
 }
 
@@ -616,6 +711,7 @@ int main(int argc, char** argv) {
   }
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "profile") return cmd_profile(args);
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "provision") return cmd_provision(args);
