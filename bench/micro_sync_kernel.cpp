@@ -6,6 +6,12 @@
 //      hoisted reference (one slice per offset) vs the shift-table kernel
 //      (zero allocation, XOR+popcount on packed words). The kernel must be
 //      >= 5x the naive path and bit-identical to it.
+//  [1c] Multi-code scan at m in {5, 20, 40}: the SIMD-batched kernel
+//      (BatchShiftTable::hamming_all, one buffer pass scoring every code)
+//      vs the per-code shift-table loop, per supported SIMD backend, with
+//      bit-identity verified before timing. The acceptance target is >= 4x
+//      over the single-code kernel at m = 40 on the best vector backend
+//      (>= 1.5x scalar-only).
 //  [2] run_all() serial vs parallel wall time, with the results verified
 //      identical (the engine's determinism contract).
 //
@@ -13,9 +19,11 @@
 // argv[1]) so CI can archive throughput next to the commit.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -213,14 +221,147 @@ int main(int argc, char** argv) {
       static_cast<double>(kCounterPasses * offsets * kM) * static_cast<double>(kN);
   const double cycles_per_scan =
       static_cast<double>(scan_counters.cycles) / static_cast<double>(kCounterPasses);
+  // Under the clock fallback the instruction and miss counters never tick:
+  // the derived rates are not measurements (they would read 0), so they are
+  // reported n/a here and null in the JSON instead of masquerading as data.
+  const bool counters_real = counter_set.backend() == obs::prof::ProfBackend::kPerfEvent;
   const double instructions_per_chip =
-      static_cast<double>(scan_counters.instructions) / counted_chips;
-  std::printf("  counters  [%s%s] %.3g cycles/scan  %.3g instr/chip  IPC %.2f  "
-              "%.3g LLC-miss/kinst\n",
-              obs::prof::backend_name(counter_set.backend()),
-              scan_counters.estimated ? ", estimated" : "", cycles_per_scan,
-              instructions_per_chip, scan_counters.ipc(),
-              scan_counters.llc_misses_per_kinst());
+      counters_real ? static_cast<double>(scan_counters.instructions) / counted_chips : 0.0;
+  if (counters_real) {
+    std::printf("  counters  [%s%s] %.3g cycles/scan  %.3g instr/chip  IPC %.2f  "
+                "%.3g LLC-miss/kinst\n",
+                obs::prof::backend_name(counter_set.backend()),
+                scan_counters.estimated ? ", estimated" : "", cycles_per_scan,
+                instructions_per_chip, scan_counters.ipc(),
+                scan_counters.llc_misses_per_kinst());
+  } else {
+    std::printf("  counters  [%s%s] %.3g cycles/scan  instr/chip n/a  IPC n/a  "
+                "LLC-miss/kinst n/a\n",
+                obs::prof::backend_name(counter_set.backend()),
+                scan_counters.estimated ? ", estimated" : "", cycles_per_scan);
+  }
+
+  // --- [1c] SIMD-batched multi-code scan ------------------------------------
+  // One buffer pass scores the whole candidate group: as m grows the
+  // per-code loop re-reads every buffer word m times, the batched kernel
+  // once. Timed per supported SIMD backend (forced via set_simd_backend —
+  // the same dispatch JRSND_SIMD drives), with the batched Hammings verified
+  // bit-identical to the per-code kernel at every (offset, code) first.
+  struct MultiCodeEntry {
+    const char* backend = "";
+    std::size_t m = 0;
+    double single_ms = 0.0;
+    double batched_ms = 0.0;
+    double single_gchips = 0.0;
+    double batched_gchips = 0.0;
+    double speedup = 0.0;
+    double batched_cycles_per_scan = 0.0;
+    bool cycles_estimated = true;
+  };
+  std::vector<MultiCodeEntry> multi_entries;
+  std::vector<dsss::SimdBackend> backends;
+  for (const dsss::SimdBackend b : {dsss::SimdBackend::kScalar, dsss::SimdBackend::kAvx2,
+                                    dsss::SimdBackend::kAvx512, dsss::SimdBackend::kNeon}) {
+    if (dsss::simd_backend_supported(b)) backends.push_back(b);
+  }
+  const dsss::SimdBackend default_backend = dsss::simd_backend();
+  const char* best_backend_name = dsss::simd_backend_name(default_backend);
+  double best_speedup_at_40 = 0.0;
+
+  std::printf("multi-code scan: N=%zu buffer=%zu bits, backends:", kN, kBufferBits);
+  for (const dsss::SimdBackend b : backends) std::printf(" %s", dsss::simd_backend_name(b));
+  std::printf(" (best: %s)\n", best_backend_name);
+
+  for (const std::size_t m : {std::size_t{5}, std::size_t{20}, std::size_t{40}}) {
+    std::vector<dsss::SpreadCode> group;
+    for (std::size_t i = 0; i < m; ++i) group.push_back(dsss::SpreadCode::random(rng, kN));
+    const std::vector<dsss::ShiftTable> tables = dsss::build_shift_tables(group);
+    const dsss::BatchShiftTable batch{std::span<const dsss::SpreadCode>(group)};
+    std::vector<std::uint64_t> hams(batch.lane_count());
+
+    // Tables prebuilt for BOTH paths: this times the steady-state scan loop
+    // (the PreparedCodebook regime), not table construction.
+    const auto single_scan = [&] {
+      std::size_t hits = 0;
+      for (std::size_t off = 0; off < offsets; ++off) {
+        for (const dsss::ShiftTable& table : tables) hits += table.correlate(buffer, off) >= kTau;
+      }
+      return hits;
+    };
+    // Threshold in the Hamming domain, as batch_sync_search does: corr(h) is
+    // strictly decreasing in h, so "corr >= tau" is exactly "h < hit_below"
+    // with the bound found via the same double predicate.
+    std::size_t hit_below = 0;
+    while (hit_below <= kN && dsss::correlation_from_hamming(kN, hit_below) >= kTau) ++hit_below;
+    const auto batched_scan = [&, hit_below] {
+      std::size_t hits = 0;
+      for (std::size_t off = 0; off < offsets; ++off) {
+        batch.hamming_all(buffer, off, hams);
+        for (std::size_t c = 0; c < m; ++c) hits += hams[c] < hit_below;
+      }
+      return hits;
+    };
+
+    const ScanTiming single = time_scan(offsets, m, kN, single_scan);
+
+    for (const dsss::SimdBackend b : backends) {
+      dsss::set_simd_backend(b);
+      // Bit-identity gate before timing: every (offset, code) Hamming.
+      for (std::size_t off = 0; off < offsets; ++off) {
+        batch.hamming_all(buffer, off, hams);
+        for (std::size_t c = 0; c < m; ++c) {
+          if (hams[c] != tables[c].hamming(buffer, off)) {
+            std::fprintf(stderr, "FATAL: batched(%s) != kernel at offset %zu code %zu m %zu\n",
+                         dsss::simd_backend_name(b), off, c, m);
+            return 1;
+          }
+        }
+      }
+      const ScanTiming batched = time_scan(offsets, m, kN, batched_scan);
+      if (batched.hits != single.hits) {
+        std::fprintf(stderr, "FATAL: batched(%s) hit count %zu != single %zu at m %zu\n",
+                     dsss::simd_backend_name(b), batched.hits, single.hits, m);
+        return 1;
+      }
+      constexpr std::size_t kBatchCounterPasses = 8;
+      const obs::prof::CounterTotals batch_counters = counter_set.measure([&] {
+        std::size_t sink = 0;
+        for (std::size_t pass = 0; pass < kBatchCounterPasses; ++pass) sink += batched_scan();
+        if (sink == static_cast<std::size_t>(-1)) std::abort();  // defeat DCE
+      });
+
+      MultiCodeEntry entry;
+      entry.backend = dsss::simd_backend_name(b);
+      entry.m = m;
+      entry.single_ms = single.secs_per_scan * 1e3;
+      entry.batched_ms = batched.secs_per_scan * 1e3;
+      entry.single_gchips = single.chips_per_sec / 1e9;
+      entry.batched_gchips = batched.chips_per_sec / 1e9;
+      entry.speedup = single.secs_per_scan / batched.secs_per_scan;
+      entry.batched_cycles_per_scan =
+          static_cast<double>(batch_counters.cycles) / static_cast<double>(kBatchCounterPasses);
+      entry.cycles_estimated = batch_counters.estimated;
+      multi_entries.push_back(entry);
+      if (m == 40 && b == default_backend) best_speedup_at_40 = entry.speedup;
+
+      std::printf("  m=%-2zu %-6s single %8.3f ms  batched %8.3f ms  %6.2f Gchip/s  "
+                  "%.2fx  %.3g cycles/scan%s\n",
+                  m, entry.backend, entry.single_ms, entry.batched_ms, entry.batched_gchips,
+                  entry.speedup, entry.batched_cycles_per_scan,
+                  entry.cycles_estimated ? " (est)" : "");
+    }
+  }
+  dsss::set_simd_backend(default_backend);
+  {
+    const bool vector_host = default_backend != dsss::SimdBackend::kScalar;
+    const double floor = vector_host ? 4.0 : 1.5;
+    if (best_speedup_at_40 < floor) {
+      std::fprintf(stderr,
+                   "WARNING: batched speedup %.2fx at m=40 on %s below the %.1fx acceptance "
+                   "floor\n",
+                   best_speedup_at_40, best_backend_name, floor);
+    }
+  }
 
   // --- [2] serial vs parallel run_all --------------------------------------
   core::ExperimentConfig cfg;
@@ -262,35 +403,31 @@ int main(int argc, char** argv) {
   // Every hardware thread busy — the configuration a sweep actually runs
   // under. CI archives both this and the single-core number so a regression
   // in either the per-run cost or the scaling shows up in BENCH_sync.json.
-  // On a single-core machine "saturated" would just re-measure the serial
-  // path, so the section is refused outright (`"saturated": null`) rather
-  // than recorded as a threads=1 baseline a multi-core CI runner would then
-  // be gated against.
+  // The section is ALWAYS recorded with its explicit thread count: a
+  // single-core host honestly labels the measurement threads=1 (where
+  // "saturated" and serial coincide) instead of omitting it, and
+  // check_perf.py only gates saturated throughput when the baseline was
+  // taken at the same thread count.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const double single_core_runs_per_sec = static_cast<double>(cfg.params.runs) / serial_secs;
-  double saturated_secs = 0.0;
-  double saturated_runs_per_sec = 0.0;
-  const bool saturated_valid = hw >= 2;
-  if (saturated_valid) {
-    setenv("JRSND_THREADS", std::to_string(hw).c_str(), 1);
-    const auto saturated_start = Clock::now();
-    const core::PointResult saturated = sim.run_all();
-    saturated_secs = seconds_since(saturated_start);
-    unsetenv("JRSND_THREADS");
-    if (saturated.p_jrsnd.mean() != serial.p_jrsnd.mean()) {
-      std::fprintf(stderr, "FATAL: saturated run_all results differ from serial\n");
-      return 1;
-    }
-    saturated_runs_per_sec = static_cast<double>(cfg.params.runs) / saturated_secs;
-    std::printf(
-        "run_all saturated: %u threads  %.2f s  %.2f runs/s (single-core %.2f runs/s)\n", hw,
-        saturated_secs, saturated_runs_per_sec, single_core_runs_per_sec);
-  } else {
+  if (hw < 2) {
     std::fprintf(stderr,
-                 "WARNING: hardware_concurrency=%u — refusing to record a single-thread run "
-                 "as \"saturated\" (section will be null)\n",
+                 "NOTE: hardware_concurrency=%u — \"saturated\" below is a threads=1 "
+                 "measurement (gated only against same-thread-count baselines)\n",
                  hw);
   }
+  setenv("JRSND_THREADS", std::to_string(hw).c_str(), 1);
+  const auto saturated_start = Clock::now();
+  const core::PointResult saturated = sim.run_all();
+  const double saturated_secs = seconds_since(saturated_start);
+  unsetenv("JRSND_THREADS");
+  if (saturated.p_jrsnd.mean() != serial.p_jrsnd.mean()) {
+    std::fprintf(stderr, "FATAL: saturated run_all results differ from serial\n");
+    return 1;
+  }
+  const double saturated_runs_per_sec = static_cast<double>(cfg.params.runs) / saturated_secs;
+  std::printf("run_all saturated: %u threads  %.2f s  %.2f runs/s (single-core %.2f runs/s)\n",
+              hw, saturated_secs, saturated_runs_per_sec, single_core_runs_per_sec);
 
   // --- machine-readable summary --------------------------------------------
   std::ofstream json(json_path);
@@ -298,8 +435,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
     return 0;
   }
+  // Rates derived from counters that never tick under the clock fallback
+  // are written as JSON null, not 0 — see [1b].
+  const auto real_or_null = [&](double value) {
+    return counters_real ? std::to_string(value) : std::string("null");
+  };
   json << "{\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"simd_backend\": \"" << best_backend_name << "\",\n"
        << "  \"scan\": {\n"
        << "    \"N\": " << kN << ",\n"
        << "    \"m\": " << kM << ",\n"
@@ -318,12 +461,33 @@ int main(int argc, char** argv) {
        << "      \"estimated\": " << (scan_counters.estimated ? "true" : "false") << ",\n"
        << "      \"passes\": " << kCounterPasses << ",\n"
        << "      \"cycles_per_scan\": " << cycles_per_scan << ",\n"
-       << "      \"instructions_per_chip\": " << instructions_per_chip << ",\n"
-       << "      \"ipc\": " << scan_counters.ipc() << ",\n"
-       << "      \"llc_misses_per_kinst\": " << scan_counters.llc_misses_per_kinst() << ",\n"
+       << "      \"instructions_per_chip\": " << real_or_null(instructions_per_chip) << ",\n"
+       << "      \"ipc\": " << real_or_null(scan_counters.ipc()) << ",\n"
+       << "      \"llc_misses_per_kinst\": " << real_or_null(scan_counters.llc_misses_per_kinst())
+       << ",\n"
        << "      \"task_clock_ms\": " << static_cast<double>(scan_counters.task_clock_ns) / 1e6
        << "\n"
        << "    }\n"
+       << "  },\n"
+       << "  \"multi_code\": {\n"
+       << "    \"N\": " << kN << ",\n"
+       << "    \"buffer_bits\": " << kBufferBits << ",\n"
+       << "    \"best_backend\": \"" << best_backend_name << "\",\n"
+       << "    \"best_speedup_at_m40\": " << best_speedup_at_40 << ",\n"
+       << "    \"entries\": [\n";
+  for (std::size_t i = 0; i < multi_entries.size(); ++i) {
+    const MultiCodeEntry& e = multi_entries[i];
+    json << "      {\"backend\": \"" << e.backend << "\", \"m\": " << e.m
+         << ", \"single_ms_per_scan\": " << e.single_ms
+         << ", \"batched_ms_per_scan\": " << e.batched_ms
+         << ", \"single_gchips_per_sec\": " << e.single_gchips
+         << ", \"batched_gchips_per_sec\": " << e.batched_gchips
+         << ", \"speedup_vs_single\": " << e.speedup
+         << ", \"batched_cycles_per_scan\": " << e.batched_cycles_per_scan
+         << ", \"cycles_estimated\": " << (e.cycles_estimated ? "true" : "false") << "}"
+         << (i + 1 < multi_entries.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n"
        << "  },\n"
        << "  \"run_all\": {\n"
        << "    \"n\": " << cfg.params.n << ",\n"
@@ -335,17 +499,13 @@ int main(int argc, char** argv) {
        << "    \"results_identical\": " << (identical ? "true" : "false") << ",\n"
        << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
        << "  },\n";
-  if (saturated_valid) {
-    json << "  \"saturated\": {\n"
-         << "    \"threads\": " << hw << ",\n"
-         << "    \"seconds\": " << saturated_secs << ",\n"
-         << "    \"runs_per_sec\": " << saturated_runs_per_sec << ",\n"
-         << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
-         << "  }\n";
-  } else {
-    json << "  \"saturated\": null\n";
-  }
-  json << "}\n";
+  json << "  \"saturated\": {\n"
+       << "    \"threads\": " << hw << ",\n"
+       << "    \"seconds\": " << saturated_secs << ",\n"
+       << "    \"runs_per_sec\": " << saturated_runs_per_sec << ",\n"
+       << "    \"single_core_runs_per_sec\": " << single_core_runs_per_sec << "\n"
+       << "  }\n"
+       << "}\n";
   std::printf("(wrote %s)\n", json_path.c_str());
   return 0;
 }

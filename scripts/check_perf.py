@@ -12,12 +12,16 @@ Lower-is-better counter metrics use the mirrored ceiling
 (baseline / tolerance).
 
 Environment-aware skips, never silent:
-  * `"saturated": null` (single-core recorder refused the label) or a
-    thread-count mismatch skips the saturated comparison with a notice.
+  * A saturated thread-count mismatch (or a legacy `"saturated": null`
+    baseline) skips the saturated comparison with a notice.
   * Counter gates arm only when BOTH baseline and fresh recorded
     backend == "perf_event" with estimated == false; otherwise they are
-    skipped with a warning (clock-fallback cycles are estimates, and
-    instructions/misses read zero — gating on them would be noise).
+    skipped with a warning (clock-fallback cycles are estimates, and the
+    derived instruction/miss rates are written as JSON null).
+  * Multi-code (SIMD-batched) throughput gates match baseline and fresh
+    entries by (backend, m): a backend present on only one side — a
+    different machine, or a JRSND_SIMD override — is skipped with a
+    notice, never compared cross-backend.
 
 Every violation prints one FAIL line naming the metric, the baseline
 value, the current value, and the percent delta; the exit code goes
@@ -119,6 +123,38 @@ class Gate:
             self.check_floor(label, base_v, fresh_v)
 
 
+def check_multi_code(gate, baseline, fresh):
+    """Gate the SIMD-batched scan throughput per (backend, m) pair.
+
+    Entries only compare when both runs measured the same backend at the
+    same group size — a gate never compares scalar against avx512 numbers.
+    """
+    base_entries = get(baseline, "multi_code.entries")
+    fresh_entries = get(fresh, "multi_code.entries")
+    if base_entries is None:
+        print("note: baseline lacks multi_code section; skipping batched-scan gates")
+        return
+    if fresh_entries is None:
+        gate.failures.append("multi-code: fresh run lacks multi_code.entries")
+        return
+    base_by_key = {(e.get("backend"), e.get("m")): e for e in base_entries}
+    for entry in fresh_entries:
+        key = (entry.get("backend"), entry.get("m"))
+        base_entry = base_by_key.get(key)
+        label = f"batched scan {key[0]} m={key[1]}"
+        if base_entry is None:
+            print(f"note: baseline has no multi_code entry for backend={key[0]!r} "
+                  f"m={key[1]}; skipping '{label}'")
+            continue
+        gate.check_floor(f"{label} Gchip/s",
+                         base_entry.get("batched_gchips_per_sec", 0.0),
+                         entry.get("batched_gchips_per_sec", 0.0))
+    for key in base_by_key:
+        if key not in {(e.get("backend"), e.get("m")) for e in fresh_entries}:
+            print(f"note: fresh run has no multi_code entry for backend={key[0]!r} "
+                  f"m={key[1]} (backend unavailable on this host); not compared")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="committed BENCH_sync.json")
@@ -135,6 +171,7 @@ def main(argv):
 
     gate.check_path(baseline, fresh, "kernel scan throughput",
                     "scan.kernel_mchips_per_sec")
+    check_multi_code(gate, baseline, fresh)
     # The single-core rate moved from the saturated section into run_all when
     # the single-thread "saturated" label was retired; accept either layout.
     gate.check_path(baseline, fresh, "single-core run_all rate",
@@ -145,8 +182,8 @@ def main(argv):
     fresh_threads = get(fresh, "saturated.threads")
     if base_threads is None or fresh_threads is None:
         side = "baseline" if base_threads is None else "fresh run"
-        print(f"note: {side} has no saturated section (single-core machine "
-              f"refuses the label); skipping 'saturated run_all rate'")
+        print(f"note: {side} has no saturated section (legacy null from a "
+              f"single-core recorder); skipping 'saturated run_all rate'")
     elif base_threads != fresh_threads:
         print(f"note: thread counts differ (baseline {base_threads}, "
               f"fresh {fresh_threads}); skipping 'saturated run_all rate'")

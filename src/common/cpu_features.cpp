@@ -1,0 +1,70 @@
+#include "common/cpu_features.hpp"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace jrsnd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via XGETBV: which register state the OS saves across context
+/// switches. Bit 1 = SSE (XMM), bit 2 = AVX (YMM), bits 5-7 = AVX-512
+/// (opmask, ZMM low, ZMM high).
+std::uint64_t xcr0() noexcept {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures probe() noexcept {
+  CpuFeatures f;
+  std::uint32_t eax = 0;
+  std::uint32_t ebx = 0;
+  std::uint32_t ecx = 0;
+  std::uint32_t edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  const bool osxsave = (ecx & (1U << 27)) != 0;
+  if (!osxsave) return f;  // OS saves no extended state: scalar only
+
+  const std::uint64_t xsave = xcr0();
+  const bool ymm_ok = (xsave & 0x6) == 0x6;           // XMM + YMM
+  const bool zmm_ok = (xsave & 0xE6) == 0xE6;         // + opmask/ZMM
+
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return f;
+  const bool cpu_avx2 = (ebx & (1U << 5)) != 0;
+  const bool cpu_avx512f = (ebx & (1U << 16)) != 0;
+  const bool cpu_vpopcntdq = (ecx & (1U << 14)) != 0;
+
+  f.avx2 = cpu_avx2 && ymm_ok;
+  f.avx512_vpopcntdq = cpu_avx512f && cpu_vpopcntdq && zmm_ok;
+  return f;
+}
+
+#elif defined(__aarch64__)
+
+CpuFeatures probe() noexcept {
+  CpuFeatures f;
+  f.neon = true;  // Advanced SIMD is architecturally mandatory on AArch64
+  return f;
+}
+
+#else
+
+CpuFeatures probe() noexcept { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace jrsnd

@@ -1,0 +1,26 @@
+// Runtime CPU feature probe (ROADMAP: SIMD-batched correlator).
+//
+// The batched sync kernel ships three x86 backends (scalar, AVX2,
+// AVX-512/VPOPCNTDQ) plus a NEON variant on aarch64, selected once at
+// startup. Feature detection lives here, in common/, so any future SIMD
+// consumer (BitVector, ECC) shares one probe instead of re-reading CPUID.
+//
+// The probe checks both the CPU capability bits (CPUID leaf 7) and the OS
+// context-save support (OSXSAVE + XCR0): a kernel that does not preserve
+// ZMM state makes the AVX-512 bits in CPUID meaningless, so both must agree
+// before a vector backend is reported usable.
+#pragma once
+
+namespace jrsnd {
+
+struct CpuFeatures {
+  bool avx2 = false;              ///< AVX2 usable (CPUID + OS YMM state)
+  bool avx512_vpopcntdq = false;  ///< AVX-512F + VPOPCNTDQ usable (+ OS ZMM state)
+  bool neon = false;              ///< Advanced SIMD (always true on aarch64)
+};
+
+/// The probed feature set, resolved once per process. Never throws; on
+/// non-x86, non-aarch64 targets every x86/NEON flag reads false.
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace jrsnd

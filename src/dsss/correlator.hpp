@@ -14,6 +14,17 @@ namespace jrsnd::dsss {
 /// Default decision threshold from the paper for N = 512.
 inline constexpr double kDefaultTau = 0.15;
 
+/// The one normalized-correlation formula every packed-chip path shares:
+/// (N - 2h) / N for Hamming distance h over N chips. Centralized so the
+/// single-code kernel, the SIMD-batched kernel, and the despread decision
+/// paths are bit-identical doubles by construction, not by convention.
+[[nodiscard]] constexpr double correlation_from_hamming(std::size_t code_length,
+                                                        std::size_t hamming) noexcept {
+  const auto n = static_cast<double>(code_length);
+  const auto h = static_cast<double>(hamming);
+  return (n - 2.0 * h) / n;
+}
+
 /// Standard deviation of the correlation between a length-N pseudorandom
 /// code and an independent window: sqrt(1/N).
 [[nodiscard]] double correlation_noise_sigma(std::size_t code_length);

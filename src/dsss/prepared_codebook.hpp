@@ -43,11 +43,13 @@ class PreparedCodebook {
   PreparedCodebook(PreparedCodebook&& other) noexcept
       : codes_(std::move(other.codes_)),
         tables_(std::move(other.tables_)),
+        batch_(std::move(other.batch_)),
         built_(other.built_.load(std::memory_order_relaxed)) {}
   PreparedCodebook& operator=(const PreparedCodebook& other) {
     if (this != &other) {
       codes_ = other.codes_;
       tables_.clear();
+      batch_.clear();
       built_.store(false, std::memory_order_relaxed);
     }
     return *this;
@@ -56,6 +58,7 @@ class PreparedCodebook {
     if (this != &other) {
       codes_ = std::move(other.codes_);
       tables_ = std::move(other.tables_);
+      batch_ = std::move(other.batch_);
       built_.store(other.built_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     }
     return *this;
@@ -88,10 +91,19 @@ class PreparedCodebook {
   /// codebook changes. Safe to call from multiple threads concurrently.
   [[nodiscard]] std::span<const ShiftTable> tables() const;
 
+  /// The SIMD-batched table groups (one per distinct code length, so a
+  /// uniform codebook yields exactly one group — see build_batch_tables),
+  /// built and cached together with tables() under the same double-checked
+  /// flag. Safe to call from multiple threads concurrently.
+  [[nodiscard]] std::span<const BatchShiftTable> batch_tables() const;
+
  private:
+  void ensure_built() const;
+
   std::vector<SpreadCode> codes_;
   bool uniform_ = true;
   mutable std::vector<ShiftTable> tables_;
+  mutable std::vector<BatchShiftTable> batch_;
   mutable std::atomic<bool> built_{false};
   mutable std::mutex build_mutex_;
 };

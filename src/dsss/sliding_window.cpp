@@ -23,65 +23,122 @@ bool uniform_code_lengths(std::span<const SpreadCode> codes) noexcept {
   return true;
 }
 
-/// The shared scan core: every find_first entry point — per-call tables,
-/// cached PreparedCodebook tables, optional-returning or into-a-hit — runs
-/// this loop, so their results are bit-identical by construction. The loop
-/// is the paper's t_p = rho*N*m*f hot path and does zero allocation, zero
-/// bit-shifting, and no shared writes (metrics are accumulated locally,
-/// flushed once); with a caller-reused `out` the whole call is
-/// allocation-free in the steady state.
-bool scan_first(const BitVector& buffer, std::span<const ShiftTable> tables,
-                std::size_t message_bits, double tau, std::size_t start_offset, SyncHit& out) {
-  if (tables.empty() || message_bits == 0) return false;
-  const std::size_t needed = message_bits * tables[0].length();
+/// Per-thread lane scratch for the batched kernel's hamming outputs. Grows
+/// to the largest lane_count seen by this thread and is then reused, so a
+/// steady-state scan allocates nothing (each thread-pool worker warms its
+/// own scratch on its first scan).
+std::uint64_t* lane_scratch(std::size_t lanes) {
+  static thread_local std::vector<std::uint64_t> scratch;
+  if (scratch.size() < lanes) scratch.resize(lanes);
+  return scratch.data();
+}
+
+/// Where the batched scan first synchronized.
+struct ScanPos {
+  std::size_t code = 0;    ///< candidate index within the group
+  std::size_t offset = 0;  ///< chip offset of the synchronized window
+};
+
+/// The threshold test translated into the Hamming domain: |corr(h)| >= tau
+/// ⟺ h < hit_below || h >= hit_from. correlation_from_hamming is strictly
+/// decreasing in h, so the h passing the positive test form a prefix and
+/// those passing the negative test a suffix; the bounds are found with the
+/// SAME double-precision predicate the per-code path evaluates, making the
+/// integer compare in the hot loop exactly equivalent (including rounding at
+/// the boundary) while skipping two int->double conversions per candidate.
+struct HammingBounds {
+  std::size_t hit_below = 0;  ///< h < hit_below  ⇒  corr >= tau
+  std::size_t hit_from = 0;   ///< h >= hit_from  ⇒  corr <= -tau
+};
+
+HammingBounds hamming_bounds(std::size_t n, double tau) {
+  HammingBounds b;
+  while (b.hit_below <= n && correlation_from_hamming(n, b.hit_below) >= tau) ++b.hit_below;
+  b.hit_from = n + 1;
+  while (b.hit_from > 0 && correlation_from_hamming(n, b.hit_from - 1) <= -tau) --b.hit_from;
+  return b;
+}
+
+/// The batched sync search: one pass over the chip buffer scores every code
+/// in the group per window via BatchShiftTable::hamming_all, then applies
+/// the threshold in candidate order — so the (offset, code) it reports is
+/// exactly the one the per-code loop would have found, and `below_tau`
+/// advances by the number of candidates the per-code loop would have
+/// rejected before it. This loop is the paper's t_p = rho*N*m*f hot path:
+/// zero allocation (thread-local scratch), zero bit-shifting, and one
+/// buffer-word load feeding every candidate on the active SIMD backend.
+bool batch_sync_search(const BitVector& buffer, const BatchShiftTable& batch,
+                       std::size_t needed, double tau, std::size_t start_offset, ScanPos& pos,
+                       std::uint64_t& below_tau) {
+  JRSND_PERF_REGION("dsss.sync.batch_scan");
+  const std::size_t m = batch.size();
+  const std::size_t lanes = batch.lane_count();
+  const HammingBounds bounds = hamming_bounds(batch.length(), tau);
+  const std::span<std::uint64_t> hams{lane_scratch(lanes), lanes};
+  for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
+    batch.hamming_all(buffer, offset, hams);
+    for (std::size_t c = 0; c < m; ++c) {
+      if (hams[c] < bounds.hit_below || hams[c] >= bounds.hit_from) {
+        pos.code = c;
+        pos.offset = offset;
+        below_tau += c;
+        return true;
+      }
+    }
+    below_tau += m;
+  }
+  return false;
+}
+
+/// The shared scan core: every find_first entry point — per-call batch
+/// tables, cached PreparedCodebook tables, optional-returning or into-a-hit
+/// — runs this loop, so their results are bit-identical by construction.
+/// `despread_hit(pos, out)` recovers the message once the search locks on;
+/// callers pick the table source (cached per-code ShiftTable or a batch
+/// lane), every choice bit-identical. With a caller-reused `out` the whole
+/// call is allocation-free in the steady state.
+template <typename DespreadHit>
+bool scan_first(const BitVector& buffer, const BatchShiftTable& batch, std::size_t message_bits,
+                double tau, std::size_t start_offset, SyncHit& out, DespreadHit&& despread_hit) {
+  if (batch.empty() || message_bits == 0) return false;
+  const std::size_t needed = message_bits * batch.length();
   if (buffer.size() < needed) return false;
 
   JRSND_COUNT("dsss.sync.scans");
   JRSND_PERF_REGION("dsss.sync.scan");
   std::uint64_t below_tau = 0;
-  for (std::size_t offset = start_offset; offset + needed <= buffer.size(); ++offset) {
-    for (std::size_t c = 0; c < tables.size(); ++c) {
-      const double corr = tables[c].correlate(buffer, offset);
-      if (std::abs(corr) >= tau) {
-        out.code_index = c;
-        out.chip_offset = offset;
-        despread_into(buffer, offset, message_bits, tables[c], tau, out.message);
-        JRSND_COUNT("dsss.sync.hits");
-        JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
-        return true;
-      }
-      ++below_tau;
-    }
+  ScanPos pos;
+  if (batch_sync_search(buffer, batch, needed, tau, start_offset, pos, below_tau)) {
+    out.code_index = pos.code;
+    out.chip_offset = pos.offset;
+    despread_hit(pos, out.message);
+    JRSND_COUNT("dsss.sync.hits");
+    JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
+    return true;
   }
   JRSND_COUNT("dsss.sync.misses");
   JRSND_COUNT_N("dsss.sync.windows_below_tau", below_tau);
   return false;
 }
 
-/// Shared find_all core over prebuilt tables (see scan_first).
-std::vector<SyncHit> scan_all(const BitVector& buffer, std::span<const ShiftTable> tables,
-                              std::size_t message_bits, double tau) {
+/// Shared find_all core over a batch group (see scan_first).
+template <typename DespreadHit>
+std::vector<SyncHit> scan_all(const BitVector& buffer, const BatchShiftTable& batch,
+                              std::size_t message_bits, double tau, DespreadHit&& despread_hit) {
   std::vector<SyncHit> hits;
-  if (tables.empty() || message_bits == 0) return hits;
-  const std::size_t needed = message_bits * tables[0].length();
+  if (batch.empty() || message_bits == 0) return hits;
+  const std::size_t needed = message_bits * batch.length();
 
   std::size_t offset = 0;
-  while (offset + needed <= buffer.size()) {
-    bool found = false;
-    for (std::size_t c = 0; c < tables.size(); ++c) {
-      const double corr = tables[c].correlate(buffer, offset);
-      if (std::abs(corr) >= tau) {
-        SyncHit hit;
-        hit.code_index = c;
-        hit.chip_offset = offset;
-        hit.message = despread(buffer, offset, message_bits, tables[c], tau);
-        hits.push_back(std::move(hit));
-        offset += needed;  // resume after the recovered message
-        found = true;
-        break;
-      }
-    }
-    if (!found) ++offset;
+  std::uint64_t below_tau = 0;
+  ScanPos pos;
+  while (batch_sync_search(buffer, batch, needed, tau, offset, pos, below_tau)) {
+    SyncHit hit;
+    hit.code_index = pos.code;
+    hit.chip_offset = pos.offset;
+    despread_hit(pos, hit.message);
+    hits.push_back(std::move(hit));
+    offset = pos.offset + needed;  // resume after the recovered message
   }
   return hits;
 }
@@ -96,13 +153,18 @@ std::optional<SyncHit> find_first_message(const BitVector& buffer,
   assert(uniform_code_lengths(codes) && "find_first_message: mixed candidate code lengths");
   if (!uniform_code_lengths(codes)) return std::nullopt;
 
-  // One shift table per candidate, built once per scan and amortized over
-  // the ~f * m window correlations. Callers that scan the same codebook
-  // repeatedly should prefer the PreparedCodebook overload, which caches
-  // this step across calls.
-  const std::vector<ShiftTable> tables = build_shift_tables(codes);
+  // One batched table for the whole candidate group, built once per scan and
+  // amortized over the ~f * m window correlations. Callers that scan the
+  // same codebook repeatedly should prefer the PreparedCodebook overload,
+  // which caches this step across calls.
+  const BatchShiftTable batch(codes);
   SyncHit hit;
-  if (scan_first(buffer, tables, message_bits, tau, start_offset, hit)) return hit;
+  if (scan_first(buffer, batch, message_bits, tau, start_offset, hit,
+                 [&](const ScanPos& pos, DespreadResult& message) {
+                   despread_into(buffer, pos.offset, message_bits, batch, pos.code, tau, message);
+                 })) {
+    return hit;
+  }
   return std::nullopt;
 }
 
@@ -122,7 +184,16 @@ bool find_first_message_into(const BitVector& buffer, const PreparedCodebook& co
                              SyncHit& out) {
   assert(codebook.uniform_lengths() && "find_first_message: mixed candidate code lengths");
   if (!codebook.uniform_lengths()) return false;
-  return scan_first(buffer, codebook.tables(), message_bits, tau, start_offset, out);
+  const std::span<const BatchShiftTable> groups = codebook.batch_tables();
+  if (groups.empty()) return false;
+  // Uniform codebook -> exactly one batch group; despread from the cached
+  // per-code ShiftTable (already built alongside the batch form).
+  const std::span<const ShiftTable> tables = codebook.tables();
+  return scan_first(buffer, groups[0], message_bits, tau, start_offset, out,
+                    [&](const ScanPos& pos, DespreadResult& message) {
+                      despread_into(buffer, pos.offset, message_bits, tables[pos.code], tau,
+                                    message);
+                    });
 }
 
 std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const SpreadCode> codes,
@@ -131,15 +202,25 @@ std::vector<SyncHit> find_all_messages(const BitVector& buffer, std::span<const 
   assert(uniform_code_lengths(codes) && "find_all_messages: mixed candidate code lengths");
   if (!uniform_code_lengths(codes)) return {};
 
-  const std::vector<ShiftTable> tables = build_shift_tables(codes);
-  return scan_all(buffer, tables, message_bits, tau);
+  const BatchShiftTable batch(codes);
+  return scan_all(buffer, batch, message_bits, tau,
+                  [&](const ScanPos& pos, DespreadResult& message) {
+                    despread_into(buffer, pos.offset, message_bits, batch, pos.code, tau, message);
+                  });
 }
 
 std::vector<SyncHit> find_all_messages(const BitVector& buffer, const PreparedCodebook& codebook,
                                        std::size_t message_bits, double tau) {
   assert(codebook.uniform_lengths() && "find_all_messages: mixed candidate code lengths");
   if (!codebook.uniform_lengths()) return {};
-  return scan_all(buffer, codebook.tables(), message_bits, tau);
+  const std::span<const BatchShiftTable> groups = codebook.batch_tables();
+  if (groups.empty()) return {};
+  const std::span<const ShiftTable> tables = codebook.tables();
+  return scan_all(buffer, groups[0], message_bits, tau,
+                  [&](const ScanPos& pos, DespreadResult& message) {
+                    despread_into(buffer, pos.offset, message_bits, tables[pos.code], tau,
+                                  message);
+                  });
 }
 
 std::optional<SyncHit> find_first_message_reference(const BitVector& buffer,

@@ -7,6 +7,14 @@
 // position where |correlation| >= tau marks the first bit of a message
 // spread with that code, and the remaining bits are de-spread at stride N
 // from there.
+//
+// The scan core batches the whole candidate pool: one pass over the buffer
+// scores every code per window through BatchShiftTable::hamming_all
+// (dsss/sync_kernel.hpp), dispatched to the best SIMD backend the host
+// admits (JRSND_SIMD overrides). The threshold test runs in the Hamming
+// domain with bounds derived from the same double predicate, so hits,
+// counters, and recovered messages are byte-identical to the per-code path
+// and to the find_*_reference slice oracles below on every backend.
 #pragma once
 
 #include <cstddef>

@@ -104,4 +104,23 @@ void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_co
   }
 }
 
+void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                   const BatchShiftTable& batch, std::size_t lane, double tau,
+                   DespreadResult& out) {
+  assert(lane < batch.size());
+  if (start + bit_count * batch.length() > chips.size()) {
+    throw std::invalid_argument("despread: window exceeds chip buffer");
+  }
+  JRSND_PERF_REGION("dsss.despread");
+  out.bits.clear();
+  out.bits.reserve(bit_count);
+  out.erased_bits.clear();
+  for (std::size_t bit = 0; bit < bit_count; ++bit) {
+    const DespreadBit d =
+        decide(batch.correlate_lane(lane, chips, start + bit * batch.length()), tau);
+    out.bits.push_back(d.value);
+    if (d.erased) out.erased_bits.push_back(bit);
+  }
+}
+
 }  // namespace jrsnd::dsss

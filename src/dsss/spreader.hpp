@@ -16,7 +16,8 @@
 
 namespace jrsnd::dsss {
 
-class ShiftTable;  // dsss/sync_kernel.hpp
+class BatchShiftTable;  // dsss/sync_kernel.hpp
+class ShiftTable;       // dsss/sync_kernel.hpp
 
 /// Spreads `message` with `code`: output has message.size() * N chips,
 /// packed as bits (bit 1 <-> chip +1).
@@ -66,5 +67,15 @@ struct DespreadResult {
 /// capacity. Used by the sliding-window scan's _into entry point.
 void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_count,
                    const ShiftTable& code, double tau, DespreadResult& out);
+
+/// despread_into over one lane of a SIMD-batched table — the path the
+/// batched scan uses when the caller has no per-code ShiftTable cache (the
+/// span-of-codes entry points). The lane's strided SoA reads produce the
+/// same integer Hamming distances as a ShiftTable of the same code, so the
+/// decisions and correlations are bit-identical to every other despread
+/// overload. Precondition: lane < batch.size().
+void despread_into(const BitVector& chips, std::size_t start, std::size_t bit_count,
+                   const BatchShiftTable& batch, std::size_t lane, double tau,
+                   DespreadResult& out);
 
 }  // namespace jrsnd::dsss

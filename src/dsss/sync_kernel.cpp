@@ -1,9 +1,24 @@
 #include "dsss/sync_kernel.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/cpu_features.hpp"
+#include "common/logging.hpp"
+#include "dsss/correlator.hpp"
 #include "dsss/spread_code.hpp"
+#include "obs/metrics_registry.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace jrsnd::dsss {
 
@@ -36,7 +51,274 @@ void shift_words(std::span<const std::uint64_t> src, std::size_t s, std::uint64_
   }
 }
 
+// --- batched hamming kernels ------------------------------------------------
+//
+// Shared contract: rows points at the alignment-s block of a BatchShiftTable
+// (lanes words per buffer word, lanes % 8 == 0), nw >= 1 window words. The
+// first and last buffer words arrive pre-masked (w0, wl) — the rows are zero
+// outside the window, so (buf & mask) ^ row == (buf ^ row) & mask and the
+// inner loops carry no masking at all. Writes acc[0, lanes): the exact
+// integer Hamming distance of each lane's code against the window. Every
+// backend computes identical integers; they differ only in how many lanes
+// one instruction covers.
+
+void batch_hamming_scalar(const std::uint64_t* rows, std::size_t lanes, std::size_t nw,
+                          const std::uint64_t* buf, std::uint64_t w0, std::uint64_t wl,
+                          std::uint64_t* acc) noexcept {
+  for (std::size_t c = 0; c < lanes; ++c) {
+    acc[c] = static_cast<std::uint64_t>(std::popcount(w0 ^ rows[c]));
+  }
+  for (std::size_t k = 1; k + 1 < nw; ++k) {
+    const std::uint64_t w = buf[k];
+    const std::uint64_t* row = rows + k * lanes;
+    for (std::size_t c = 0; c < lanes; ++c) {
+      acc[c] += static_cast<std::uint64_t>(std::popcount(w ^ row[c]));
+    }
+  }
+  if (nw > 1) {
+    const std::uint64_t* row = rows + (nw - 1) * lanes;
+    for (std::size_t c = 0; c < lanes; ++c) {
+      acc[c] += static_cast<std::uint64_t>(std::popcount(wl ^ row[c]));
+    }
+  }
+}
+
+#if defined(__x86_64__)
+
+/// Mula vpshufb popcount: per-byte nibble LUT counts summed into the two
+/// 64-bit halves of each 128-bit half by psadbw — exact per-lane popcounts.
+__attribute__((target("avx2"), always_inline)) inline __m256i popcnt_epi64_avx2(
+    __m256i v, __m256i lut, __m256i low) noexcept {
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i per_byte =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(per_byte, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) void batch_hamming_avx2(const std::uint64_t* rows,
+                                                        std::size_t lanes, std::size_t nw,
+                                                        const std::uint64_t* buf,
+                                                        std::uint64_t w0, std::uint64_t wl,
+                                                        std::uint64_t* acc) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  for (std::size_t c = 0; c < lanes; c += 8) {
+    const __m256i v0 = _mm256_set1_epi64x(static_cast<long long>(w0));
+    const std::uint64_t* row0 = rows + c;
+    __m256i a0 = popcnt_epi64_avx2(
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(row0)), v0), lut,
+        low);
+    __m256i a1 = popcnt_epi64_avx2(
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(row0 + 4)), v0),
+        lut, low);
+    for (std::size_t k = 1; k + 1 < nw; ++k) {
+      const __m256i w = _mm256_set1_epi64x(static_cast<long long>(buf[k]));
+      const std::uint64_t* row = rows + k * lanes + c;
+      a0 = _mm256_add_epi64(
+          a0, popcnt_epi64_avx2(
+                  _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(row)), w),
+                  lut, low));
+      a1 = _mm256_add_epi64(
+          a1, popcnt_epi64_avx2(_mm256_xor_si256(_mm256_loadu_si256(
+                                                     reinterpret_cast<const __m256i*>(row + 4)),
+                                                 w),
+                                lut, low));
+    }
+    if (nw > 1) {
+      const __m256i w = _mm256_set1_epi64x(static_cast<long long>(wl));
+      const std::uint64_t* row = rows + (nw - 1) * lanes + c;
+      a0 = _mm256_add_epi64(
+          a0, popcnt_epi64_avx2(
+                  _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(row)), w),
+                  lut, low));
+      a1 = _mm256_add_epi64(
+          a1, popcnt_epi64_avx2(_mm256_xor_si256(_mm256_loadu_si256(
+                                                     reinterpret_cast<const __m256i*>(row + 4)),
+                                                 w),
+                                lut, low));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + c), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + c + 4), a1);
+  }
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"), always_inline)) inline __m512i
+xor_popcnt_avx512(const std::uint64_t* row, __m512i w) noexcept {
+  return _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(row), w));
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void batch_hamming_avx512(
+    const std::uint64_t* rows, std::size_t lanes, std::size_t nw, const std::uint64_t* buf,
+    std::uint64_t w0, std::uint64_t wl, std::uint64_t* acc) noexcept {
+  std::size_t c = 0;
+  // 32-lane blocks: one buffer-word broadcast feeds four ZMM rows, and the
+  // four independent accumulator chains keep vpopcntq's latency off the
+  // critical path.
+  for (; c + 32 <= lanes; c += 32) {
+    const std::uint64_t* r = rows + c;
+    __m512i w = _mm512_set1_epi64(static_cast<long long>(w0));
+    __m512i a0 = xor_popcnt_avx512(r, w);
+    __m512i a1 = xor_popcnt_avx512(r + 8, w);
+    __m512i a2 = xor_popcnt_avx512(r + 16, w);
+    __m512i a3 = xor_popcnt_avx512(r + 24, w);
+    for (std::size_t k = 1; k + 1 < nw; ++k) {
+      w = _mm512_set1_epi64(static_cast<long long>(buf[k]));
+      r = rows + k * lanes + c;
+      a0 = _mm512_add_epi64(a0, xor_popcnt_avx512(r, w));
+      a1 = _mm512_add_epi64(a1, xor_popcnt_avx512(r + 8, w));
+      a2 = _mm512_add_epi64(a2, xor_popcnt_avx512(r + 16, w));
+      a3 = _mm512_add_epi64(a3, xor_popcnt_avx512(r + 24, w));
+    }
+    if (nw > 1) {
+      w = _mm512_set1_epi64(static_cast<long long>(wl));
+      r = rows + (nw - 1) * lanes + c;
+      a0 = _mm512_add_epi64(a0, xor_popcnt_avx512(r, w));
+      a1 = _mm512_add_epi64(a1, xor_popcnt_avx512(r + 8, w));
+      a2 = _mm512_add_epi64(a2, xor_popcnt_avx512(r + 16, w));
+      a3 = _mm512_add_epi64(a3, xor_popcnt_avx512(r + 24, w));
+    }
+    _mm512_storeu_si512(acc + c, a0);
+    _mm512_storeu_si512(acc + c + 8, a1);
+    _mm512_storeu_si512(acc + c + 16, a2);
+    _mm512_storeu_si512(acc + c + 24, a3);
+  }
+  for (; c < lanes; c += 8) {
+    __m512i a = xor_popcnt_avx512(rows + c, _mm512_set1_epi64(static_cast<long long>(w0)));
+    for (std::size_t k = 1; k + 1 < nw; ++k) {
+      a = _mm512_add_epi64(a, xor_popcnt_avx512(rows + k * lanes + c,
+                                                _mm512_set1_epi64(static_cast<long long>(buf[k]))));
+    }
+    if (nw > 1) {
+      a = _mm512_add_epi64(a, xor_popcnt_avx512(rows + (nw - 1) * lanes + c,
+                                                _mm512_set1_epi64(static_cast<long long>(wl))));
+    }
+    _mm512_storeu_si512(acc + c, a);
+  }
+}
+
+#elif defined(__aarch64__)
+
+/// vcnt counts per byte; the vpaddl ladder widens to per-64-bit-lane sums.
+inline uint64x2_t popcnt_u64x2_neon(uint64x2_t v) noexcept {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v)))));
+}
+
+void batch_hamming_neon(const std::uint64_t* rows, std::size_t lanes, std::size_t nw,
+                        const std::uint64_t* buf, std::uint64_t w0, std::uint64_t wl,
+                        std::uint64_t* acc) noexcept {
+  for (std::size_t c = 0; c < lanes; c += 2) {
+    uint64x2_t a = popcnt_u64x2_neon(veorq_u64(vld1q_u64(rows + c), vdupq_n_u64(w0)));
+    for (std::size_t k = 1; k + 1 < nw; ++k) {
+      a = vaddq_u64(a, popcnt_u64x2_neon(
+                           veorq_u64(vld1q_u64(rows + k * lanes + c), vdupq_n_u64(buf[k]))));
+    }
+    if (nw > 1) {
+      a = vaddq_u64(a, popcnt_u64x2_neon(veorq_u64(vld1q_u64(rows + (nw - 1) * lanes + c),
+                                                   vdupq_n_u64(wl))));
+    }
+    vst1q_u64(acc + c, a);
+  }
+}
+
+#endif
+
+// --- backend resolution -----------------------------------------------------
+
+// 0 = unresolved; otherwise 1 + SimdBackend value. Relaxed ordering is
+// enough: resolution is a pure function of process-constant inputs (CPUID,
+// environment), so racing first-callers install the same value.
+std::atomic<int> g_simd_active{0};
+
+void publish_simd_gauge(SimdBackend backend) {
+  // Direct registry write (not the macro): like prof.backend, the gauge must
+  // reflect the live dispatch target even with metrics collection disabled.
+  obs::registry().gauge("dsss.simd.backend").set(static_cast<double>(backend));
+}
+
+SimdBackend best_supported_backend() noexcept {
+  if (simd_backend_supported(SimdBackend::kAvx512)) return SimdBackend::kAvx512;
+  if (simd_backend_supported(SimdBackend::kAvx2)) return SimdBackend::kAvx2;
+  if (simd_backend_supported(SimdBackend::kNeon)) return SimdBackend::kNeon;
+  return SimdBackend::kScalar;
+}
+
+SimdBackend clamp_to_supported(SimdBackend request) noexcept {
+  if (simd_backend_supported(request)) return request;
+  if (request == SimdBackend::kAvx512 && simd_backend_supported(SimdBackend::kAvx2)) {
+    return SimdBackend::kAvx2;
+  }
+  return SimdBackend::kScalar;
+}
+
+SimdBackend resolve_simd_backend() {
+  SimdBackend chosen = best_supported_backend();
+  if (const char* env = std::getenv("JRSND_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      chosen = SimdBackend::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      chosen = clamp_to_supported(SimdBackend::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      chosen = clamp_to_supported(SimdBackend::kAvx512);
+    } else if (std::strcmp(env, "neon") == 0) {
+      chosen = clamp_to_supported(SimdBackend::kNeon);
+    } else if (env[0] != '\0') {
+      JRSND_WARN("dsss.simd") << "unknown JRSND_SIMD value '" << env << "' (want scalar|avx2|"
+                              << "avx512|neon); using " << simd_backend_name(chosen);
+    }
+  }
+  g_simd_active.store(1 + static_cast<int>(chosen), std::memory_order_relaxed);
+  publish_simd_gauge(chosen);
+  return chosen;
+}
+
 }  // namespace
+
+const char* simd_backend_name(SimdBackend backend) noexcept {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kAvx512:
+      return "avx512";
+    case SimdBackend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool simd_backend_supported(SimdBackend backend) noexcept {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return true;
+#if defined(__x86_64__)
+    case SimdBackend::kAvx2:
+      return cpu_features().avx2;
+    case SimdBackend::kAvx512:
+      return cpu_features().avx512_vpopcntdq;
+#elif defined(__aarch64__)
+    case SimdBackend::kNeon:
+      return cpu_features().neon;
+#endif
+    default:
+      return false;
+  }
+}
+
+SimdBackend simd_backend() {
+  const int v = g_simd_active.load(std::memory_order_relaxed);
+  if (v != 0) return static_cast<SimdBackend>(v - 1);
+  return resolve_simd_backend();
+}
+
+SimdBackend set_simd_backend(SimdBackend backend) {
+  const SimdBackend installed = clamp_to_supported(backend);
+  g_simd_active.store(1 + static_cast<int>(installed), std::memory_order_relaxed);
+  publish_simd_gauge(installed);
+  return installed;
+}
 
 std::size_t hamming_at(const BitVector& buffer, std::size_t bit_offset, const BitVector& code) {
   const std::size_t n = code.size();
@@ -64,9 +346,7 @@ std::size_t hamming_at(const BitVector& buffer, std::size_t bit_offset, const Bi
 }
 
 double correlate_at(const BitVector& buffer, std::size_t bit_offset, const BitVector& code) {
-  const auto n = static_cast<double>(code.size());
-  const auto h = static_cast<double>(hamming_at(buffer, bit_offset, code));
-  return (n - 2.0 * h) / n;
+  return correlation_from_hamming(code.size(), hamming_at(buffer, bit_offset, code));
 }
 
 ShiftTable::ShiftTable(const SpreadCode& code)
@@ -83,6 +363,138 @@ std::vector<ShiftTable> build_shift_tables(std::span<const SpreadCode> codes) {
   tables.reserve(codes.size());
   for (const SpreadCode& code : codes) tables.emplace_back(code);
   return tables;
+}
+
+void BatchShiftTable::build(std::span<const SpreadCode* const> codes,
+                            std::vector<std::size_t> sources) {
+  sources_ = std::move(sources);
+  m_ = codes.size();
+  if (m_ == 0) {
+    length_ = lanes_ = stride_ = 0;
+    rows_.clear();
+    return;
+  }
+  length_ = codes[0]->length();
+  lanes_ = (m_ + kLaneAlign - 1) / kLaneAlign * kLaneAlign;
+  stride_ = (kWordBits - 1 + length_ + kWordBits - 1) / kWordBits;
+  // Padding lanes stay zero: harmless to XOR against, never reported. Seven
+  // slack words let the SoA base round up to a 64-byte boundary, putting
+  // every 8-lane block on its own cache line.
+  rows_.assign(kWordBits * stride_ * lanes_ + kLaneAlign - 1, 0);
+  align_offset_ =
+      (64 - reinterpret_cast<std::uintptr_t>(rows_.data()) % 64) % 64 / sizeof(std::uint64_t);
+  std::uint64_t* base = rows_.data() + align_offset_;
+  std::vector<std::uint64_t> contiguous(stride_);
+  for (std::size_t c = 0; c < m_; ++c) {
+    assert(codes[c]->length() == length_ && "BatchShiftTable: mixed code lengths in one group");
+    const std::span<const std::uint64_t> cw = codes[c]->bits().words();
+    for (std::size_t s = 0; s < kWordBits; ++s) {
+      shift_words(cw, s, contiguous.data(), stride_);
+      // Transpose into SoA order: lane c of every (s, k) block.
+      for (std::size_t k = 0; k < stride_; ++k) {
+        base[(s * stride_ + k) * lanes_ + c] = contiguous[k];
+      }
+    }
+  }
+}
+
+BatchShiftTable::BatchShiftTable(std::span<const SpreadCode> codes) {
+  std::vector<const SpreadCode*> ptrs;
+  std::vector<std::size_t> sources;
+  ptrs.reserve(codes.size());
+  sources.reserve(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ptrs.push_back(&codes[i]);
+    sources.push_back(i);
+  }
+  build(ptrs, std::move(sources));
+}
+
+void BatchShiftTable::hamming_all(const BitVector& buffer, std::size_t bit_offset,
+                                  std::span<std::uint64_t> out) const {
+  if (m_ == 0) return;
+  assert(bit_offset + length_ <= buffer.size());
+  assert(out.size() >= lanes_);
+  const std::size_t s = bit_offset % kWordBits;
+  const std::uint64_t* buf = buffer.words().data() + bit_offset / kWordBits;
+  const std::uint64_t* rows = row_base() + s * stride_ * lanes_;
+  const std::size_t nw = (s + length_ + kWordBits - 1) / kWordBits;
+  const std::uint64_t first = ~std::uint64_t{0} >> s;
+  const std::size_t valid = (s + length_ - 1) % kWordBits + 1;
+  const std::uint64_t last = ~std::uint64_t{0} << (kWordBits - valid);
+  // Pre-masked edge words, computed once for the whole group (the per-code
+  // path recomputes the equivalent masks for every candidate).
+  const std::uint64_t w0 = nw == 1 ? (buf[0] & first & last) : (buf[0] & first);
+  const std::uint64_t wl = buf[nw - 1] & last;
+  switch (simd_backend()) {
+#if defined(__x86_64__)
+    case SimdBackend::kAvx512:
+      batch_hamming_avx512(rows, lanes_, nw, buf, w0, wl, out.data());
+      return;
+    case SimdBackend::kAvx2:
+      batch_hamming_avx2(rows, lanes_, nw, buf, w0, wl, out.data());
+      return;
+#elif defined(__aarch64__)
+    case SimdBackend::kNeon:
+      batch_hamming_neon(rows, lanes_, nw, buf, w0, wl, out.data());
+      return;
+#endif
+    default:
+      batch_hamming_scalar(rows, lanes_, nw, buf, w0, wl, out.data());
+      return;
+  }
+}
+
+std::size_t BatchShiftTable::hamming_lane(std::size_t lane, const BitVector& buffer,
+                                          std::size_t bit_offset) const {
+  assert(lane < m_);
+  assert(bit_offset + length_ <= buffer.size());
+  const std::size_t s = bit_offset % kWordBits;
+  const std::uint64_t* buf = buffer.words().data() + bit_offset / kWordBits;
+  const std::uint64_t* row = row_base() + s * stride_ * lanes_ + lane;
+  const std::size_t nw = (s + length_ + kWordBits - 1) / kWordBits;
+  const std::uint64_t first = ~std::uint64_t{0} >> s;
+  const std::size_t valid = (s + length_ - 1) % kWordBits + 1;
+  const std::uint64_t last = ~std::uint64_t{0} << (kWordBits - valid);
+  if (nw == 1) {
+    return static_cast<std::size_t>(std::popcount((buf[0] ^ row[0]) & first & last));
+  }
+  std::size_t h = static_cast<std::size_t>(std::popcount((buf[0] ^ row[0]) & first));
+  for (std::size_t k = 1; k + 1 < nw; ++k) {
+    h += static_cast<std::size_t>(std::popcount(buf[k] ^ row[k * lanes_]));
+  }
+  h += static_cast<std::size_t>(std::popcount((buf[nw - 1] ^ row[(nw - 1) * lanes_]) & last));
+  return h;
+}
+
+double BatchShiftTable::correlate_lane(std::size_t lane, const BitVector& buffer,
+                                       std::size_t bit_offset) const {
+  return correlation_from_hamming(length_, hamming_lane(lane, buffer, bit_offset));
+}
+
+std::vector<BatchShiftTable> build_batch_tables(std::span<const SpreadCode> codes) {
+  std::vector<BatchShiftTable> groups;
+  std::vector<std::size_t> lengths;  // distinct lengths, first-appearance order
+  for (const SpreadCode& code : codes) {
+    if (std::find(lengths.begin(), lengths.end(), code.length()) == lengths.end()) {
+      lengths.push_back(code.length());
+    }
+  }
+  groups.reserve(lengths.size());
+  for (const std::size_t length : lengths) {
+    std::vector<const SpreadCode*> ptrs;
+    std::vector<std::size_t> sources;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i].length() == length) {
+        ptrs.push_back(&codes[i]);
+        sources.push_back(i);
+      }
+    }
+    BatchShiftTable group;
+    group.build(ptrs, std::move(sources));
+    groups.push_back(std::move(group));
+  }
+  return groups;
 }
 
 }  // namespace jrsnd::dsss
