@@ -1,0 +1,399 @@
+// City-scale simulator-core bench (docs/performance.md, "Scaling the
+// simulator").
+//
+//  [1] Topology rebuild at N=100k (field sized for the paper's average
+//      degree g ~ 20): the seed implementation — per-cell inner vectors, an
+//      allocating sorted within() query per node, and a materialized
+//      all-pairs list, reconstructed below verbatim — vs the CSR build
+//      (counting-sorted cell grid, symmetric half scan, two flat arrays).
+//      Adjacency and the pair stream are verified element-identical before
+//      timing; the acceptance target is >= 5x.
+//  [2] Mobility hot loop: RandomWaypoint steps driving SpatialIndex::update
+//      for every node plus within_into range queries into reused scratch.
+//      The global allocator is replaced with a counting one (the
+//      perf_alloc_test harness), and the steady-state loop must perform
+//      ZERO heap allocations.
+//  [3] Event storm: schedule/cancel/drain churn through the slab
+//      EventQueue, also proven allocation-free at steady state.
+//
+// Writes BENCH_scale.json (path overridable via argv) for
+// scripts/check_perf.py; exits nonzero on an identity mismatch or any
+// steady-state allocation, so CI fails even without the gate script.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/prof/perf_counters.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/field.hpp"
+#include "sim/mobility.hpp"
+#include "sim/spatial_index.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void* operator new[](std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace jrsnd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- the seed implementation, reconstructed as the baseline ----------------
+// Per-cell inner vectors; within() allocates and sorts a result per call;
+// the topology materializes per-node vectors plus the full pair list. This
+// is the code path the CSR build replaced — kept here so speedup_vs_seed
+// measures against the true historical baseline.
+
+class LegacyIndex {
+ public:
+  LegacyIndex(const sim::Field& field, const std::vector<sim::Position>& positions, double radius)
+      : cell_size_(std::max(radius, 1e-9)),
+        cols_(static_cast<std::size_t>(std::ceil(field.width() / cell_size_)) + 1),
+        rows_(static_cast<std::size_t>(std::ceil(field.height() / cell_size_)) + 1),
+        positions_(positions),
+        cells_(cols_ * rows_) {
+    for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+      cells_[cell_of(positions_[i])].push_back(i);
+    }
+  }
+
+  [[nodiscard]] std::vector<NodeId> within(const sim::Position& center, double radius,
+                                           NodeId exclude) const {
+    std::vector<NodeId> out;
+    const auto cx =
+        std::min(static_cast<std::size_t>(std::max(center.x, 0.0) / cell_size_), cols_ - 1);
+    const auto cy =
+        std::min(static_cast<std::size_t>(std::max(center.y, 0.0) / cell_size_), rows_ - 1);
+    const std::size_t x_lo = cx > 0 ? cx - 1 : 0;
+    const std::size_t y_lo = cy > 0 ? cy - 1 : 0;
+    const std::size_t x_hi = std::min(cx + 1, cols_ - 1);
+    const std::size_t y_hi = std::min(cy + 1, rows_ - 1);
+    const double r2 = radius * radius;
+    for (std::size_t y = y_lo; y <= y_hi; ++y) {
+      for (std::size_t x = x_lo; x <= x_hi; ++x) {
+        for (const std::uint32_t idx : cells_[y * cols_ + x]) {
+          if (node_id(idx) == exclude) continue;
+          const double dx = positions_[idx].x - center.x;
+          const double dy = positions_[idx].y - center.y;
+          if (dx * dx + dy * dy < r2) out.push_back(node_id(idx));
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(const sim::Position& p) const {
+    const auto cx = std::min(static_cast<std::size_t>(std::max(p.x, 0.0) / cell_size_), cols_ - 1);
+    const auto cy = std::min(static_cast<std::size_t>(std::max(p.y, 0.0) / cell_size_), rows_ - 1);
+    return cy * cols_ + cx;
+  }
+
+  double cell_size_;
+  std::size_t cols_;
+  std::size_t rows_;
+  const std::vector<sim::Position>& positions_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+struct LegacyTopology {
+  std::vector<std::vector<NodeId>> adjacency;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+
+  LegacyTopology(const sim::Field& field, const std::vector<sim::Position>& positions,
+                 double radius)
+      : adjacency(positions.size()) {
+    const LegacyIndex index(field, positions, radius);
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+      adjacency[i] = index.within(positions[i], radius, node_id(i));
+      for (const NodeId j : adjacency[i]) {
+        if (raw(j) > i) pairs.emplace_back(node_id(i), j);
+      }
+    }
+  }
+};
+
+bool identical_topology(const LegacyTopology& legacy, const sim::Topology& csr) {
+  const std::size_t n = legacy.adjacency.size();
+  if (csr.node_count() != n || csr.pair_count() != legacy.pairs.size()) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto row = csr.neighbors(node_id(i));
+    const auto& ref = legacy.adjacency[i];
+    if (row.size() != ref.size() || !std::equal(row.begin(), row.end(), ref.begin())) return false;
+  }
+  std::size_t k = 0;
+  for (const auto& [a, b] : csr.pairs()) {
+    if (legacy.pairs[k].first != a || legacy.pairs[k].second != b) return false;
+    ++k;
+  }
+  return k == legacy.pairs.size();
+}
+
+const char* maybe_u64(std::uint64_t value, bool real, std::string& scratch) {
+  if (!real) return "null";
+  scratch = std::to_string(value);
+  return scratch.c_str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  obs::set_metrics_enabled(true);
+
+  const std::size_t n = smoke ? 5000 : 100000;
+  const double radius = 300.0;
+  const double target_degree = 20.0;
+  // Field area A = n * pi * r^2 / g keeps the average degree at g.
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265358979323846 * radius * radius / target_degree);
+  const sim::Field field{side, side};
+  const std::size_t rebuilds = smoke ? 3 : 5;
+  const std::size_t mobility_steps = smoke ? 10 : 20;
+  const std::size_t queries_per_step = 256;
+  const std::uint64_t storm_batch = 4096;
+  const std::uint64_t storm_rounds = smoke ? 8 : 48;
+
+  std::printf("scale_sim: n=%zu field=%.0fm radius=%.0fm (%s)\n", n, side, radius,
+              smoke ? "smoke" : "full");
+
+  Rng rng(20110620);
+  const sim::UniformPlacement placement(field, n, rng);
+  const std::vector<sim::Position> snapshot = placement.snapshot(kSimStart);
+
+  obs::prof::PerfCounterSet counter_set;
+  const bool counters_real = counter_set.backend() == obs::prof::ProfBackend::kPerfEvent;
+
+  // --- [1] topology rebuild: seed path vs CSR ------------------------------
+  {
+    const LegacyTopology legacy_once(field, snapshot, radius);
+    const sim::Topology csr_once(field, snapshot, radius);
+    if (!identical_topology(legacy_once, csr_once)) {
+      std::fprintf(stderr, "FAIL: CSR topology differs from the seed build\n");
+      return 1;
+    }
+    std::printf("identity: CSR == seed (%zu pairs, g=%.2f)\n", csr_once.pair_count(),
+                csr_once.average_degree());
+  }
+
+  double seed_secs = 0.0;
+  {
+    const auto start = Clock::now();
+    for (std::size_t k = 0; k < rebuilds; ++k) {
+      const LegacyTopology t(field, snapshot, radius);
+      if (t.pairs.empty()) return 1;  // defeat dead-code elimination
+    }
+    seed_secs = seconds_since(start);
+  }
+  double csr_secs = 0.0;
+  obs::prof::CounterTotals build_counters{};
+  {
+    const auto start = Clock::now();
+    build_counters = counter_set.measure([&] {
+      for (std::size_t k = 0; k < rebuilds; ++k) {
+        const sim::Topology t(field, snapshot, radius);
+        if (t.pair_count() == 0) std::exit(1);
+      }
+    });
+    csr_secs = seconds_since(start);
+  }
+  const double seed_ms = 1e3 * seed_secs / static_cast<double>(rebuilds);
+  const double csr_ms = 1e3 * csr_secs / static_cast<double>(rebuilds);
+  const double speedup = seed_ms / csr_ms;
+  const double rebuilds_per_sec = 1e3 / csr_ms;
+  std::printf("rebuild: seed %.2f ms, csr %.2f ms -> %.2fx (%.1f rebuilds/s)\n", seed_ms, csr_ms,
+              speedup, rebuilds_per_sec);
+
+  // --- [2] mobility hot loop: incremental updates + range queries ----------
+  Rng mobility_rng(7);
+  const sim::RandomWaypoint waypoint(field, n, sim::RandomWaypoint::Params{}, mobility_rng);
+  sim::SpatialIndex index(field, n, radius);
+  const double dt = 1.0;
+  const TimePoint t_end = kSimStart + seconds(dt * static_cast<double>(mobility_steps + 1));
+
+  // Warm-up: insert every node, extend every trajectory lane past the
+  // counted window, touch every metrics site, and grow the query scratch.
+  for (std::uint32_t i = 0; i < n; ++i) index.insert(node_id(i), snapshot[i]);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    index.update(node_id(i), waypoint.position(node_id(i), t_end));
+  }
+  std::vector<NodeId> scratch;
+  scratch.reserve(4096);
+  index.within_into(index.position(node_id(0)), radius, node_id(0), scratch);
+
+  std::uint64_t mobility_allocs = 0;
+  double mobility_secs = 0.0;
+  std::uint64_t queries = 0;
+  const obs::prof::CounterTotals mobility_counters = counter_set.measure([&] {
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    std::uint32_t query_cursor = 0;
+    for (std::size_t step = 1; step <= mobility_steps; ++step) {
+      const TimePoint t = kSimStart + seconds(dt * static_cast<double>(step));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        index.update(node_id(i), waypoint.position(node_id(i), t));
+      }
+      for (std::size_t q = 0; q < queries_per_step; ++q) {
+        const NodeId center = node_id(query_cursor);
+        index.within_into(index.position(center), radius, center, scratch);
+        queries += 1;
+        query_cursor = (query_cursor + 1) % static_cast<std::uint32_t>(n);
+      }
+    }
+    mobility_secs = seconds_since(start);
+    mobility_allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  });
+  const std::uint64_t updates = static_cast<std::uint64_t>(mobility_steps) * n;
+  const double updates_per_sec = static_cast<double>(updates) / mobility_secs;
+  const double steps_per_sec = static_cast<double>(mobility_steps) / mobility_secs;
+  std::printf("mobility: %llu updates in %.3f s (%.0f updates/s, %.2f steps/s), %llu queries, "
+              "%llu steady-state allocs\n",
+              static_cast<unsigned long long>(updates), mobility_secs, updates_per_sec,
+              steps_per_sec, static_cast<unsigned long long>(queries),
+              static_cast<unsigned long long>(mobility_allocs));
+
+  // --- [3] event storm through the slab queue ------------------------------
+  sim::EventQueue queue;
+  std::uint64_t fired = 0;
+  std::vector<sim::EventQueue::EventHandle> handles;
+  handles.reserve(storm_batch);
+  // Warm-up round: grows the heap vector, the slot slab, the free list, and
+  // the handle scratch to their steady-state capacities.
+  for (std::uint64_t i = 0; i < storm_batch; ++i) {
+    handles.push_back(
+        queue.schedule_after(seconds(1e-3 * static_cast<double>(i + 1)), [&fired] { ++fired; }));
+  }
+  for (std::uint64_t i = 0; i < storm_batch; i += 4) (void)queue.cancel(handles[i]);
+  (void)queue.run_until(queue.now() + seconds(1e-3 * static_cast<double>(storm_batch + 1)));
+  handles.clear();
+
+  std::uint64_t event_allocs = 0;
+  double event_secs = 0.0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  const obs::prof::CounterTotals event_counters = counter_set.measure([&] {
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    for (std::uint64_t round = 0; round < storm_rounds; ++round) {
+      for (std::uint64_t i = 0; i < storm_batch; ++i) {
+        handles.push_back(queue.schedule_after(seconds(1e-3 * static_cast<double>(i + 1)),
+                                               [&fired] { ++fired; }));
+      }
+      scheduled += storm_batch;
+      for (std::uint64_t i = 0; i < storm_batch; i += 4) {
+        cancelled += queue.cancel(handles[i]) ? 1u : 0u;
+      }
+      (void)queue.run_until(queue.now() + seconds(1e-3 * static_cast<double>(storm_batch + 1)));
+      handles.clear();
+    }
+    event_secs = seconds_since(start);
+    event_allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  });
+  const std::uint64_t churned = scheduled + cancelled;
+  const double events_per_sec = static_cast<double>(scheduled) / event_secs;
+  std::printf("events: %llu scheduled / %llu cancelled / %llu fired in %.3f s "
+              "(%.0f events/s), %llu steady-state allocs\n",
+              static_cast<unsigned long long>(scheduled),
+              static_cast<unsigned long long>(cancelled), static_cast<unsigned long long>(fired),
+              event_secs, events_per_sec, static_cast<unsigned long long>(event_allocs));
+  if (queue.pending() != 0) {
+    std::fprintf(stderr, "FAIL: %zu events left pending after the storm\n", queue.pending());
+    return 1;
+  }
+
+  // --- summary + JSON -------------------------------------------------------
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const double peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+
+  const obs::MetricsSnapshot metrics = obs::registry().snapshot();
+  const auto counter_value = [&metrics](const char* name) -> std::uint64_t {
+    for (const auto& c : metrics.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    return 0;
+  }
+  std::string s1, s2, s3;
+  json << "{\n"
+       << "  \"bench\": \"scale_sim\",\n"
+       << "  \"config\": {\"n\": " << n << ", \"field_m\": " << side << ", \"radius_m\": " << radius
+       << ", \"smoke\": " << (smoke ? "true" : "false") << ", \"rebuilds\": " << rebuilds
+       << ", \"mobility_steps\": " << mobility_steps << "},\n"
+       << "  \"build\": {\"seed_ms_per_rebuild\": " << seed_ms
+       << ", \"csr_ms_per_rebuild\": " << csr_ms << ", \"speedup_vs_seed\": " << speedup
+       << ", \"rebuilds_per_sec\": " << rebuilds_per_sec << ", \"identical\": true"
+       << ", \"cycles\": " << maybe_u64(build_counters.cycles, counters_real, s1) << "},\n"
+       << "  \"mobility\": {\"updates\": " << updates << ", \"updates_per_sec\": " << updates_per_sec
+       << ", \"steps_per_sec\": " << steps_per_sec << ", \"queries\": " << queries
+       << ", \"cell_moves\": " << counter_value("sim.index.cell_moves")
+       << ", \"steady_state_allocs\": " << mobility_allocs
+       << ", \"cycles\": " << maybe_u64(mobility_counters.cycles, counters_real, s2) << "},\n"
+       << "  \"events\": {\"scheduled\": " << scheduled << ", \"cancelled\": " << cancelled
+       << ", \"churned\": " << churned << ", \"events_per_sec\": " << events_per_sec
+       << ", \"steady_state_allocs\": " << event_allocs
+       << ", \"cycles\": " << maybe_u64(event_counters.cycles, counters_real, s3) << "},\n"
+       << "  \"rss\": {\"peak_mb\": " << peak_rss_mb << "}\n"
+       << "}\n";
+  std::printf("peak rss %.1f MB (wrote %s)\n", peak_rss_mb, json_path.c_str());
+
+  if (mobility_allocs != 0 || event_allocs != 0) {
+    std::fprintf(stderr, "FAIL: steady-state allocations detected (mobility=%llu events=%llu)\n",
+                 static_cast<unsigned long long>(mobility_allocs),
+                 static_cast<unsigned long long>(event_allocs));
+    return 2;
+  }
+  return 0;
+}

@@ -27,9 +27,20 @@ Every violation prints one FAIL line naming the metric, the baseline
 value, the current value, and the percent delta; the exit code goes
 nonzero only after the full list is printed.
 
+The city-scale simulator gates from BENCH_scale.json work the same way,
+plus two absolute conditions that hold at ANY problem size (so the tier-1
+`--smoke` run still enforces them): both hot loops must report ZERO
+steady-state heap allocations, and the CSR topology must be identical to
+the seed-path build. Throughput floors (rebuild speedup, mobility
+updates/s, event throughput) only compare when baseline and fresh ran the
+same node count — a `--smoke` run against the committed 100k baseline
+skips them with a notice. Full-size runs additionally enforce the
+acceptance floor `build.speedup_vs_seed >= 5`.
+
 Usage:
     scripts/check_perf.py --baseline BENCH_sync.json --fresh fresh_sync.json \
         [--transmit-baseline BENCH_transmit.json --transmit-fresh fresh_tx.json] \
+        [--scale-baseline BENCH_scale.json --scale-fresh fresh_scale.json] \
         [--tolerance 0.6]
 """
 
@@ -155,49 +166,113 @@ def check_multi_code(gate, baseline, fresh):
                   f"m={key[1]} (backend unavailable on this host); not compared")
 
 
+def check_scale(gate, baseline, fresh):
+    """Gate the city-scale simulator bench (BENCH_scale.json).
+
+    Absolute conditions hold at any node count; throughput floors compare
+    only when baseline and fresh ran the same n.
+    """
+    # Absolute: the hot loops must stay allocation-free and the CSR build
+    # must match the seed path bit-for-bit, at any problem size.
+    for path in ("mobility.steady_state_allocs", "events.steady_state_allocs"):
+        allocs = get(fresh, path)
+        if allocs is None:
+            gate.failures.append(f"scale: fresh run lacks {path}")
+            continue
+        verdict = "OK" if allocs == 0 else "ALLOCATING"
+        print(f"scale {path}: {allocs} (must be 0) -> {verdict}")
+        if allocs != 0:
+            gate.failures.append(f"scale {path}: {allocs} heap allocations "
+                                 f"in the steady-state hot loop (must be 0)")
+    identical = get(fresh, "build.identical")
+    verdict = "OK" if identical is True else "MISMATCH"
+    print(f"scale build.identical: {identical} -> {verdict}")
+    if identical is not True:
+        gate.failures.append("scale build.identical: CSR adjacency diverged "
+                             "from the seed-path build")
+
+    # Full-size runs must hold the acceptance floor regardless of baseline.
+    if get(fresh, "config.smoke") is False:
+        speedup = get(fresh, "build.speedup_vs_seed") or 0.0
+        floor = 5.0
+        verdict = "OK" if speedup >= floor else "BELOW FLOOR"
+        print(f"scale rebuild speedup: {speedup:.2f}x "
+              f"(acceptance floor {floor:.1f}x) -> {verdict}")
+        if speedup < floor:
+            gate.failures.append(
+                f"scale rebuild speedup: {speedup:.2f}x, below the "
+                f"{floor:.1f}x acceptance floor at full size")
+
+    base_n = get(baseline, "config.n")
+    fresh_n = get(fresh, "config.n")
+    if base_n != fresh_n:
+        print(f"note: scale node counts differ (baseline {base_n}, fresh "
+              f"{fresh_n}); skipping scale throughput comparisons")
+        return
+    gate.check_path(baseline, fresh, "scale rebuild speedup vs seed",
+                    "build.speedup_vs_seed")
+    gate.check_path(baseline, fresh, "scale rebuilds/s", "build.rebuilds_per_sec")
+    gate.check_path(baseline, fresh, "scale mobility updates/s",
+                    "mobility.updates_per_sec")
+    gate.check_path(baseline, fresh, "scale mobility steps/s",
+                    "mobility.steps_per_sec")
+    gate.check_path(baseline, fresh, "scale event throughput",
+                    "events.events_per_sec")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="committed BENCH_sync.json")
-    parser.add_argument("--fresh", required=True, help="freshly produced sync bench JSON")
+    parser.add_argument("--baseline", help="committed BENCH_sync.json")
+    parser.add_argument("--fresh", help="freshly produced sync bench JSON")
     parser.add_argument("--transmit-baseline", help="committed BENCH_transmit.json")
     parser.add_argument("--transmit-fresh", help="freshly produced transmit bench JSON")
+    parser.add_argument("--scale-baseline", help="committed BENCH_scale.json")
+    parser.add_argument("--scale-fresh", help="freshly produced scale bench JSON")
     parser.add_argument("--tolerance", type=float, default=0.6,
                         help="fresh must be >= tolerance * baseline (default 0.6)")
     args = parser.parse_args(argv[1:])
+    if not args.fresh and not args.scale_fresh:
+        parser.error("need --fresh and/or --scale-fresh")
 
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
     gate = Gate(args.tolerance)
 
-    gate.check_path(baseline, fresh, "kernel scan throughput",
-                    "scan.kernel_mchips_per_sec")
-    check_multi_code(gate, baseline, fresh)
-    # The single-core rate moved from the saturated section into run_all when
-    # the single-thread "saturated" label was retired; accept either layout.
-    gate.check_path(baseline, fresh, "single-core run_all rate",
-                    "run_all.single_core_runs_per_sec",
-                    fallback_path="saturated.single_core_runs_per_sec")
+    if args.fresh:
+        if not args.baseline:
+            parser.error("--fresh requires --baseline")
+        baseline = load(args.baseline)
+        fresh = load(args.fresh)
 
-    base_threads = get(baseline, "saturated.threads")
-    fresh_threads = get(fresh, "saturated.threads")
-    if base_threads is None or fresh_threads is None:
-        side = "baseline" if base_threads is None else "fresh run"
-        print(f"note: {side} has no saturated section (legacy null from a "
-              f"single-core recorder); skipping 'saturated run_all rate'")
-    elif base_threads != fresh_threads:
-        print(f"note: thread counts differ (baseline {base_threads}, "
-              f"fresh {fresh_threads}); skipping 'saturated run_all rate'")
-    else:
-        gate.check_path(baseline, fresh, "saturated run_all rate",
-                        "saturated.runs_per_sec")
+        gate.check_path(baseline, fresh, "kernel scan throughput",
+                        "scan.kernel_mchips_per_sec")
+        check_multi_code(gate, baseline, fresh)
+        # The single-core rate moved from the saturated section into run_all
+        # when the single-thread "saturated" label was retired; accept either
+        # layout.
+        gate.check_path(baseline, fresh, "single-core run_all rate",
+                        "run_all.single_core_runs_per_sec",
+                        fallback_path="saturated.single_core_runs_per_sec")
 
-    # Counter gates: cycle and IPC regressions on the kernel scan. Only
-    # meaningful when both sides measured a real PMU.
-    if (counters_gateable(baseline, "scan", "scan", "baseline")
-            and counters_gateable(fresh, "scan", "scan", "fresh")):
-        gate.check_path(baseline, fresh, "kernel scan cycles/scan",
-                        "scan.counters.cycles_per_scan", lower_is_better=True)
-        gate.check_path(baseline, fresh, "kernel scan IPC", "scan.counters.ipc")
+        base_threads = get(baseline, "saturated.threads")
+        fresh_threads = get(fresh, "saturated.threads")
+        if base_threads is None or fresh_threads is None:
+            side = "baseline" if base_threads is None else "fresh run"
+            print(f"note: {side} has no saturated section (legacy null from a "
+                  f"single-core recorder); skipping 'saturated run_all rate'")
+        elif base_threads != fresh_threads:
+            print(f"note: thread counts differ (baseline {base_threads}, "
+                  f"fresh {fresh_threads}); skipping 'saturated run_all rate'")
+        else:
+            gate.check_path(baseline, fresh, "saturated run_all rate",
+                            "saturated.runs_per_sec")
+
+        # Counter gates: cycle and IPC regressions on the kernel scan. Only
+        # meaningful when both sides measured a real PMU.
+        if (counters_gateable(baseline, "scan", "scan", "baseline")
+                and counters_gateable(fresh, "scan", "scan", "fresh")):
+            gate.check_path(baseline, fresh, "kernel scan cycles/scan",
+                            "scan.counters.cycles_per_scan", lower_is_better=True)
+            gate.check_path(baseline, fresh, "kernel scan IPC",
+                            "scan.counters.ipc")
 
     if args.transmit_fresh:
         tx_fresh = load(args.transmit_fresh)
@@ -223,6 +298,11 @@ def main(argv):
                 gate.check_path(tx_baseline, tx_fresh, "cached transmit cycles/msg",
                                 "transmit.counters.cycles_per_msg",
                                 lower_is_better=True)
+
+    if args.scale_fresh:
+        scale_fresh = load(args.scale_fresh)
+        scale_baseline = load(args.scale_baseline) if args.scale_baseline else {}
+        check_scale(gate, scale_baseline, scale_fresh)
 
     if gate.failures:
         for failure in gate.failures:

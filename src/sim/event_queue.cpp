@@ -9,41 +9,69 @@
 
 namespace jrsnd::sim {
 
+namespace {
+
+constexpr EventQueue::EventHandle make_handle(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | generation;
+}
+
+}  // namespace
+
 EventQueue::EventHandle EventQueue::schedule_at(TimePoint when, Callback callback) {
   if (when < now_) throw std::invalid_argument("EventQueue::schedule_at: time in the past");
-  const EventHandle handle = next_handle_++;
-  heap_.push(Entry{when, next_sequence_++, handle, std::move(callback)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  s.armed = true;
+  heap_.push(HeapEntry{when, next_sequence_++, slot, s.generation});
   ++live_count_;
+  JRSND_COUNT("sim.queue.scheduled");
   JRSND_GAUGE_MAX("sim.queue.depth.highwater", live_count_);
-  return handle;
+  JRSND_GAUGE_MAX("sim.queue.slab.highwater", slots_.size());
+  return make_handle(slot, s.generation);
 }
 
 EventQueue::EventHandle EventQueue::schedule_after(Duration delay, Callback callback) {
   return schedule_at(now_ + delay, std::move(callback));
 }
 
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.callback.reset();
+  s.armed = false;
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+}
+
 bool EventQueue::cancel(EventHandle handle) {
-  if (handle == 0 || handle >= next_handle_) return false;
-  // Lazy deletion: mark the handle; the heap entry is discarded when popped.
-  if (!cancelled_.insert(handle).second) return false;
-  if (live_count_ == 0) {
-    cancelled_.erase(handle);
-    return false;
-  }
+  const std::uint64_t slot_plus1 = handle >> 32;
+  if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_plus1 - 1);
+  const auto generation = static_cast<std::uint32_t>(handle);
+  const Slot& s = slots_[slot];
+  // A run or earlier cancel bumped the generation, so stale handles (and the
+  // reused slot's newer event) are rejected here without any tombstone set.
+  if (!s.armed || s.generation != generation) return false;
+  release_slot(slot);
   --live_count_;
+  JRSND_COUNT("sim.queue.cancelled");
   return true;
 }
 
-bool EventQueue::pop_next(Entry& out) {
+bool EventQueue::pop_live(HeapEntry& out) {
   while (!heap_.empty()) {
-    Entry entry = heap_.top();
+    const HeapEntry entry = heap_.top();
     heap_.pop();
-    const auto it = cancelled_.find(entry.handle);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(entry);
+    const Slot& s = slots_[entry.slot];
+    if (!s.armed || s.generation != entry.generation) continue;  // cancelled
+    out = entry;
     return true;
   }
   return false;
@@ -52,8 +80,13 @@ bool EventQueue::pop_next(Entry& out) {
 bool EventQueue::empty() const { return live_count_ == 0; }
 
 bool EventQueue::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
+  HeapEntry entry;
+  if (!pop_live(entry)) return false;
+  // Move the callback out and free the slot before invoking, so the event
+  // can schedule follow-ups into its own slot and cancelling its (now stale)
+  // handle correctly fails.
+  Callback callback = std::move(slots_[entry.slot].callback);
+  release_slot(entry.slot);
   --live_count_;
   assert(entry.when >= now_);
   if (step_hook_ && entry.when != now_) step_hook_(entry.when);
@@ -61,7 +94,7 @@ bool EventQueue::step() {
   JRSND_COUNT("sim.events.processed");
   // Publish the queue clock so trace events carry simulated seconds.
   if (obs::tracing_enabled()) obs::event_log().set_sim_time(now_.seconds());
-  entry.callback();
+  callback();
   return true;
 }
 
@@ -76,9 +109,11 @@ std::uint64_t EventQueue::run_until(TimePoint until) {
   JRSND_PERF_REGION("sim.queue.drain");
   std::uint64_t executed = 0;
   while (!heap_.empty()) {
-    // Peek through tombstones without consuming a live entry early.
-    while (!heap_.empty() && cancelled_.contains(heap_.top().handle)) {
-      cancelled_.erase(heap_.top().handle);
+    // Peek through stale entries without consuming a live entry early.
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.top();
+      const Slot& s = slots_[top.slot];
+      if (s.armed && s.generation == top.generation) break;
       heap_.pop();
     }
     if (heap_.empty() || heap_.top().when > until) break;

@@ -4,12 +4,20 @@
 // timestamps, so protocol traces are deterministic). Scheduled events can be
 // cancelled through their handle — used e.g. when a CONFIRM timer is
 // disarmed because the response arrived first.
+//
+// Storage is a slab of event slots addressed by generation-counted handles:
+// the heap holds POD entries only, callbacks live in reusable slots with
+// small-buffer storage, and cancel is a generation bump — no tombstone hash
+// set, no per-event heap allocation once the slab has warmed up.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,10 +26,89 @@ namespace jrsnd::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only callable with 48 bytes of inline storage. Protocol timer
+  /// lambdas (a handful of captured pointers) stay inline; larger or
+  /// throwing-move callables fall back to one heap allocation.
+  class Callback {
+   public:
+    Callback() noexcept = default;
+
+    template <typename F,
+              std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
+                                   std::is_invocable_r_v<void, std::decay_t<F>&>,
+                               int> = 0>
+    // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+    Callback(F&& fn) {
+      using Fn = std::decay_t<F>;
+      if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+                    std::is_nothrow_move_constructible_v<Fn>) {
+        ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+        static constexpr VTable vt{
+            [](void* p) { (*static_cast<Fn*>(p))(); },
+            [](void* dst, void* src) noexcept {
+              ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+              static_cast<Fn*>(src)->~Fn();
+            },
+            [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        };
+        vtable_ = &vt;
+      } else {
+        auto* heap = new Fn(std::forward<F>(fn));
+        ::new (static_cast<void*>(storage_)) Fn*(heap);
+        static constexpr VTable vt{
+            [](void* p) { (**static_cast<Fn**>(p))(); },
+            [](void* dst, void* src) noexcept { ::new (dst) Fn*(*static_cast<Fn**>(src)); },
+            [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+        };
+        vtable_ = &vt;
+      }
+    }
+
+    Callback(Callback&& other) noexcept : vtable_(other.vtable_) {
+      if (vtable_ != nullptr) {
+        vtable_->relocate(storage_, other.storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    Callback& operator=(Callback&& other) noexcept {
+      if (this != &other) {
+        reset();
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+          vtable_->relocate(storage_, other.storage_);
+          other.vtable_ = nullptr;
+        }
+      }
+      return *this;
+    }
+    Callback(const Callback&) = delete;
+    Callback& operator=(const Callback&) = delete;
+    ~Callback() { reset(); }
+
+    void operator()() { vtable_->invoke(storage_); }
+    explicit operator bool() const noexcept { return vtable_ != nullptr; }
+    void reset() noexcept {
+      if (vtable_ != nullptr) {
+        vtable_->destroy(storage_);
+        vtable_ = nullptr;
+      }
+    }
+
+   private:
+    static constexpr std::size_t kInlineSize = 48;
+    struct VTable {
+      void (*invoke)(void*);
+      void (*relocate)(void* dst, void* src) noexcept;
+      void (*destroy)(void*) noexcept;
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const VTable* vtable_ = nullptr;
+  };
 
   /// Identifies a scheduled event; valid until the event runs or is
-  /// cancelled.
+  /// cancelled. Encodes (slot + 1, generation), so a handle is never 0 and a
+  /// slot reused for a newer event rejects the stale handle.
   using EventHandle = std::uint64_t;
 
   EventQueue() = default;
@@ -63,27 +150,35 @@ class EventQueue {
   }
 
  private:
-  struct Entry {
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 1;  // bumped on release; 0 is skipped
+    bool armed = false;
+  };
+  struct HeapEntry {
     TimePoint when;
     std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
-    EventHandle handle;
-    Callback callback;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.sequence > b.sequence;
     }
   };
 
-  [[nodiscard]] bool pop_next(Entry& out);
+  [[nodiscard]] bool pop_live(HeapEntry& out);
+  /// Clears the slot's callback, bumps its generation (invalidating every
+  /// outstanding handle to it), and returns it to the free list.
+  void release_slot(std::uint32_t slot) noexcept;
 
   std::function<void(TimePoint)> step_hook_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventHandle> cancelled_;  // tombstones for lazy deletion
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   TimePoint now_{0.0};
   std::uint64_t next_sequence_ = 0;
-  EventHandle next_handle_ = 1;
   std::size_t live_count_ = 0;
 };
 

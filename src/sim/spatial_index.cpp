@@ -3,18 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics_registry.hpp"
 
 namespace jrsnd::sim {
 
-SpatialIndex::SpatialIndex(const Field& field, const std::vector<Position>& positions,
-                           double query_radius)
+SpatialIndex::SpatialIndex(const Field& field, std::size_t node_count, double query_radius)
     : cell_size_(std::max(query_radius, 1e-9)),
       cols_(static_cast<std::size_t>(std::ceil(field.width() / cell_size_)) + 1),
       rows_(static_cast<std::size_t>(std::ceil(field.height() / cell_size_)) + 1),
-      positions_(positions),
-      cells_(cols_ * rows_) {
-  for (std::uint32_t i = 0; i < positions.size(); ++i) {
-    cells_[cell_of(positions[i])].push_back(i);
+      positions_(node_count),
+      cell_head_(cols_ * rows_, kNone),
+      next_(node_count, kNone),
+      prev_(node_count, kNone),
+      cell_idx_(node_count, kNone) {}
+
+SpatialIndex::SpatialIndex(const Field& field, const std::vector<Position>& positions,
+                           double query_radius)
+    : SpatialIndex(field, positions.size(), query_radius) {
+  // Insert in descending id order: head insertion then leaves each cell's
+  // list ascending, matching the order incremental use converges to after
+  // sorting — queries sort their output either way.
+  for (std::uint32_t i = static_cast<std::uint32_t>(positions.size()); i-- > 0;) {
+    insert(node_id(i), positions[i]);
   }
 }
 
@@ -24,9 +36,66 @@ std::size_t SpatialIndex::cell_of(const Position& p) const noexcept {
   return cy * cols_ + cx;
 }
 
-std::vector<NodeId> SpatialIndex::within(const Position& center, double radius,
-                                         NodeId exclude) const {
-  std::vector<NodeId> out;
+void SpatialIndex::link(std::uint32_t idx, std::size_t cell) noexcept {
+  const std::uint32_t old_head = cell_head_[cell];
+  next_[idx] = old_head;
+  prev_[idx] = kNone;
+  if (old_head != kNone) prev_[old_head] = idx;
+  cell_head_[cell] = idx;
+  cell_idx_[idx] = static_cast<std::uint32_t>(cell);
+}
+
+void SpatialIndex::unlink(std::uint32_t idx) noexcept {
+  const std::uint32_t nxt = next_[idx];
+  const std::uint32_t prv = prev_[idx];
+  if (prv != kNone) {
+    next_[prv] = nxt;
+  } else {
+    cell_head_[cell_idx_[idx]] = nxt;
+  }
+  if (nxt != kNone) prev_[nxt] = prv;
+}
+
+void SpatialIndex::insert(NodeId node, const Position& p) {
+  const std::uint32_t idx = raw(node);
+  if (idx >= positions_.size()) throw std::out_of_range("SpatialIndex::insert: id beyond capacity");
+  if (cell_idx_[idx] != kNone) throw std::invalid_argument("SpatialIndex::insert: already present");
+  positions_[idx] = p;
+  link(idx, cell_of(p));
+  ++inserted_;
+}
+
+void SpatialIndex::update(NodeId node, const Position& p) {
+  const std::uint32_t idx = raw(node);
+  if (idx >= positions_.size() || cell_idx_[idx] == kNone) {
+    throw std::out_of_range("SpatialIndex::update: node not present");
+  }
+  positions_[idx] = p;
+  const std::size_t cell = cell_of(p);
+  JRSND_COUNT("sim.index.updates");
+  if (cell == cell_idx_[idx]) return;
+  unlink(idx);
+  link(idx, cell);
+  JRSND_COUNT("sim.index.cell_moves");
+}
+
+bool SpatialIndex::contains(NodeId node) const noexcept {
+  const std::uint32_t idx = raw(node);
+  return idx < cell_idx_.size() && cell_idx_[idx] != kNone;
+}
+
+const Position& SpatialIndex::position(NodeId node) const {
+  const std::uint32_t idx = raw(node);
+  if (idx >= positions_.size() || cell_idx_[idx] == kNone) {
+    throw std::out_of_range("SpatialIndex::position");
+  }
+  return positions_[idx];
+}
+
+void SpatialIndex::within_into(const Position& center, double radius, NodeId exclude,
+                               std::vector<NodeId>& out) const {
+  out.clear();
+  JRSND_COUNT("sim.index.queries");
   const auto cx = std::min(static_cast<std::size_t>(std::max(center.x, 0.0) / cell_size_),
                            cols_ - 1);
   const auto cy = std::min(static_cast<std::size_t>(std::max(center.y, 0.0) / cell_size_),
@@ -39,7 +108,7 @@ std::vector<NodeId> SpatialIndex::within(const Position& center, double radius,
 
   for (std::size_t y = y_lo; y <= y_hi; ++y) {
     for (std::size_t x = x_lo; x <= x_hi; ++x) {
-      for (const std::uint32_t idx : cells_[y * cols_ + x]) {
+      for (std::uint32_t idx = cell_head_[y * cols_ + x]; idx != kNone; idx = next_[idx]) {
         if (node_id(idx) == exclude) continue;
         const double dx = positions_[idx].x - center.x;
         const double dy = positions_[idx].y - center.y;
@@ -48,6 +117,12 @@ std::vector<NodeId> SpatialIndex::within(const Position& center, double radius,
     }
   }
   std::sort(out.begin(), out.end());
+}
+
+std::vector<NodeId> SpatialIndex::within(const Position& center, double radius,
+                                         NodeId exclude) const {
+  std::vector<NodeId> out;
+  within_into(center, radius, exclude, out);
   return out;
 }
 

@@ -1,11 +1,18 @@
-// Uniform-grid spatial index for O(1)-neighborhood range queries.
+// Incremental uniform-grid spatial index for O(1)-neighborhood range queries
+// at city scale (10^5-10^6 nodes).
 //
-// The topology builder needs "all nodes within radius a of p" for 2000
-// nodes; a grid with cell size = query radius reduces that to scanning the
-// 3x3 cell neighborhood.
+// Cell membership lives in flat node-indexed slabs — an intrusive doubly
+// linked list per cell (head array + next/prev arrays), no inner vectors —
+// so moving a node between cells under mobility is O(1) and never touches
+// the heap. Queries fill a caller-owned vector (`within_into`), which makes
+// the steady-state update/query loop allocation-free once the scratch has
+// grown to its working size. The historical build-from-snapshot constructor
+// remains as a thin wrapper that inserts every node of the snapshot.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -15,23 +22,60 @@ namespace jrsnd::sim {
 
 class SpatialIndex {
  public:
-  /// Builds the index over `positions` (indexed by raw NodeId 0..n-1) with
-  /// grid cells sized for `query_radius` queries.
+  /// An empty index with capacity for raw node ids 0..node_count-1, with
+  /// grid cells sized for `query_radius` queries. Nodes enter via insert().
+  SpatialIndex(const Field& field, std::size_t node_count, double query_radius);
+
+  /// Thin snapshot wrapper: builds the empty index and inserts every node of
+  /// `positions` (indexed by raw NodeId 0..n-1).
   SpatialIndex(const Field& field, const std::vector<Position>& positions, double query_radius);
 
-  /// Nodes strictly within `radius` of `center` (excluding `exclude`).
-  /// Precondition: radius <= query radius given at construction.
+  /// Adds `node` at `p`. Precondition: raw(node) < capacity, not yet present.
+  void insert(NodeId node, const Position& p);
+
+  /// Moves `node` to `p`, relinking it between cells in O(1) when the move
+  /// crosses a cell border. Precondition: node was inserted.
+  void update(NodeId node, const Position& p);
+
+  /// Nodes strictly within `radius` of `center` (excluding `exclude`),
+  /// ascending, appended to a cleared `out`. Zero allocations once `out` has
+  /// reached its working capacity. Precondition: radius <= query radius.
+  void within_into(const Position& center, double radius, NodeId exclude,
+                   std::vector<NodeId>& out) const;
+
+  /// Allocating convenience wrapper around within_into().
   [[nodiscard]] std::vector<NodeId> within(const Position& center, double radius,
                                            NodeId exclude = kInvalidNode) const;
 
+  /// Current position of an inserted node.
+  [[nodiscard]] const Position& position(NodeId node) const;
+
+  /// All positions, indexed by raw node id (valid only for inserted nodes).
+  [[nodiscard]] std::span<const Position> positions() const noexcept { return positions_; }
+
+  /// True once `node` has been inserted.
+  [[nodiscard]] bool contains(NodeId node) const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return inserted_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+
  private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
   [[nodiscard]] std::size_t cell_of(const Position& p) const noexcept;
+  void link(std::uint32_t idx, std::size_t cell) noexcept;
+  void unlink(std::uint32_t idx) noexcept;
 
   double cell_size_;
   std::size_t cols_;
   std::size_t rows_;
-  const std::vector<Position>& positions_;
-  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t inserted_ = 0;
+  std::vector<Position> positions_;      // per node: owned, updated in place
+  std::vector<std::uint32_t> cell_head_; // per cell: first member or kNone
+  std::vector<std::uint32_t> next_;      // per node: intrusive list links
+  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> cell_idx_;  // per node: current cell or kNone
 };
 
 }  // namespace jrsnd::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -132,6 +134,86 @@ TEST(EventQueue, PendingTracksCancellations) {
   EXPECT_EQ(q.pending(), 1u);
   q.run();
   EXPECT_EQ(q.pending(), 0u);
+}
+
+// Slab-reuse regression: after an event runs or is cancelled, its slot is
+// recycled for the next schedule with a bumped generation. The stale handle
+// must never cancel the newer event occupying the same slot.
+TEST(EventQueue, StaleHandleNeverCancelsReusedSlot) {
+  EventQueue q;
+  bool first_fired = false;
+  const auto stale = q.schedule_at(TimePoint(1.0), [&] { first_fired = true; });
+  q.run();
+  EXPECT_TRUE(first_fired);
+  // A single-slot slab guarantees the next schedule reuses the slot.
+  bool second_fired = false;
+  const auto fresh = q.schedule_at(TimePoint(2.0), [&] { second_fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.cancel(stale));  // stale handle must not hit the new event
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_TRUE(second_fired);
+
+  // Same property through a cancel (not a run) recycling the slot.
+  const auto cancelled = q.schedule_at(TimePoint(3.0), [] {});
+  EXPECT_TRUE(q.cancel(cancelled));
+  bool third_fired = false;
+  q.schedule_at(TimePoint(3.0), [&] { third_fired = true; });
+  EXPECT_FALSE(q.cancel(cancelled));
+  q.run();
+  EXPECT_TRUE(third_fired);
+}
+
+// Many generations of the same slot: every stale handle stays dead, every
+// live handle cancels exactly once, and pending() is exact throughout.
+TEST(EventQueue, PendingExactThroughSlotChurn) {
+  EventQueue q;
+  std::vector<EventQueue::EventHandle> dead;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto h1 = q.schedule_after(seconds(1.0), [&] { ++fired; });
+    const auto h2 = q.schedule_after(seconds(2.0), [&] { ++fired; });
+    EXPECT_EQ(q.pending(), 2u) << "round " << round;
+    if (round % 3 == 0) {
+      EXPECT_TRUE(q.cancel(h2));
+      EXPECT_EQ(q.pending(), 1u);
+      dead.push_back(h2);
+    }
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+    dead.push_back(h1);
+    for (const auto h : dead) EXPECT_FALSE(q.cancel(h)) << "round " << round;
+  }
+  EXPECT_EQ(fired, 50 * 2 - 17);  // rounds 0,3,...,48 cancelled one each
+}
+
+// run_until must not let cancelled heap entries satisfy the time cutoff or
+// the executed count — only live events are visible through it.
+TEST(EventQueue, RunUntilSkipsCancelledEntries) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto h = q.schedule_at(TimePoint(1.0), [&] { order.push_back(1); });
+  q.schedule_at(TimePoint(2.0), [&] { order.push_back(2); });
+  q.schedule_at(TimePoint(8.0), [&] { order.push_back(8); });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.run_until(TimePoint(5.0)), 1u);
+  EXPECT_EQ(order, std::vector<int>{2});
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, LargeCallbackFallsBackToHeapAndStillRuns) {
+  EventQueue q;
+  // Capture more than the 48-byte inline budget to force the heap path.
+  std::array<std::uint64_t, 16> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  q.schedule_at(TimePoint(1.0), [payload, &sum] {
+    for (const auto v : payload) sum += v;
+  });
+  q.run();
+  EXPECT_EQ(sum, 7u * 16u);
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

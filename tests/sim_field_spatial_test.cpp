@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/field.hpp"
@@ -92,6 +94,122 @@ TEST(SpatialIndex, EmptyPositionsOk) {
   const std::vector<Position> none;
   const SpatialIndex index(field, none, 5.0);
   EXPECT_TRUE(index.within({5, 5}, 5.0).empty());
+}
+
+std::vector<NodeId> brute_force_within(const std::vector<Position>& positions,
+                                       const Position& center, double radius,
+                                       NodeId exclude) {
+  std::vector<NodeId> out;
+  for (std::uint32_t j = 0; j < positions.size(); ++j) {
+    if (node_id(j) == exclude) continue;
+    const double dx = positions[j].x - center.x;
+    const double dy = positions[j].y - center.y;
+    if (dx * dx + dy * dy < radius * radius) out.push_back(node_id(j));
+  }
+  return out;
+}
+
+// Property sweep: every (field size, radius, n) combination — including a
+// field smaller than one cell and a radius comparable to the field — must
+// agree with the O(n^2) oracle for every node-centered query.
+TEST(SpatialIndex, PropertyMatchesBruteForceAcrossGeometries) {
+  struct Config {
+    double w, h, radius;
+    int n;
+  };
+  const Config configs[] = {
+      {50.0, 50.0, 60.0, 40},     // radius larger than the field: one cell
+      {1000.0, 250.0, 40.0, 120}, // wide rectangle, many cols, few rows
+      {300.0, 900.0, 75.0, 150},  // tall rectangle
+      {2000.0, 2000.0, 150.0, 250},
+      {100.0, 100.0, 1.0, 60},    // tiny radius: most queries empty
+  };
+  std::uint64_t seed = 100;
+  for (const Config& cfg : configs) {
+    Rng rng(seed++);
+    const Field field(cfg.w, cfg.h);
+    std::vector<Position> positions;
+    for (int i = 0; i < cfg.n; ++i) {
+      positions.push_back({rng.uniform_real(0, cfg.w), rng.uniform_real(0, cfg.h)});
+    }
+    const SpatialIndex index(field, positions, cfg.radius);
+    std::vector<NodeId> fast;
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+      index.within_into(positions[i], cfg.radius, node_id(i), fast);
+      EXPECT_EQ(fast, brute_force_within(positions, positions[i], cfg.radius, node_id(i)))
+          << "field " << cfg.w << "x" << cfg.h << " r=" << cfg.radius << " node " << i;
+      EXPECT_TRUE(std::is_sorted(fast.begin(), fast.end()));
+    }
+  }
+}
+
+// Randomized mobility: an incrementally maintained index must answer every
+// query exactly like a fresh snapshot build of the same positions (and like
+// the brute-force oracle).
+TEST(SpatialIndex, IncrementalUpdatesMatchSnapshotRebuild) {
+  Rng rng(7);
+  const Field field(800.0, 800.0);
+  const double radius = 90.0;
+  const int n = 120;
+  std::vector<Position> positions;
+  for (int i = 0; i < n; ++i) {
+    positions.push_back({rng.uniform_real(0, 800), rng.uniform_real(0, 800)});
+  }
+  SpatialIndex incremental(field, positions, radius);
+  for (int step = 0; step < 25; ++step) {
+    // Move a random third of the nodes by a random offset (clamped).
+    for (int k = 0; k < n / 3; ++k) {
+      const auto i = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+      positions[i] = field.clamp({positions[i].x + rng.uniform_real(-150, 150),
+                                  positions[i].y + rng.uniform_real(-150, 150)});
+      incremental.update(node_id(i), positions[i]);
+    }
+    const SpatialIndex snapshot(field, positions, radius);
+    std::vector<NodeId> got, want;
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+      incremental.within_into(positions[i], radius, node_id(i), got);
+      snapshot.within_into(positions[i], radius, node_id(i), want);
+      ASSERT_EQ(got, want) << "step " << step << " node " << i;
+      ASSERT_EQ(got, brute_force_within(positions, positions[i], radius, node_id(i)));
+    }
+  }
+}
+
+// A node oscillating across the same cell border must relink correctly every
+// crossing — the regression mode for the intrusive-list update path.
+TEST(SpatialIndex, RepeatedCellBorderCrossing) {
+  const Field field(200.0, 100.0);
+  const double radius = 50.0;  // cell size 50: border at x = 50
+  std::vector<Position> positions = {{49.0, 25.0}, {52.0, 25.0}, {120.0, 25.0}};
+  SpatialIndex index(field, positions, radius);
+  for (int i = 0; i < 64; ++i) {
+    positions[0].x = (i % 2 == 0) ? 51.0 : 49.0;  // hop across the border
+    index.update(node_id(0), positions[0]);
+    std::vector<NodeId> got;
+    index.within_into(positions[0], radius, node_id(0), got);
+    EXPECT_EQ(got, brute_force_within(positions, positions[0], radius, node_id(0)))
+        << "crossing " << i;
+    EXPECT_EQ(index.position(node_id(0)).x, positions[0].x);
+  }
+  // Same-cell move (no relink) still updates the stored position.
+  index.update(node_id(0), {49.5, 26.0});
+  EXPECT_EQ(index.position(node_id(0)).y, 26.0);
+}
+
+// within_into clears and refills caller scratch; the same vector must be
+// reusable across queries without stale contents leaking through.
+TEST(SpatialIndex, WithinIntoReusesScratch) {
+  const Field field(100.0, 100.0);
+  const std::vector<Position> positions = {{10, 10}, {15, 10}, {90, 90}};
+  const SpatialIndex index(field, positions, 20.0);
+  std::vector<NodeId> scratch;
+  index.within_into({10, 10}, 20.0, node_id(0), scratch);
+  EXPECT_EQ(scratch.size(), 1u);
+  index.within_into({90, 90}, 20.0, node_id(2), scratch);
+  EXPECT_TRUE(scratch.empty());  // previous result must not persist
+  index.within_into({12, 10}, 20.0, kInvalidNode, scratch);
+  EXPECT_EQ(scratch.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
 }
 
 }  // namespace

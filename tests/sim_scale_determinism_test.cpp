@@ -1,0 +1,99 @@
+// City-scale determinism: the incremental spatial index is a pure
+// optimization, so every result derived from it must be bit-identical to the
+// historical snapshot-rebuild path — under sustained RandomWaypoint mobility
+// at 2000 nodes, and through a full run_all() across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/discovery_sim.hpp"
+#include "sim/mobility.hpp"
+#include "sim/spatial_index.hpp"
+#include "sim/topology.hpp"
+
+namespace jrsnd {
+namespace {
+
+// 2000 RandomWaypoint nodes stepped for a minute of simulated time: at every
+// step the Topology built from the incrementally maintained index must match
+// the one rebuilt from a fresh position snapshot, row for row and bit for
+// bit (same slab, same offsets, same pair stream).
+TEST(ScaleDeterminism, IncrementalIndexTopologyMatchesSnapshotRebuild) {
+  const sim::Field field(5000.0, 5000.0);
+  const std::size_t n = 2000;
+  const double radius = 300.0;
+  Rng rng(97);
+  const sim::RandomWaypoint mobility(field, n, {1.0, 12.0, 3.0}, rng);
+
+  sim::SpatialIndex index(field, mobility.snapshot(TimePoint(0.0)), radius);
+  for (int step = 0; step <= 12; ++step) {
+    const TimePoint t(step * 5.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      index.update(node_id(i), mobility.position(node_id(i), t));
+    }
+    const sim::Topology incremental(field, index, radius);
+    const sim::Topology snapshot(field, mobility.snapshot(t), radius);
+
+    ASSERT_EQ(incremental.node_count(), snapshot.node_count());
+    ASSERT_EQ(incremental.pair_count(), snapshot.pair_count()) << "t=" << t.seconds();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto a = incremental.neighbors(node_id(i));
+      const auto b = snapshot.neighbors(node_id(i));
+      ASSERT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+                std::vector<NodeId>(b.begin(), b.end()))
+          << "t=" << t.seconds() << " node " << i;
+    }
+    auto it = incremental.pairs().begin();
+    const auto end = incremental.pairs().end();
+    for (const auto& [pa, pb] : snapshot.pairs()) {
+      ASSERT_NE(it, end);
+      ASSERT_EQ((*it).first, pa);
+      ASSERT_EQ((*it).second, pb);
+      ++it;
+    }
+    ASSERT_EQ(it, end);
+  }
+}
+
+// Full pipeline at 2000 nodes: run_all() folds the same RunResults in the
+// same order no matter how many worker threads execute it, so every Stat is
+// bit-identical between JRSND_THREADS=1 and 8.
+TEST(ScaleDeterminism, RunAllBitIdenticalAcrossThreadCountsAt2000Nodes) {
+  core::ExperimentConfig cfg;
+  cfg.params = core::Params::defaults();
+  cfg.params.n = 2000;
+  cfg.params.field_width = 5000.0;
+  cfg.params.field_height = 5000.0;
+  cfg.params.runs = 2;
+  cfg.base_seed = 1234;
+  cfg.jammer = core::JammerKind::Random;
+  const core::DiscoverySimulator sim(cfg);
+
+  ASSERT_EQ(setenv("JRSND_THREADS", "1", 1), 0);
+  const core::PointResult serial = sim.run_all();
+  ASSERT_EQ(setenv("JRSND_THREADS", "8", 1), 0);
+  const core::PointResult parallel = sim.run_all();
+  ASSERT_EQ(unsetenv("JRSND_THREADS"), 0);
+
+  const auto expect_identical = [](const core::Stat& a, const core::Stat& b,
+                                   const char* what) {
+    ASSERT_EQ(a.count(), b.count()) << what;
+    if (a.count() == 0) return;
+    EXPECT_EQ(a.mean(), b.mean()) << what;
+    EXPECT_EQ(a.variance(), b.variance()) << what;
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  };
+  expect_identical(serial.p_dndp, parallel.p_dndp, "p_dndp");
+  expect_identical(serial.p_mndp, parallel.p_mndp, "p_mndp");
+  expect_identical(serial.p_jrsnd, parallel.p_jrsnd, "p_jrsnd");
+  expect_identical(serial.latency_dndp, parallel.latency_dndp, "latency_dndp");
+  expect_identical(serial.latency_mndp, parallel.latency_mndp, "latency_mndp");
+  expect_identical(serial.latency_jrsnd, parallel.latency_jrsnd, "latency_jrsnd");
+  expect_identical(serial.degree, parallel.degree, "degree");
+}
+
+}  // namespace
+}  // namespace jrsnd

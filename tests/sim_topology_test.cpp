@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "sim/mobility.hpp"
+#include "sim/spatial_index.hpp"
 
 namespace jrsnd::sim {
 namespace {
@@ -106,6 +107,138 @@ TEST(LogicalGraph, BfsRespectsHopLimit) {
   const auto dist = g.bfs_distances(node_id(0), 2);
   EXPECT_EQ(dist[2], 2u);
   EXPECT_EQ(dist[3], std::numeric_limits<std::size_t>::max());
+}
+
+// CSR adjacency vs the O(n^2) oracle: every row must hold exactly the nodes
+// strictly within radius, ascending, and pairs() must stream exactly the
+// upper-triangle pairs in lexicographic order.
+TEST(Topology, PropertyMatchesBruteForceOracle) {
+  struct Config {
+    double w, h, radius;
+    int n;
+  };
+  const Config configs[] = {
+      {400.0, 400.0, 60.0, 150},
+      {1500.0, 300.0, 120.0, 200},  // wide strip: boundary cells dominate
+      {100.0, 100.0, 150.0, 50},    // radius beyond the field: near-clique
+      {900.0, 900.0, 25.0, 180},    // sparse
+  };
+  std::uint64_t seed = 42;
+  for (const Config& cfg : configs) {
+    Rng rng(seed++);
+    const Field field(cfg.w, cfg.h);
+    std::vector<Position> positions;
+    for (int i = 0; i < cfg.n; ++i) {
+      positions.push_back({rng.uniform_real(0, cfg.w), rng.uniform_real(0, cfg.h)});
+    }
+    const Topology topo(field, positions, cfg.radius);
+    std::vector<std::pair<NodeId, NodeId>> oracle_pairs;
+    std::size_t total_degree = 0;
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+      std::vector<NodeId> oracle_row;
+      for (std::uint32_t j = 0; j < positions.size(); ++j) {
+        if (j == i) continue;
+        const double dx = positions[j].x - positions[i].x;
+        const double dy = positions[j].y - positions[i].y;
+        if (dx * dx + dy * dy < cfg.radius * cfg.radius) {
+          oracle_row.push_back(node_id(j));
+          if (j > i) oracle_pairs.emplace_back(node_id(i), node_id(j));
+        }
+      }
+      const auto row = topo.neighbors(node_id(i));
+      ASSERT_EQ(std::vector<NodeId>(row.begin(), row.end()), oracle_row)
+          << "field " << cfg.w << "x" << cfg.h << " node " << i;
+      total_degree += row.size();
+    }
+    // pairs() must stream the oracle's lexicographic upper triangle exactly.
+    std::vector<std::pair<NodeId, NodeId>> streamed;
+    for (const auto& [a, b] : topo.pairs()) streamed.emplace_back(a, b);
+    EXPECT_EQ(streamed, oracle_pairs);
+    EXPECT_EQ(topo.pairs().size(), oracle_pairs.size());
+    EXPECT_DOUBLE_EQ(topo.average_degree(),
+                     static_cast<double>(total_degree) / static_cast<double>(cfg.n));
+  }
+}
+
+// The index-backed constructor must produce the same adjacency as the
+// snapshot constructor for identical positions.
+TEST(Topology, BuildFromSpatialIndexMatchesSnapshot) {
+  Rng rng(19);
+  const Field field(600.0, 600.0);
+  const double radius = 80.0;
+  std::vector<Position> positions;
+  for (int i = 0; i < 200; ++i) {
+    positions.push_back({rng.uniform_real(0, 600), rng.uniform_real(0, 600)});
+  }
+  const SpatialIndex index(field, positions, radius);
+  const Topology from_snapshot(field, positions, radius);
+  const Topology from_index(field, index, radius);
+  ASSERT_EQ(from_index.node_count(), from_snapshot.node_count());
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    const auto a = from_snapshot.neighbors(node_id(i));
+    const auto b = from_index.neighbors(node_id(i));
+    ASSERT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()))
+        << "node " << i;
+  }
+  EXPECT_EQ(from_index.pairs().size(), from_snapshot.pairs().size());
+}
+
+TEST(Topology, IndexConstructorRejectsPartialIndex) {
+  const Field field(100.0, 100.0);
+  SpatialIndex index(field, std::size_t{3}, 10.0);
+  index.insert(node_id(0), {1, 1});  // nodes 1 and 2 never inserted
+  EXPECT_THROW(Topology(field, index, 10.0), std::invalid_argument);
+}
+
+TEST(Topology, EmptyAndSingleNode) {
+  const Field field(100.0, 100.0);
+  const Topology empty(field, std::vector<Position>{}, 10.0);
+  EXPECT_EQ(empty.pairs().size(), 0u);
+  EXPECT_EQ(empty.pairs().begin(), empty.pairs().end());
+  const Topology one(field, {{5, 5}}, 10.0);
+  EXPECT_EQ(one.pairs().size(), 0u);
+  EXPECT_TRUE(one.neighbors(node_id(0)).empty());
+}
+
+// Repeated BFS queries share epoch-stamped scratch; answers must be
+// identical no matter how many searches ran before (including interleaved
+// bfs_distances and reachable_within on the same graph).
+TEST(LogicalGraph, RepeatedQueriesWithSharedScratchAreIdentical) {
+  Rng rng(5);
+  LogicalGraph g(60);
+  for (int e = 0; e < 150; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_int(0, 59));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_int(0, 59));
+    if (a != b) g.add_edge(node_id(a), node_id(b));
+  }
+  const auto first = g.bfs_distances(node_id(0), 6);
+  std::vector<bool> reach_first;
+  for (std::uint32_t v = 0; v < 60; ++v) {
+    reach_first.push_back(g.reachable_within(node_id(0), node_id(v), 3));
+  }
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(g.bfs_distances(node_id(0), 6), first) << "round " << round;
+    for (std::uint32_t v = 0; v < 60; ++v) {
+      EXPECT_EQ(g.reachable_within(node_id(0), node_id(v), 3), reach_first[v])
+          << "round " << round << " target " << v;
+    }
+    // Interleave searches from other sources to churn the epoch counter.
+    (void)g.bfs_distances(node_id(static_cast<std::uint32_t>(round) % 60), 4);
+  }
+}
+
+TEST(LogicalGraph, NeighborsIntoPreservesInsertionOrder) {
+  LogicalGraph g(4);
+  g.add_edge(node_id(1), node_id(3));
+  g.add_edge(node_id(1), node_id(0));
+  g.add_edge(node_id(2), node_id(1));
+  std::vector<NodeId> out;
+  g.neighbors_into(node_id(1), out);
+  EXPECT_EQ(out, (std::vector<NodeId>{node_id(3), node_id(0), node_id(2)}));
+  g.neighbors_into(node_id(0), out);  // reuses scratch, replaces contents
+  EXPECT_EQ(out, std::vector<NodeId>{node_id(1)});
+  EXPECT_THROW(g.neighbors_into(node_id(4), out), std::out_of_range);
 }
 
 TEST(LogicalGraph, TriangleVsTwoHop) {
