@@ -1,0 +1,311 @@
+// DoS throughput of the batched handshake-verification pipeline
+// (docs/robustness.md, "Handshake-flood hardening").
+//
+// Three phases, in strict order — nothing is timed until the fast path is
+// proven equivalent to the reference:
+//
+//  [1] Bit-identity: every frame of a mixed flood (honest + BadMac +
+//      Truncated + BadType + WrongCode) through VerifyQueue::drain must yield
+//      the same verdict, sender, and session key as verify_one_shot (the
+//      historical decode-then-verify path), AND the six per-frame decision
+//      counters (crypto.verify.frames/.accepted, crypto.reject.*) must total
+//      identically under separate scoped registries. Any divergence is FATAL.
+//  [2] Zero-allocation: with the peer cache and scratch warm, a push/drain
+//      cycle over a reject-only flood must perform exactly zero heap
+//      allocations (global operator new replaced with a counting one — which
+//      is why this lives in its own binary, like tests/perf_alloc_test).
+//  [3] Throughput: handshake verifications per second, one-shot vs batched,
+//      at attacker:honest ratios 1:1, 10:1, and 100:1. The committed
+//      BENCH_dos.json must show >= 5x at 10:1 (gated by
+//      scripts/check_perf.py --dos-baseline).
+//
+// Writes BENCH_dos.json (path overridable as argv[1]); --smoke shortens the
+// timing windows for CI smoke runs and marks the JSON so check_perf.py skips
+// the absolute floor.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "adversary/dos_attacker.hpp"
+#include "core/messages.hpp"
+#include "crypto/verify_queue.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void* operator new[](std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace jrsnd;
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap, const char* name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+/// The decision counters whose totals must be identical between the batched
+/// and one-shot paths (cache/batch bookkeeping counters intentionally differ).
+constexpr const char* kDecisionCounters[] = {
+    "crypto.verify.frames",  "crypto.verify.accepted", "crypto.reject.length",
+    "crypto.reject.format",  "crypto.reject.code",     "crypto.reject.mac",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_dos.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const core::WireConfig wire;  // the paper's Table-I widths
+  constexpr std::uint64_t kAuthoritySeed = 77;
+  constexpr std::uint32_t kPeers = 16;
+  constexpr std::uint64_t kFloodSeed = 20110620;
+  constexpr std::size_t kIdentityFrames = 660;
+  constexpr std::size_t kTimingFrames = 512;
+  const double min_seconds = smoke ? 0.05 : 0.4;
+
+  adversary::HandshakeFloodSource source(wire, kAuthoritySeed, kPeers, kFloodSeed);
+  const crypto::VerifyWire& vw = source.verify_wire();
+  const std::uint32_t expected_code = source.expected_code();
+
+  std::printf("dos_throughput: %u peers, frame=%zu bits, l_mac=%u%s\n", kPeers,
+              vw.frame_bits(), vw.l_mac, smoke ? " [smoke]" : "");
+
+  // --- [1] bit-identity + counter identity, before any timing ---------------
+  obs::set_metrics_enabled(true);
+  const std::vector<adversary::FloodFrame> identity_flood =
+      source.make_batch(kIdentityFrames, 10);
+
+  std::vector<crypto::VerifyResult> one_shot_results;
+  one_shot_results.reserve(identity_flood.size());
+  obs::MetricsRegistry one_shot_registry;
+  {
+    obs::ScopedMetricsRegistry scoped(&one_shot_registry);
+    for (const adversary::FloodFrame& frame : identity_flood) {
+      one_shot_results.push_back(crypto::VerifyQueue::verify_one_shot(
+          vw, frame.bits, frame.frame_code, expected_code, source.key_source()));
+    }
+  }
+
+  std::vector<crypto::VerifyResult> batched_results;
+  obs::MetricsRegistry batched_registry;
+  {
+    obs::ScopedMetricsRegistry scoped(&batched_registry);
+    crypto::VerifyQueue queue(vw);
+    // Drain in uneven chunks so the identity proof covers batch boundaries,
+    // not just one monolithic drain.
+    std::vector<crypto::VerifyResult> chunk;
+    std::size_t i = 0;
+    std::size_t chunk_size = 1;
+    while (i < identity_flood.size()) {
+      const std::size_t end = std::min(i + chunk_size, identity_flood.size());
+      for (std::size_t j = i; j < end; ++j) {
+        queue.push(identity_flood[j].bits, identity_flood[j].frame_code, expected_code);
+      }
+      queue.drain(source.key_source(), chunk);
+      batched_results.insert(batched_results.end(), chunk.begin(), chunk.end());
+      i = end;
+      chunk_size = chunk_size * 2 + 1;  // 1, 3, 7, 15, ... frames per drain
+    }
+  }
+
+  bool bit_identical = one_shot_results.size() == batched_results.size();
+  for (std::size_t i = 0; bit_identical && i < one_shot_results.size(); ++i) {
+    const crypto::VerifyResult& a = one_shot_results[i];
+    const crypto::VerifyResult& b = batched_results[i];
+    if (a.stage != b.stage || a.stage != identity_flood[i].expected_stage) {
+      std::fprintf(stderr,
+                   "FATAL: frame %zu (%s): one-shot=%s batched=%s expected=%s\n", i,
+                   adversary::flood_frame_kind_name(identity_flood[i].kind),
+                   crypto::verify_stage_name(a.stage), crypto::verify_stage_name(b.stage),
+                   crypto::verify_stage_name(identity_flood[i].expected_stage));
+      bit_identical = false;
+    } else if (a.stage == crypto::VerifyStage::Accept &&
+               (a.sender != b.sender || a.key != b.key)) {
+      std::fprintf(stderr, "FATAL: frame %zu accepted with diverging sender/key\n", i);
+      bit_identical = false;
+    }
+  }
+  if (!bit_identical) return 1;
+
+  const obs::MetricsSnapshot one_shot_snap = one_shot_registry.snapshot();
+  const obs::MetricsSnapshot batched_snap = batched_registry.snapshot();
+  bool counters_identical = true;
+  for (const char* name : kDecisionCounters) {
+    const std::uint64_t a = counter_value(one_shot_snap, name);
+    const std::uint64_t b = counter_value(batched_snap, name);
+    if (a != b) {
+      std::fprintf(stderr, "FATAL: counter %s: one-shot=%llu batched=%llu\n", name,
+                   static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+      counters_identical = false;
+    }
+  }
+  if (!counters_identical) return 1;
+
+  std::printf("  identity: %zu/%zu verdicts identical (one-shot vs chunked drains)\n",
+              identity_flood.size(), identity_flood.size());
+  std::printf("  rejects by stage: length=%llu format=%llu code=%llu mac=%llu accepted=%llu\n",
+              static_cast<unsigned long long>(counter_value(batched_snap, "crypto.reject.length")),
+              static_cast<unsigned long long>(counter_value(batched_snap, "crypto.reject.format")),
+              static_cast<unsigned long long>(counter_value(batched_snap, "crypto.reject.code")),
+              static_cast<unsigned long long>(counter_value(batched_snap, "crypto.reject.mac")),
+              static_cast<unsigned long long>(counter_value(batched_snap, "crypto.verify.accepted")));
+
+  // --- [2] zero allocations on the steady-state reject path -----------------
+  // Reject-only flood (drop the leading honest frame of an all-attacker
+  // batch); metrics stay ENABLED — the claim covers the instrumented path.
+  std::vector<adversary::FloodFrame> reject_flood =
+      source.make_batch(129, 128);  // frame 0 honest, 128 attacker frames
+  reject_flood.erase(reject_flood.begin());
+
+  std::uint64_t reject_path_allocs = 0;
+  constexpr int kAllocCycles = 20;
+  {
+    crypto::VerifyQueue queue(vw);
+    std::vector<crypto::VerifyResult> out;
+    out.reserve(reject_flood.size());
+    queue.reserve(reject_flood.size());
+    // Warm-up: peer-schedule cache entries for every BadMac sender, counter
+    // handle resolution, and scratch growth all happen here, not in the
+    // counted region.
+    for (int warm = 0; warm < 2; ++warm) {
+      for (const adversary::FloodFrame& frame : reject_flood) {
+        queue.push(frame.bits, frame.frame_code, expected_code);
+      }
+      queue.drain(source.key_source(), out);
+    }
+
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    std::size_t accepted = 0;
+    for (int cycle = 0; cycle < kAllocCycles; ++cycle) {
+      for (const adversary::FloodFrame& frame : reject_flood) {
+        queue.push(frame.bits, frame.frame_code, expected_code);
+      }
+      accepted += queue.drain(source.key_source(), out);
+    }
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    reject_path_allocs = after - before;
+    if (accepted != 0) {
+      std::fprintf(stderr, "FATAL: reject-only flood accepted %zu frames\n", accepted);
+      return 1;
+    }
+  }
+  if (reject_path_allocs != 0) {
+    std::fprintf(stderr,
+                 "FATAL: steady-state reject path allocated %llu times over %d cycles\n",
+                 static_cast<unsigned long long>(reject_path_allocs), kAllocCycles);
+    return 1;
+  }
+  std::printf("  zero-alloc: %d push/drain cycles x %zu reject frames, 0 allocations\n",
+              kAllocCycles, reject_flood.size());
+
+  // --- [3] throughput at attacker:honest ratios -----------------------------
+  // Metrics off for timing: the figure of merit is the crypto pipeline, and
+  // disabled is the bench/figure default elsewhere in the repo.
+  obs::set_metrics_enabled(false);
+
+  struct FloodPoint {
+    std::uint32_t ratio;
+    double one_shot_hps;
+    double batched_hps;
+    double speedup;
+  };
+  std::vector<FloodPoint> points;
+  std::printf("  %8s %16s %16s %9s\n", "ratio", "one-shot h/s", "batched h/s", "speedup");
+  for (const std::uint32_t ratio : {1u, 10u, 100u}) {
+    const std::vector<adversary::FloodFrame> flood =
+        source.make_batch(kTimingFrames, ratio);
+    const adversary::FloodThroughput one_shot = adversary::measure_one_shot_throughput(
+        vw, flood, source.key_source(), expected_code, min_seconds);
+    crypto::VerifyQueue queue(vw);
+    // One untimed pass warms the peer cache and scratch: throughput is a
+    // steady-state figure.
+    (void)adversary::measure_batched_throughput(queue, flood, source.key_source(),
+                                                expected_code, 0.0);
+    const adversary::FloodThroughput batched = adversary::measure_batched_throughput(
+        queue, flood, source.key_source(), expected_code, min_seconds);
+    FloodPoint point;
+    point.ratio = ratio;
+    point.one_shot_hps = one_shot.frames_per_sec();
+    point.batched_hps = batched.frames_per_sec();
+    point.speedup = point.one_shot_hps > 0.0 ? point.batched_hps / point.one_shot_hps : 0.0;
+    points.push_back(point);
+    std::printf("  %7u:1 %16.0f %16.0f %8.1fx\n", ratio, point.one_shot_hps,
+                point.batched_hps, point.speedup);
+  }
+  const double speedup_at_10 = points[1].speedup;
+  if (!smoke && speedup_at_10 < 5.0) {
+    std::fprintf(stderr,
+                 "WARNING: batched speedup %.1fx at 10:1 below the 5x acceptance floor\n",
+                 speedup_at_10);
+  }
+
+  // --- machine-readable summary --------------------------------------------
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    return 0;
+  }
+  json << "{\n"
+       << "  \"config\": {\n"
+       << "    \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "    \"peers\": " << kPeers << ",\n"
+       << "    \"frame_bits\": " << vw.frame_bits() << ",\n"
+       << "    \"identity_frames\": " << kIdentityFrames << ",\n"
+       << "    \"timing_frames\": " << kTimingFrames << "\n"
+       << "  },\n"
+       << "  \"identity\": {\n"
+       << "    \"frames\": " << identity_flood.size() << ",\n"
+       << "    \"bit_identical\": true,\n"
+       << "    \"counters_identical\": true\n"
+       << "  },\n"
+       << "  \"zero_alloc\": {\n"
+       << "    \"frames_per_cycle\": " << reject_flood.size() << ",\n"
+       << "    \"cycles\": " << kAllocCycles << ",\n"
+       << "    \"reject_path_allocs\": " << reject_path_allocs << "\n"
+       << "  },\n"
+       << "  \"flood\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json << "    {\"ratio\": " << points[i].ratio
+         << ", \"one_shot_hps\": " << points[i].one_shot_hps
+         << ", \"batched_hps\": " << points[i].batched_hps
+         << ", \"speedup\": " << points[i].speedup << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+  std::printf("(wrote %s)\n", json_path.c_str());
+  return 0;
+}

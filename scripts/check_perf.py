@@ -37,10 +37,20 @@ same node count — a `--smoke` run against the committed 100k baseline
 skips them with a notice. Full-size runs additionally enforce the
 acceptance floor `build.speedup_vs_seed >= 5`.
 
+The DoS-throughput gates from BENCH_dos.json follow the scale pattern:
+absolute conditions at ANY size (the batched pipeline must be bit-identical
+to the one-shot reference in verdicts AND decision counters, and the
+steady-state reject path must report ZERO heap allocations), relative
+handshakes/sec floors per attacker:honest ratio only when baseline and
+fresh ran the same mode (a --smoke run against the committed full baseline
+skips them with a notice), and full runs additionally enforce the
+acceptance floor `speedup >= 5` at the 10:1 ratio.
+
 Usage:
     scripts/check_perf.py --baseline BENCH_sync.json --fresh fresh_sync.json \
         [--transmit-baseline BENCH_transmit.json --transmit-fresh fresh_tx.json] \
         [--scale-baseline BENCH_scale.json --scale-fresh fresh_scale.json] \
+        [--dos-baseline BENCH_dos.json --dos-fresh fresh_dos.json] \
         [--tolerance 0.6]
 """
 
@@ -220,6 +230,73 @@ def check_scale(gate, baseline, fresh):
                     "events.events_per_sec")
 
 
+def check_dos(gate, baseline, fresh):
+    """Gate the handshake-flood verification bench (BENCH_dos.json).
+
+    Absolute conditions hold in any mode, smoke included; throughput floors
+    compare only when baseline and fresh ran the same mode.
+    """
+    # Absolute: the batched pipeline must agree with the one-shot reference
+    # exactly — in verdicts and in the per-stage decision counters — before
+    # any of its throughput numbers mean anything.
+    for path, desc in (
+            ("identity.bit_identical",
+             "batched verdicts diverged from the one-shot reference"),
+            ("identity.counters_identical",
+             "decision counters diverged between batched and one-shot paths")):
+        value = get(fresh, path)
+        verdict = "OK" if value is True else "MISMATCH"
+        print(f"dos {path}: {value} -> {verdict}")
+        if value is not True:
+            gate.failures.append(f"dos {path}: {desc}")
+
+    allocs = get(fresh, "zero_alloc.reject_path_allocs")
+    if allocs is None:
+        gate.failures.append("dos: fresh run lacks zero_alloc.reject_path_allocs")
+    else:
+        verdict = "OK" if allocs == 0 else "ALLOCATING"
+        print(f"dos zero_alloc.reject_path_allocs: {allocs} (must be 0) -> {verdict}")
+        if allocs != 0:
+            gate.failures.append(f"dos reject path: {allocs} heap allocations "
+                                 f"in the steady state (must be 0)")
+
+    fresh_flood = get(fresh, "flood") or []
+    fresh_by_ratio = {e.get("ratio"): e for e in fresh_flood}
+
+    # Full runs must hold the acceptance floor regardless of baseline.
+    if get(fresh, "config.smoke") is False:
+        entry = fresh_by_ratio.get(10)
+        speedup = (entry or {}).get("speedup", 0.0)
+        floor = 5.0
+        verdict = "OK" if speedup >= floor else "BELOW FLOOR"
+        print(f"dos batched speedup @10:1: {speedup:.2f}x "
+              f"(acceptance floor {floor:.1f}x) -> {verdict}")
+        if speedup < floor:
+            gate.failures.append(
+                f"dos batched speedup @10:1: {speedup:.2f}x, below the "
+                f"{floor:.1f}x acceptance floor at full size")
+
+    base_smoke = get(baseline, "config.smoke")
+    fresh_smoke = get(fresh, "config.smoke")
+    if base_smoke != fresh_smoke:
+        print(f"note: dos run modes differ (baseline smoke={base_smoke}, "
+              f"fresh smoke={fresh_smoke}); skipping throughput comparisons")
+        return
+    base_flood = get(baseline, "flood")
+    if base_flood is None:
+        print("note: baseline lacks flood section; skipping dos throughput gates")
+        return
+    base_by_ratio = {e.get("ratio"): e for e in base_flood}
+    for ratio, entry in fresh_by_ratio.items():
+        base_entry = base_by_ratio.get(ratio)
+        if base_entry is None:
+            print(f"note: baseline has no flood entry for ratio={ratio}; skipped")
+            continue
+        gate.check_floor(f"dos batched h/s @{ratio}:1",
+                         base_entry.get("batched_hps", 0.0),
+                         entry.get("batched_hps", 0.0))
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", help="committed BENCH_sync.json")
@@ -228,11 +305,13 @@ def main(argv):
     parser.add_argument("--transmit-fresh", help="freshly produced transmit bench JSON")
     parser.add_argument("--scale-baseline", help="committed BENCH_scale.json")
     parser.add_argument("--scale-fresh", help="freshly produced scale bench JSON")
+    parser.add_argument("--dos-baseline", help="committed BENCH_dos.json")
+    parser.add_argument("--dos-fresh", help="freshly produced DoS bench JSON")
     parser.add_argument("--tolerance", type=float, default=0.6,
                         help="fresh must be >= tolerance * baseline (default 0.6)")
     args = parser.parse_args(argv[1:])
-    if not args.fresh and not args.scale_fresh:
-        parser.error("need --fresh and/or --scale-fresh")
+    if not args.fresh and not args.scale_fresh and not args.dos_fresh:
+        parser.error("need --fresh, --scale-fresh, and/or --dos-fresh")
 
     gate = Gate(args.tolerance)
 
@@ -303,6 +382,11 @@ def main(argv):
         scale_fresh = load(args.scale_fresh)
         scale_baseline = load(args.scale_baseline) if args.scale_baseline else {}
         check_scale(gate, scale_baseline, scale_fresh)
+
+    if args.dos_fresh:
+        dos_fresh = load(args.dos_fresh)
+        dos_baseline = load(args.dos_baseline) if args.dos_baseline else {}
+        check_dos(gate, dos_baseline, dos_fresh)
 
     if gate.failures:
         for failure in gate.failures:

@@ -13,10 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bit_vector.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/messages.hpp"
+#include "crypto/ibc.hpp"
+#include "crypto/verify_queue.hpp"
 #include "predist/code_assignment.hpp"
 #include "predist/revocation.hpp"
 
@@ -60,5 +66,105 @@ class DosCampaign {
   std::uint32_t gamma_;
   double t_ver_s_;
 };
+
+// --- Handshake flooding against the batched verification pipeline ----------
+//
+// DosCampaign above counts *model-level* verifications against the paper's
+// revocation bound. HandshakeFloodSource is the frame-level counterpart: it
+// authors the actual AUTH wire frames — honest ones plus the attacker shapes
+// a flooder would send — so bench/dos_throughput and bench/dos_resilience can
+// measure what one receiver's crypto::VerifyQueue actually sustains.
+
+/// Shapes of frame a handshake flood interleaves. Each maps to exactly one
+/// pipeline stage, so tests can assert every reject fires at its cheapest
+/// possible check.
+enum class FloodFrameKind : std::uint8_t {
+  Honest,     ///< well-formed, valid MAC -> Accept
+  BadMac,     ///< well-formed, garbage MAC -> RejectMac (the expensive reject)
+  Truncated,  ///< short frame -> RejectLength
+  BadType,    ///< right length, non-AUTH type tag -> RejectFormat
+  WrongCode,  ///< valid frame on a code the receiver is not listening on -> RejectCode
+};
+
+[[nodiscard]] const char* flood_frame_kind_name(FloodFrameKind kind) noexcept;
+
+struct FloodFrame {
+  BitVector bits;
+  std::uint32_t frame_code = 0;
+  FloodFrameKind kind = FloodFrameKind::Honest;
+  crypto::VerifyStage expected_stage = crypto::VerifyStage::Accept;
+};
+
+/// Throughput of a verification loop over a fixed frame set.
+struct FloodThroughput {
+  std::uint64_t frames = 0;  ///< frames verified across all repetitions
+  double seconds = 0.0;      ///< wall time spent verifying
+  [[nodiscard]] double frames_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(frames) / seconds : 0.0;
+  }
+};
+
+/// Authors AUTH frames for a flood of configurable attacker:honest ratio.
+/// The receiver is node 0; honest senders are nodes 1..peer_count, all
+/// provisioned under one IbcAuthority so their MACs genuinely verify.
+/// Deterministic: same seeds -> bit-identical batches.
+class HandshakeFloodSource {
+ public:
+  HandshakeFloodSource(const core::WireConfig& wire, std::uint64_t authority_seed,
+                       std::uint32_t peer_count, std::uint64_t rng_seed);
+
+  /// `count` frames with `ratio` attacker frames per honest frame (ratio 0 =
+  /// all honest). Attacker kinds cycle BadMac-weighted — a competent flooder
+  /// sends well-formed frames with garbage MACs, since those are what force
+  /// the victim into MAC computation.
+  [[nodiscard]] std::vector<FloodFrame> make_batch(std::size_t count,
+                                                   std::uint32_t ratio);
+
+  /// Key source over the receiver's IBC key, for feeding a VerifyQueue
+  /// directly (mirrors the engine's internal pair source).
+  [[nodiscard]] const crypto::KeySource& key_source() const noexcept {
+    return source_;
+  }
+  [[nodiscard]] const crypto::IbcPrivateKey& receiver() const noexcept {
+    return receiver_;
+  }
+  [[nodiscard]] const crypto::VerifyWire& verify_wire() const noexcept {
+    return verify_wire_;
+  }
+  /// The session code the receiver listens on / the wrong one attackers use.
+  [[nodiscard]] std::uint32_t expected_code() const noexcept { return 7; }
+  [[nodiscard]] std::uint32_t wrong_code() const noexcept { return 8; }
+
+ private:
+  struct ReceiverKeySource final : public crypto::KeySource {
+    const crypto::IbcPrivateKey* receiver = nullptr;
+    [[nodiscard]] std::uint64_t cache_key(std::uint32_t sender) const noexcept override;
+    [[nodiscard]] crypto::SymmetricKey key_for(std::uint32_t sender) const override;
+  };
+
+  [[nodiscard]] FloodFrame make_frame(FloodFrameKind kind);
+
+  core::WireConfig wire_;
+  crypto::VerifyWire verify_wire_;
+  crypto::IbcPrivateKey receiver_;
+  std::vector<crypto::IbcPrivateKey> peers_;
+  ReceiverKeySource source_;
+  Rng rng_;
+};
+
+/// Runs `frames` through a VerifyQueue drain (the batched pipeline) repeatedly
+/// until at least `min_seconds` of wall time elapses; returns the measured
+/// throughput. `queue`'s peer cache persists across repetitions (steady state).
+[[nodiscard]] FloodThroughput measure_batched_throughput(
+    crypto::VerifyQueue& queue, std::span<const FloodFrame> frames,
+    const crypto::KeySource& source, std::uint32_t expected_code,
+    double min_seconds);
+
+/// Same measurement over the one-at-a-time reference path (no peer cache, no
+/// batching) — the unbatched baseline dos_throughput compares against.
+[[nodiscard]] FloodThroughput measure_one_shot_throughput(
+    const crypto::VerifyWire& wire, std::span<const FloodFrame> frames,
+    const crypto::KeySource& source, std::uint32_t expected_code,
+    double min_seconds);
 
 }  // namespace jrsnd::adversary

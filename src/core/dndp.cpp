@@ -17,23 +17,29 @@ std::vector<CodeId> intersect_sorted(const std::vector<CodeId>& a, const std::ve
   return out;
 }
 
+WireConfig wire_from_params(const Params& params) noexcept {
+  WireConfig wire;
+  wire.l_t = params.l_t;
+  wire.l_id = params.l_id;
+  wire.l_n = params.l_n;
+  wire.l_mac = params.l_mac;
+  wire.l_nu = params.l_nu;
+  wire.l_sig = params.l_sig;
+  return wire;
+}
+
 }  // namespace
 
 DndpEngine::DndpEngine(const Params& params, PhyModel& phy, bool redundancy,
                        std::uint64_t retry_seed, const HandshakeClock* clock)
     : params_(params),
+      wire_(wire_from_params(params)),
+      verifier_(wire_),
       phy_(phy),
       redundancy_(redundancy),
       retry_rng_(retry_seed ^ 0xD1B54A32D192ED03ULL),
       clock_(clock),
-      trace_salt_(retry_seed) {
-  wire_.l_t = params.l_t;
-  wire_.l_id = params.l_id;
-  wire_.l_n = params.l_n;
-  wire_.l_mac = params.l_mac;
-  wire_.l_nu = params.l_nu;
-  wire_.l_sig = params.l_sig;
-}
+      trace_salt_(retry_seed) {}
 
 std::optional<BitVector> DndpEngine::transmit_with_retry(
     HandshakeStateMachine& hs, NodeId a, NodeId b, CodeId code, NodeId from,
@@ -98,20 +104,19 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
                                             b.id(), tx, TxClass::Auth,
                                             auth1.encode(wire_));
   if (!auth1_rx) return std::nullopt;
-  const auto auth1_decoded = AuthMessage::decode(*auth1_rx, wire_);
-  if (!auth1_decoded) {
-    obs::set_loss_reason(obs::LossStage::Corrupt);
-    return std::nullopt;
-  }
 
-  // B verifies: equal MACs prove A holds the key the authority issued for
-  // ID_A (mutual authentication, paper §V-B).
-  const crypto::SymmetricKey key_ba = b.key().shared_key(auth1_decoded->sender);
-  if (!auth1_decoded->verify(key_ba, wire_)) {
-    result.mac_failure = true;
+  // B verifies through the staged early-reject pipeline (length -> format ->
+  // code -> MAC, per-peer key schedule cached): equal MACs prove A holds the
+  // key the authority issued for ID_A (mutual authentication, paper §V-B).
+  // Only a MAC-stage reject is attributed to tampering; a frame that fails
+  // the cheap stages is a decode failure, exactly as before.
+  const AuthVerdict auth1_v = verifier_.verify_auth(*auth1_rx, code, code, b.key());
+  if (!auth1_v.accepted()) {
+    if (auth1_v.mac_rejected()) result.mac_failure = true;
     obs::set_loss_reason(obs::LossStage::Corrupt);
     return std::nullopt;
   }
+  const crypto::SymmetricKey key_ba = auth1_v.key;
 
   // 4. B -> A: {ID_B, n_B, f_{K_BA}(ID_B | n_B)}_{C_i}.
   const AuthMessage auth2 = AuthMessage::make(b.id(), nonce_b, key_ba, wire_);
@@ -119,22 +124,17 @@ std::optional<DndpEngine::SubsessionOutcome> DndpEngine::run_subsession(
                                             a.id(), tx, TxClass::Auth,
                                             auth2.encode(wire_));
   if (!auth2_rx) return std::nullopt;
-  const auto auth2_decoded = AuthMessage::decode(*auth2_rx, wire_);
-  if (!auth2_decoded) {
-    obs::set_loss_reason(obs::LossStage::Corrupt);
-    return std::nullopt;
-  }
-  if (!auth2_decoded->verify(key_ab, wire_)) {
-    result.mac_failure = true;
+  const AuthVerdict auth2_v = verifier_.verify_auth(*auth2_rx, code, code, a.key());
+  if (!auth2_v.accepted()) {
+    if (auth2_v.mac_rejected()) result.mac_failure = true;
     obs::set_loss_reason(obs::LossStage::Corrupt);
     return std::nullopt;
   }
 
   // Both ends derive C_AB = h_{K}(n_A ^ n_B); XOR makes it symmetric.
   outcome.key_ab = key_ab;
-  outcome.session_code = crypto::derive_session_code(key_ab, auth1_decoded->nonce,
-                                                     auth2_decoded->nonce,
-                                                     params_.N);
+  outcome.session_code = crypto::derive_session_code(key_ab, auth1_v.nonce,
+                                                     auth2_v.nonce, params_.N);
   return outcome;
 }
 

@@ -81,6 +81,10 @@ class DndpEngine {
 
   const Params& params_;
   WireConfig wire_;
+  /// Staged early-reject AUTH verification (length -> format -> code -> MAC)
+  /// with per-peer key-schedule caching — the handshake-flood hardening.
+  /// Decisions are bit-identical to the old decode + verify pair.
+  HandshakeVerifier verifier_;
   PhyModel& phy_;
   bool redundancy_;
   Rng retry_rng_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/prof/perf_counters.hpp"
 
 namespace jrsnd::core {
 
@@ -95,6 +96,70 @@ std::optional<Duration> HandshakeStateMachine::on_timeout() {
   elapsed_ += *backoff;
   obs::flight_note("hs.retx", total_retransmissions_);
   return backoff;
+}
+
+// --- HandshakeVerifier ------------------------------------------------------
+
+namespace {
+
+crypto::VerifyWire verify_wire_from(const WireConfig& wire) noexcept {
+  crypto::VerifyWire out;
+  out.l_t = wire.l_t;
+  out.l_id = wire.l_id;
+  out.l_n = wire.l_n;
+  out.l_mac = wire.l_mac;
+  out.auth_type = static_cast<std::uint32_t>(MessageType::Auth);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t HandshakeVerifier::PairSource::cache_key(std::uint32_t sender) const noexcept {
+  const std::uint32_t self = raw(receiver->id());
+  const std::uint32_t lo = std::min(self, sender);
+  const std::uint32_t hi = std::max(self, sender);
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+crypto::SymmetricKey HandshakeVerifier::PairSource::key_for(std::uint32_t sender) const {
+  return receiver->shared_key(node_id(sender));
+}
+
+HandshakeVerifier::HandshakeVerifier(const WireConfig& wire)
+    : queue_(verify_wire_from(wire)) {}
+
+AuthVerdict HandshakeVerifier::verify_auth(const BitVector& frame, CodeId frame_code,
+                                           CodeId expected_code,
+                                           const crypto::IbcPrivateKey& receiver) {
+  JRSND_PERF_REGION("dndp.verify.batch");
+  source_.receiver = &receiver;
+  const crypto::VerifyResult result =
+      queue_.verify_now(frame, raw(frame_code), raw(expected_code), source_);
+  AuthVerdict verdict;
+  verdict.stage = result.stage;
+  if (result.stage != crypto::VerifyStage::RejectLength &&
+      result.stage != crypto::VerifyStage::RejectFormat) {
+    verdict.sender = node_id(result.sender);
+  }
+  if (result.stage == crypto::VerifyStage::Accept) {
+    const crypto::VerifyWire& w = queue_.wire();
+    verdict.nonce = frame.slice(std::size_t{w.l_t} + w.l_id, w.l_n);
+    verdict.key = result.key;
+  }
+  return verdict;
+}
+
+std::size_t HandshakeVerifier::verify_auth_batch(std::span<const BitVector> frames,
+                                                 CodeId frame_code, CodeId expected_code,
+                                                 const crypto::IbcPrivateKey& receiver,
+                                                 std::vector<crypto::VerifyResult>& out) {
+  JRSND_PERF_REGION("dndp.verify.batch");
+  source_.receiver = &receiver;
+  queue_.reserve(frames.size());
+  for (const BitVector& frame : frames) {
+    queue_.push(frame, raw(frame_code), raw(expected_code));
+  }
+  return queue_.drain(source_, out);
 }
 
 }  // namespace jrsnd::core

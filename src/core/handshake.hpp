@@ -15,9 +15,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/messages.hpp"
+#include "crypto/verify_queue.hpp"
 
 namespace jrsnd::core {
 
@@ -133,6 +137,69 @@ class HandshakeStateMachine {
   std::uint32_t total_retransmissions_ = 0;
   std::uint32_t timeouts_ = 0;
   Duration elapsed_{0.0};
+};
+
+/// Verdict of the staged AUTH-frame verification. `sender` is the claimed ID
+/// (valid once the frame parsed, i.e. from RejectCode onward); `nonce` and
+/// `key` are populated only on Accept — exactly what the engine needs to
+/// build the reply MAC and derive the session code.
+struct AuthVerdict {
+  crypto::VerifyStage stage = crypto::VerifyStage::RejectLength;
+  NodeId sender = kInvalidNode;
+  BitVector nonce;             ///< l_n bits, Accept only
+  crypto::SymmetricKey key{};  ///< pairwise key the MAC verified under, Accept only
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return stage == crypto::VerifyStage::Accept;
+  }
+  /// True when the frame survived the cheap stages but its MAC failed — the
+  /// only reject the engine attributes to tampering (mac_failure).
+  [[nodiscard]] bool mac_rejected() const noexcept {
+    return stage == crypto::VerifyStage::RejectMac;
+  }
+};
+
+/// The early-reject verification front-end of the D-NDP engine: a
+/// crypto::VerifyQueue bound to the IBC pairwise-key source, ordering every
+/// check cheapest-first (length -> format -> session-code -> MAC) and caching
+/// per-peer HMAC key schedules across calls. Accept/reject decisions are
+/// bit-identical to the historical AuthMessage::decode + verify path (pinned
+/// by tests/crypto_verify_queue_test.cpp and bench/dos_throughput).
+class HandshakeVerifier {
+ public:
+  explicit HandshakeVerifier(const WireConfig& wire);
+
+  /// Verifies one received AUTH frame claimed to arrive on `frame_code`
+  /// while the receiver listens on `expected_code`, under `receiver`'s IBC
+  /// key. Allocation-free on every reject path once the peer cache is warm.
+  [[nodiscard]] AuthVerdict verify_auth(const BitVector& frame, CodeId frame_code,
+                                        CodeId expected_code,
+                                        const crypto::IbcPrivateKey& receiver);
+
+  /// Batched form for flood scenarios: verifies `frames` (all on the same
+  /// code pair) in one drain, one VerifyResult per frame into `out`.
+  /// Returns the number accepted.
+  std::size_t verify_auth_batch(std::span<const BitVector> frames, CodeId frame_code,
+                                CodeId expected_code,
+                                const crypto::IbcPrivateKey& receiver,
+                                std::vector<crypto::VerifyResult>& out);
+
+  [[nodiscard]] const crypto::VerifyQueue& queue() const noexcept { return queue_; }
+
+ private:
+  /// Pairwise-key source over the receiver's IBC private key. The cache key
+  /// packs the unordered {receiver, sender} pair, which is exactly what the
+  /// symmetric shared_key depends on — so one engine's cache is shared
+  /// between both handshake directions.
+  struct PairSource final : public crypto::KeySource {
+    const crypto::IbcPrivateKey* receiver = nullptr;
+
+    [[nodiscard]] std::uint64_t cache_key(std::uint32_t sender) const noexcept override;
+    [[nodiscard]] crypto::SymmetricKey key_for(std::uint32_t sender) const override;
+  };
+
+  crypto::VerifyQueue queue_;
+  PairSource source_;
 };
 
 }  // namespace jrsnd::core

@@ -18,6 +18,12 @@ namespace jrsnd::crypto {
 inline constexpr std::size_t kSha256DigestSize = 32;
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
 
+/// One FIPS 180-4 compression: folds a single 64-byte block into `state`.
+/// The low-level primitive Sha256 runs per block — exposed so the multi-
+/// buffer lanes (crypto/sha256_multi.hpp) share the exact reference
+/// compression on their scalar backend.
+void sha256_compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) noexcept;
+
 /// Incremental SHA-256 context.
 class Sha256 {
  public:
@@ -33,6 +39,13 @@ class Sha256 {
 
   /// Returns the context to its initial state.
   void reset() noexcept;
+
+  /// The raw chaining value. A resumable midstate only when the absorbed
+  /// length is a multiple of 64 bytes (internal buffer empty) — the hook the
+  /// HMAC multi-buffer path uses to seed its lanes from cached midstates.
+  [[nodiscard]] const std::array<std::uint32_t, 8>& chaining_state() const noexcept {
+    return state_;
+  }
 
   /// One-shot convenience.
   [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data) noexcept;

@@ -1,0 +1,323 @@
+#include "crypto/verify_queue.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jrsnd::crypto {
+
+namespace {
+
+/// MAC input layout shared with AuthMessage::mac_input: the sender ID as a
+/// 32-bit big-endian field, then the l_n nonce bits, MSB-first, zero-padded
+/// to a byte boundary. 32 + 64 nonce bits is the ceiling -> 12 bytes.
+constexpr std::size_t kMaxMacInputBytes = 12;
+
+std::size_t build_mac_input(const VerifyWire& wire, const BitVector& frame,
+                            std::uint32_t sender,
+                            std::array<std::uint8_t, kMaxMacInputBytes>& out) noexcept {
+  out.fill(0);
+  out[0] = static_cast<std::uint8_t>(sender >> 24);
+  out[1] = static_cast<std::uint8_t>(sender >> 16);
+  out[2] = static_cast<std::uint8_t>(sender >> 8);
+  out[3] = static_cast<std::uint8_t>(sender);
+  // The nonce starts at bit 32 of the input — byte-aligned, so it packs as a
+  // left-justified big-endian field.
+  const std::uint64_t nonce = frame.read_uint(wire.l_t + wire.l_id, wire.l_n);
+  const std::size_t nonce_bytes = (wire.l_n + 7) / 8;
+  const std::uint64_t shifted = nonce << (nonce_bytes * 8 - wire.l_n);
+  for (std::size_t i = 0; i < nonce_bytes; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>(shifted >> (8 * (nonce_bytes - 1 - i)));
+  }
+  return 4 + nonce_bytes;
+}
+
+}  // namespace
+
+const char* verify_stage_name(VerifyStage stage) noexcept {
+  switch (stage) {
+    case VerifyStage::Accept: return "accept";
+    case VerifyStage::RejectLength: return "reject_length";
+    case VerifyStage::RejectFormat: return "reject_format";
+    case VerifyStage::RejectCode: return "reject_code";
+    case VerifyStage::RejectMac: return "reject_mac";
+  }
+  return "?";
+}
+
+VerifyQueue::VerifyQueue(const VerifyWire& wire) : wire_(wire) {
+  assert(wire_.l_t >= 1 && wire_.l_t <= 32);
+  assert(wire_.l_id >= 1 && wire_.l_id <= 32);
+  assert(wire_.l_n >= 1 && wire_.l_n <= 64);
+  assert(wire_.l_mac >= 1 && wire_.l_mac <= 256);
+}
+
+void VerifyQueue::reserve(std::size_t frames) {
+  pending_.reserve(frames);
+  mac_scratch_.reserve(frames);
+}
+
+void VerifyQueue::push(const BitVector& frame, std::uint32_t frame_code,
+                       std::uint32_t expected_code) {
+  pending_.push_back(Pending{&frame, frame_code, expected_code});
+}
+
+bool VerifyQueue::cheap_stages(const Pending& p, VerifyResult& out,
+                               DrainCounts& counts) const noexcept {
+  const BitVector& frame = *p.frame;
+  if (frame.size() != wire_.frame_bits()) {
+    out.stage = VerifyStage::RejectLength;
+    ++counts.length;
+    return false;
+  }
+  if (frame.read_uint(0, wire_.l_t) != wire_.auth_type) {
+    out.stage = VerifyStage::RejectFormat;
+    ++counts.format;
+    return false;
+  }
+  out.sender = static_cast<std::uint32_t>(frame.read_uint(wire_.l_t, wire_.l_id));
+  if (p.frame_code != p.expected_code) {
+    out.stage = VerifyStage::RejectCode;
+    ++counts.code;
+    return false;
+  }
+  return true;  // survived the cheap stages; MAC decides
+}
+
+bool VerifyQueue::mac_matches(const BitVector& frame, std::uint32_t sender,
+                              const HmacKey& schedule) const noexcept {
+  std::array<std::uint8_t, kMaxMacInputBytes> input;
+  const std::size_t input_len = build_mac_input(wire_, frame, sender, input);
+  const Sha256Digest expected =
+      schedule.mac(std::span<const std::uint8_t>(input.data(), input_len));
+  return wire_mac_equals(frame, expected);
+}
+
+bool VerifyQueue::wire_mac_equals(const BitVector& frame,
+                                  const Sha256Digest& expected) const noexcept {
+  // Compare the first l_mac bits of the expected digest against the l_mac
+  // wire bits, in place: full bytes, then a masked tail. Constant-time
+  // OR-accumulate, mirroring digest_equal.
+  const std::size_t mac_off = std::size_t{wire_.l_t} + wire_.l_id + wire_.l_n;
+  const std::size_t full_bytes = wire_.l_mac / 8;
+  const std::size_t tail_bits = wire_.l_mac % 8;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < full_bytes; ++i) {
+    const auto wire_byte =
+        static_cast<std::uint8_t>(frame.read_uint(mac_off + 8 * i, 8));
+    diff = static_cast<std::uint8_t>(diff | (wire_byte ^ expected[i]));
+  }
+  if (tail_bits != 0) {
+    const auto wire_tail = static_cast<std::uint8_t>(
+        frame.read_uint(mac_off + 8 * full_bytes, tail_bits) << (8 - tail_bits));
+    const auto mask = static_cast<std::uint8_t>(0xFFu << (8 - tail_bits));
+    diff = static_cast<std::uint8_t>(diff | (wire_tail ^ (expected[full_bytes] & mask)));
+  }
+  return diff == 0;
+}
+
+const VerifyQueue::CachedKey& VerifyQueue::resolve_key(std::uint64_t cache_key,
+                                                       std::uint32_t sender,
+                                                       const KeySource& source,
+                                                       DrainCounts& counts) {
+  const auto it = keys_.find(cache_key);
+  if (it != keys_.end()) {
+    ++counts.cache_hits;
+    return it->second;
+  }
+  ++counts.cache_misses;
+  const SymmetricKey raw = source.key_for(sender);
+  const HmacKey schedule(std::span<const std::uint8_t>(raw.data(), raw.size()));
+  if (keys_.size() < kMaxCachedPeers) {
+    return keys_.emplace(cache_key, CachedKey{raw, schedule}).first->second;
+  }
+  overflow_ = CachedKey{raw, schedule};
+  return overflow_;
+}
+
+std::size_t VerifyQueue::drain(const KeySource& source, std::vector<VerifyResult>& out) {
+  out.clear();
+  mac_scratch_.clear();
+  DrainCounts counts;
+
+  // Pass 1: the allocation-free cheap stages; survivors queue for the MAC
+  // stage keyed by the pairwise key they will verify under.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    VerifyResult result;
+    if (cheap_stages(pending_[i], result, counts)) {
+      result.stage = VerifyStage::RejectMac;  // provisional until the MAC passes
+      mac_scratch_.push_back(MacWork{source.cache_key(result.sender),
+                                     static_cast<std::uint32_t>(i)});
+    }
+    out.push_back(result);
+  }
+
+  // Pass 2: group survivors by peer so each key schedule is resolved once
+  // per batch. The sort is in-place over POD scratch — no allocation; the
+  // index tiebreak keeps the grouping deterministic.
+  std::sort(mac_scratch_.begin(), mac_scratch_.end(),
+            [](const MacWork& a, const MacWork& b) {
+              return a.cache_key != b.cache_key ? a.cache_key < b.cache_key
+                                                : a.index < b.index;
+            });
+
+  // MAC-stage lanes: survivors accumulate (across group boundaries) until
+  // eight are pending, then one HmacKey::mac_x8 call settles all eight.
+  // Leftovers fall back to the scalar midstate path — same digests.
+  const HmacKey* lane_keys[kSha256Lanes];
+  const CachedKey* lane_entries[kSha256Lanes];
+  std::uint32_t lane_frame[kSha256Lanes];
+  std::array<std::uint8_t, kMaxMacInputBytes> lane_msgs[kSha256Lanes];
+  std::size_t lane_lens[kSha256Lanes];
+  std::size_t lanes = 0;
+
+  const auto settle = [&](std::size_t lane, const Sha256Digest& digest) {
+    VerifyResult& result = out[lane_frame[lane]];
+    if (wire_mac_equals(*pending_[lane_frame[lane]].frame, digest)) {
+      result.stage = VerifyStage::Accept;
+      result.key = lane_entries[lane]->raw;
+      ++counts.accepted;
+    } else {
+      ++counts.mac;
+    }
+  };
+  const auto flush_lanes = [&]() {
+    if (lanes == kSha256Lanes) {
+      const std::uint8_t* msg_ptrs[kSha256Lanes];
+      for (std::size_t l = 0; l < kSha256Lanes; ++l) msg_ptrs[l] = lane_msgs[l].data();
+      Sha256Digest digests[kSha256Lanes];
+      HmacKey::mac_x8(lane_keys, msg_ptrs, lane_lens, digests);
+      for (std::size_t l = 0; l < kSha256Lanes; ++l) settle(l, digests[l]);
+    } else {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const Sha256Digest digest = lane_keys[l]->mac(
+            std::span<const std::uint8_t>(lane_msgs[l].data(), lane_lens[l]));
+        settle(l, digest);
+      }
+    }
+    lanes = 0;
+  };
+
+  std::size_t g = 0;
+  while (g < mac_scratch_.size()) {
+    const std::uint64_t group_key = mac_scratch_[g].cache_key;
+    const std::uint32_t group_sender = out[mac_scratch_[g].index].sender;
+    const CachedKey& entry = resolve_key(group_key, group_sender, source, counts);
+    for (; g < mac_scratch_.size() && mac_scratch_[g].cache_key == group_key; ++g) {
+      const std::uint32_t idx = mac_scratch_[g].index;
+      lane_entries[lanes] = &entry;
+      lane_keys[lanes] = &entry.schedule;
+      lane_frame[lanes] = idx;
+      lane_lens[lanes] =
+          build_mac_input(wire_, *pending_[idx].frame, out[idx].sender, lane_msgs[lanes]);
+      if (++lanes == kSha256Lanes) flush_lanes();
+    }
+    // A resolve past the cache cap parks the schedule in the single
+    // overflow_ slot, which the *next* past-cap miss reuses — settle any
+    // lane still pointing at it before that can happen. Map-resident
+    // entries are stable (node-based unordered_map) and can span groups.
+    if (&entry == &overflow_) flush_lanes();
+  }
+  flush_lanes();
+
+  JRSND_COUNT_N("crypto.verify.frames", pending_.size());
+  JRSND_COUNT("crypto.verify.batches");
+  JRSND_COUNT_N("crypto.reject.length", counts.length);
+  JRSND_COUNT_N("crypto.reject.format", counts.format);
+  JRSND_COUNT_N("crypto.reject.code", counts.code);
+  JRSND_COUNT_N("crypto.reject.mac", counts.mac);
+  JRSND_COUNT_N("crypto.verify.accepted", counts.accepted);
+  JRSND_COUNT_N("crypto.verify.peer_cache.hits", counts.cache_hits);
+  JRSND_COUNT_N("crypto.verify.peer_cache.misses", counts.cache_misses);
+
+  pending_.clear();
+  return counts.accepted;
+}
+
+VerifyResult VerifyQueue::verify_now(const BitVector& frame, std::uint32_t frame_code,
+                                     std::uint32_t expected_code, const KeySource& source) {
+  DrainCounts counts;
+  VerifyResult result;
+  const Pending p{&frame, frame_code, expected_code};
+  if (cheap_stages(p, result, counts)) {
+    const CachedKey& entry =
+        resolve_key(source.cache_key(result.sender), result.sender, source, counts);
+    if (mac_matches(frame, result.sender, entry.schedule)) {
+      result.stage = VerifyStage::Accept;
+      result.key = entry.raw;
+      ++counts.accepted;
+    } else {
+      result.stage = VerifyStage::RejectMac;
+      ++counts.mac;
+    }
+  }
+  JRSND_COUNT("crypto.verify.frames");
+  JRSND_COUNT_N("crypto.reject.length", counts.length);
+  JRSND_COUNT_N("crypto.reject.format", counts.format);
+  JRSND_COUNT_N("crypto.reject.code", counts.code);
+  JRSND_COUNT_N("crypto.reject.mac", counts.mac);
+  JRSND_COUNT_N("crypto.verify.accepted", counts.accepted);
+  JRSND_COUNT_N("crypto.verify.peer_cache.hits", counts.cache_hits);
+  JRSND_COUNT_N("crypto.verify.peer_cache.misses", counts.cache_misses);
+  return result;
+}
+
+VerifyResult VerifyQueue::verify_one_shot(const VerifyWire& wire, const BitVector& frame,
+                                          std::uint32_t frame_code,
+                                          std::uint32_t expected_code,
+                                          const KeySource& source) {
+  VerifyResult result;
+  JRSND_COUNT("crypto.verify.frames");
+
+  // The historical decode: a sequential bounds-checked read fails exactly
+  // when the frame is the wrong size or the type tag is not AUTH.
+  if (frame.size() != wire.frame_bits()) {
+    result.stage = VerifyStage::RejectLength;
+    JRSND_COUNT("crypto.reject.length");
+    return result;
+  }
+  if (frame.read_uint(0, wire.l_t) != wire.auth_type) {
+    result.stage = VerifyStage::RejectFormat;
+    JRSND_COUNT("crypto.reject.format");
+    return result;
+  }
+  result.sender = static_cast<std::uint32_t>(frame.read_uint(wire.l_t, wire.l_id));
+  // Allocating field extraction, as AuthMessage::decode performs it.
+  const std::size_t nonce_off = std::size_t{wire.l_t} + wire.l_id;
+  const BitVector nonce = frame.slice(nonce_off, wire.l_n);
+  const BitVector wire_mac = frame.slice(nonce_off + wire.l_n, wire.l_mac);
+
+  if (frame_code != expected_code) {
+    result.stage = VerifyStage::RejectCode;
+    JRSND_COUNT("crypto.reject.code");
+    return result;
+  }
+
+  // Fresh pairwise key + raw hmac_sha256 per frame — the per-frame cost the
+  // batched path amortizes away.
+  const SymmetricKey key = source.key_for(result.sender);
+  BitVector mac_input;
+  mac_input.append_uint(result.sender, 32);
+  mac_input.append(nonce);
+  const std::vector<std::uint8_t> input_bytes = mac_input.to_bytes();
+  const Sha256Digest expected = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()), input_bytes);
+  const BitVector expected_bits =
+      BitVector::from_bytes(std::span<const std::uint8_t>(expected.data(), expected.size()))
+          .slice(0, wire.l_mac);
+  if (expected_bits == wire_mac) {
+    result.stage = VerifyStage::Accept;
+    result.key = key;
+    JRSND_COUNT("crypto.verify.accepted");
+  } else {
+    result.stage = VerifyStage::RejectMac;
+    JRSND_COUNT("crypto.reject.mac");
+  }
+  return result;
+}
+
+void VerifyQueue::clear_key_cache() { keys_.clear(); }
+
+}  // namespace jrsnd::crypto

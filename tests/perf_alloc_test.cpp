@@ -13,9 +13,11 @@
 #include <new>
 #include <vector>
 
+#include "adversary/dos_attacker.hpp"
 #include "adversary/jammer.hpp"
 #include "common/rng.hpp"
 #include "core/chip_phy.hpp"
+#include "crypto/verify_queue.hpp"
 #include "dsss/prepared_codebook.hpp"
 #include "dsss/spread_code.hpp"
 #include "obs/flight_recorder.hpp"
@@ -171,6 +173,45 @@ TEST(SimHotPath, ZeroSteadyStateAllocationsForIndexAndEventLoop) {
   EXPECT_EQ(after - before, 0u)
       << "index update/query or event schedule/cancel/drain allocated on the "
          "steady-state hot path";
+}
+
+TEST(VerifyQueueHotPath, ZeroSteadyStateAllocationsOnRejectPath) {
+  // The DoS posture depends on this: once reserve() capacity and the peer
+  // cache are warm, a push/drain cycle over an all-reject flood (the
+  // attacker's steady state) must never touch the heap — metrics enabled,
+  // counter handles resolved, MAC lanes included.
+  obs::set_metrics_enabled(true);
+  adversary::HandshakeFloodSource source(core::WireConfig{}, /*authority_seed=*/77,
+                                         /*peer_count=*/16, /*rng_seed=*/20110620);
+  auto flood = source.make_batch(129, 128);
+  flood.erase(flood.begin());  // drop the one honest frame: pure reject flood
+  crypto::VerifyQueue queue(source.verify_wire());
+  queue.reserve(flood.size());
+  std::vector<crypto::VerifyResult> out;
+  out.reserve(flood.size());
+
+  // Warm-up: grow every buffer, build the peer schedules the BadMac frames
+  // resolve, and resolve the thread-local JRSND_COUNT handle caches.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (const auto& frame : flood) {
+      queue.push(frame.bits, frame.frame_code, source.expected_code());
+    }
+    ASSERT_EQ(queue.drain(source.key_source(), out), 0u);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  std::size_t accepted = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (const auto& frame : flood) {
+      queue.push(frame.bits, frame.frame_code, source.expected_code());
+    }
+    accepted += queue.drain(source.key_source(), out);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_EQ(after - before, 0u)
+      << "the batched verification reject path allocated in the steady state";
 }
 
 TEST(ObsHotPath, ZeroSteadyStateAllocationsForSpansAndFlightRing) {
